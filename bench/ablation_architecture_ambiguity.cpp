@@ -1,0 +1,69 @@
+// Ablation: architecture ambiguity (paper §5.1).
+//
+// Three models that the literature would all call "VGG on CIFAR" — the
+// plain conv-bn stack, the same network with dropout before the
+// classifier, and a variant with a halved hidden FC layer — plus the
+// v1-vs-v2 ResNet pair ("ResNet-56" vs "PreResNet-56", same depth and
+// width). Each is pruned identically (global magnitude, same ratios,
+// same seeds). If naming were sufficient to identify an architecture,
+// these curves would coincide; they do not, which is §5.1's complaint in
+// experimental form.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace shrinkbench;
+using namespace shrinkbench::bench;
+
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv);
+  std::printf("=== Ablation: 'VGG' and 'ResNet-56' are not single architectures (§5.1) ===\n\n");
+
+  ExperimentRunner runner(args.cache_dir);
+  const std::vector<double> ratios =
+      args.full ? std::vector<double>{2, 4, 8, 16} : std::vector<double>{2, 8};
+  const std::vector<uint64_t> seeds = args.full ? std::vector<uint64_t>{1, 2, 3}
+                                                : std::vector<uint64_t>{1};
+
+  struct Group {
+    const char* what;
+    std::vector<std::string> archs;
+  };
+  const Group groups[] = {
+      {"Three papers' \"VGG\"",
+       {"cifar-vgg", "cifar-vgg-dropout", "cifar-vgg-smallfc"}},
+      {"\"ResNet-56\": v1 vs pre-activation v2", {"resnet-56", "preresnet-56"}},
+  };
+
+  std::vector<ExperimentResult> all;
+  for (const Group& group : groups) {
+    std::printf("%s\n", group.what);
+    report::Table table({"architecture", "params", "pre top1", "target", "compression",
+                         "top1 after prune+finetune"});
+    for (const std::string& arch : group.archs) {
+      ExperimentConfig base;
+      base.dataset = "synth-cifar10";
+      base.arch = arch;
+      base.width = 8;
+      base.strategy = "global-weight";
+      base.pretrain = bench_pretrain(args.full);
+      base.finetune = bench_cifar_finetune(args.full);
+      const auto results = run_sweep(runner, base, {"global-weight"}, ratios, seeds);
+      for (const auto& r : results) {
+        table.add_row({arch, std::to_string(r.params_total),
+                       report::Table::num(r.pre_top1, 4),
+                       report::Table::num(r.config.target_compression, 0),
+                       report::Table::num(r.compression, 2),
+                       report::Table::num(r.post_top1, 4)});
+        all.push_back(r);
+      }
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  save_results(args, "ablation_architecture_ambiguity", all);
+
+  std::printf("Reading: identical pruning on same-named architectures lands at different\n"
+              "parameter counts and accuracies. A paper saying it pruned \"VGG-16\" or\n"
+              "\"ResNet-56\" without citing the exact variant is not reproducible (§5.1).\n");
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Shared infrastructure for the figure/table benches.
+//
+// Every bench accepts:
+//   --full        larger sweeps (more seeds, longer fine-tuning)
+//   --out <dir>   where CSV outputs go (default: bench_out)
+//   --cache <dir> pretrained/result cache (default: $SHRINKBENCH_CACHE or .sb_cache)
+//
+// Results are cached by config fingerprint, so re-running a bench — or
+// running two benches that share configurations — is nearly free.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "metrics/metrics.hpp"
+#include "report/chart.hpp"
+#include "report/table.hpp"
+
+namespace shrinkbench::bench {
+
+struct BenchArgs {
+  bool full = false;
+  std::string out_dir = "bench_out";
+  std::string cache_dir = default_cache_dir();
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--full") {
+      args.full = true;
+    } else if (a == "--out" && i + 1 < argc) {
+      args.out_dir = argv[++i];
+    } else if (a == "--cache" && i + 1 < argc) {
+      args.cache_dir = argv[++i];
+    } else if (a == "--help") {
+      std::printf("usage: %s [--full] [--out DIR] [--cache DIR]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  std::filesystem::create_directories(args.out_dir);
+  return args;
+}
+
+/// Fine-tuning presets sized to the bench budget. `quick` fine-tunes for
+/// fewer epochs than the paper's 30/20 but uses the same optimizers and
+/// learning rates (Appendix C.2).
+inline TrainOptions bench_cifar_finetune(bool full) {
+  TrainOptions opts = cifar_finetune_options();
+  opts.epochs = full ? 15 : 4;
+  opts.patience = full ? 5 : 0;
+  return opts;
+}
+
+inline TrainOptions bench_imagenet_finetune(bool full) {
+  TrainOptions opts = imagenet_finetune_options();
+  opts.epochs = full ? 12 : 4;
+  opts.patience = full ? 4 : 0;
+  return opts;
+}
+
+inline TrainOptions bench_pretrain(bool full) {
+  TrainOptions opts = default_pretrain_options();
+  opts.epochs = full ? 80 : 60;
+  return opts;
+}
+
+/// One aggregated operating point: mean +/- sample stddev across seeds.
+struct AggregatePoint {
+  double target = 0.0;
+  double compression = 0.0;
+  double speedup = 0.0;
+  double top1_mean = 0.0;
+  double top1_std = 0.0;
+  double top5_mean = 0.0;
+  int seeds = 0;
+};
+
+/// Groups sweep results by (strategy, target compression) and averages
+/// over seeds — the paper's "report means and sample standard deviations"
+/// recommendation.
+inline std::map<std::string, std::vector<AggregatePoint>> aggregate_by_strategy(
+    const std::vector<ExperimentResult>& results) {
+  std::map<std::string, std::map<double, std::vector<const ExperimentResult*>>> grouped;
+  for (const auto& r : results) {
+    grouped[r.config.strategy][r.config.target_compression].push_back(&r);
+  }
+  std::map<std::string, std::vector<AggregatePoint>> out;
+  for (const auto& [strategy, by_target] : grouped) {
+    for (const auto& [target, runs] : by_target) {
+      AggregatePoint p;
+      p.target = target;
+      std::vector<double> top1s;
+      for (const ExperimentResult* r : runs) {
+        p.compression += r->compression;
+        p.speedup += r->speedup;
+        p.top5_mean += r->post_top5;
+        top1s.push_back(r->post_top1);
+      }
+      const double n = static_cast<double>(runs.size());
+      p.compression /= n;
+      p.speedup /= n;
+      p.top5_mean /= n;
+      const Stats s = compute_stats(top1s);
+      p.top1_mean = s.mean;
+      p.top1_std = s.stddev;
+      p.seeds = static_cast<int>(runs.size());
+      out[strategy].push_back(p);
+    }
+  }
+  return out;
+}
+
+enum class XAxis { Compression, Speedup };
+
+/// Renders an accuracy-vs-efficiency chart like the paper's figures.
+inline std::string tradeoff_chart(
+    const std::map<std::string, std::vector<AggregatePoint>>& by_strategy, XAxis x_axis,
+    const std::string& title) {
+  std::vector<report::Series> series;
+  for (const auto& [strategy, points] : by_strategy) {
+    report::Series s;
+    s.label = display_name(strategy);
+    for (const auto& p : points) {
+      s.x.push_back(x_axis == XAxis::Compression ? p.compression : p.speedup);
+      s.y.push_back(p.top1_mean);
+    }
+    series.push_back(std::move(s));
+  }
+  report::ChartOptions opts;
+  opts.log_x = true;
+  opts.x_label = x_axis == XAxis::Compression ? "Compression Ratio" : "Theoretical Speedup";
+  opts.y_label = "Top-1 Accuracy";
+  opts.title = title;
+  return report::render_chart(series, opts);
+}
+
+/// Prints the aggregated operating points as an aligned table.
+inline void print_tradeoff_table(const std::map<std::string, std::vector<AggregatePoint>>& agg,
+                                 const std::string& caption) {
+  std::printf("%s\n", caption.c_str());
+  report::Table table({"strategy", "target", "compression", "speedup", "top1 (mean)",
+                       "top1 (std)", "top5 (mean)", "seeds"});
+  for (const auto& [strategy, points] : agg) {
+    for (const auto& p : points) {
+      table.add_row({display_name(strategy), report::Table::num(p.target, 0),
+                     report::Table::num(p.compression, 2), report::Table::num(p.speedup, 2),
+                     report::Table::num(p.top1_mean, 4), report::Table::num(p.top1_std, 4),
+                     report::Table::num(p.top5_mean, 4), std::to_string(p.seeds)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+inline void save_results(const BenchArgs& args, const std::string& name,
+                         const std::vector<ExperimentResult>& results) {
+  const std::string path = args.out_dir + "/" + name + ".csv";
+  write_experiment_csv(path, results);
+  std::printf("wrote %s (%zu rows)\n\n", path.c_str(), results.size());
+}
+
+}  // namespace shrinkbench::bench

@@ -1,0 +1,51 @@
+// Figures 17-18 (Appendix D): ResNet-18 on ImageNet(-sim) — accuracy vs
+// compression (fig 17) and vs theoretical speedup (fig 18) for the four
+// non-random baselines. The sweep shares its configuration with Figure 6,
+// so its experiments come from the result cache when fig6 ran first.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace shrinkbench;
+using namespace shrinkbench::bench;
+
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv);
+  std::printf("=== Figures 17-18: ResNet-18 on ImageNet-sim (appendix panels) ===\n\n");
+
+  ExperimentRunner runner(args.cache_dir);
+  ExperimentConfig base;
+  base.dataset = "synth-imagenet";
+  base.arch = "resnet-18";
+  base.width = 8;
+  base.pretrain = bench_pretrain(args.full);
+  base.finetune = bench_imagenet_finetune(args.full);
+
+  const std::vector<std::string> strategies = {"global-weight", "layer-weight",
+                                               "global-gradient", "layer-gradient"};
+  const std::vector<double> ratios = {1, 2, 4, 8, 16, 32};
+  const std::vector<uint64_t> seeds = args.full ? std::vector<uint64_t>{1, 2, 3}
+                                                : std::vector<uint64_t>{1};
+
+  const auto results = run_sweep(runner, base, strategies, ratios, seeds);
+  const auto agg = aggregate_by_strategy(results);
+  print_tradeoff_table(agg, "ResNet-18 on synth-imagenet:");
+  std::printf("%s\n", tradeoff_chart(agg, XAxis::Compression,
+                                     "Figure 17: ResNet-18 — accuracy vs compression")
+                          .c_str());
+  std::printf("%s\n", tradeoff_chart(agg, XAxis::Speedup,
+                                     "Figure 18: ResNet-18 — accuracy vs theoretical speedup")
+                          .c_str());
+  save_results(args, "fig17_18_resnet18", results);
+
+  // Top-5 is also reported for many-class datasets (paper §6 checklist).
+  report::Table top5({"strategy", "target", "top5 (mean)"});
+  for (const auto& [strategy, points] : agg) {
+    for (const auto& p : points) {
+      top5.add_row({display_name(strategy), report::Table::num(p.target, 0),
+                    report::Table::num(p.top5_mean, 4)});
+    }
+  }
+  std::printf("Top-5 accuracy (same sweep):\n%s\n", top5.render().c_str());
+  return 0;
+}

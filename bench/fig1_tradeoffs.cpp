@@ -1,0 +1,117 @@
+// Figure 1: "Size and speed vs accuracy tradeoffs for different pruning
+// methods and families of architectures."
+//
+// Unpruned family curves come from published results (Tan & Le 2019,
+// Bianco et al. 2018); pruned points come from the corpus under the
+// paper's footnote-1 normalization: reported size/FLOP fractions are
+// multiplied by each architecture's median self-reported baseline, and
+// accuracy deltas are added to the median baseline accuracy.
+//
+// Shape expectations (paper §3.3): pruned models sometimes beat their own
+// original architecture; pruning rarely beats a better architecture
+// (EfficientNet dominates everything); pruning helps inefficient
+// architectures (VGG) far more than efficient ones (MobileNet-v2).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "corpus/analysis.hpp"
+#include "corpus/families.hpp"
+
+using namespace shrinkbench;
+using namespace shrinkbench::corpus;
+
+namespace {
+
+struct PrunedFamily {
+  std::string label;
+  std::vector<std::string> architectures;
+};
+
+void emit_panel(bool top5, bool flops, std::vector<std::vector<std::string>>& csv) {
+  const Corpus& c = pruning_corpus();
+  std::vector<report::Series> series;
+
+  // Unpruned architecture families.
+  for (const auto& family : architecture_families()) {
+    report::Series s;
+    s.label = family.name + " (" + std::to_string(family.year) + ")";
+    for (const auto& m : family.members) {
+      s.x.push_back(flops ? m.flops_billions : m.params_millions);
+      s.y.push_back(top5 ? m.top5 : m.top1);
+      csv.push_back({family.name, m.name, report::Table::num(m.params_millions, 2),
+                     report::Table::num(m.flops_billions, 2), report::Table::num(m.top1, 2),
+                     report::Table::num(m.top5, 2), "original"});
+    }
+    series.push_back(std::move(s));
+  }
+
+  // Pruned families (normalized corpus points).
+  const std::vector<PrunedFamily> pruned = {
+      {"MobileNet-v2 Pruned", {"MobileNet-V2"}},
+      {"ResNet Pruned", {"ResNet-18", "ResNet-34", "ResNet-50"}},
+      {"VGG Pruned", {"VGG-16"}},
+  };
+  for (const auto& family : pruned) {
+    report::Series s;
+    s.label = family.label;
+    for (const auto& arch : family.architectures) {
+      for (const auto& p : normalized_pruned_points(c, "ImageNet", arch)) {
+        if (top5 && !p.has_top5) continue;
+        if (flops && !p.has_flops) continue;
+        s.x.push_back(flops ? p.flops_billions : p.params_millions);
+        s.y.push_back(top5 ? p.top5 : p.top1);
+        csv.push_back({family.label, p.method, report::Table::num(p.params_millions, 2),
+                       report::Table::num(p.has_flops ? p.flops_billions : 0.0, 2),
+                       report::Table::num(p.top1, 2),
+                       report::Table::num(p.has_top5 ? p.top5 : 0.0, 2), "pruned"});
+      }
+    }
+    if (!s.x.empty()) series.push_back(std::move(s));
+  }
+
+  report::ChartOptions opts;
+  opts.log_x = true;
+  opts.x_label = flops ? "Number of FLOPs (billions of madds)" : "Number of Parameters (millions)";
+  opts.title = std::string("Figure 1 panel: ") + (top5 ? "Top-5" : "Top-1") + " accuracy vs " +
+               (flops ? "FLOPs" : "parameters");
+  std::printf("%s\n", report::render_chart(series, opts).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  std::printf("=== Figure 1: Speed and Size Tradeoffs for Original and Pruned Models ===\n\n");
+
+  // Median baselines used by the normalization (footnote 1).
+  report::Table base({"architecture", "median params (M)", "median GFLOPs", "median top1",
+                      "median top5", "reporting papers"});
+  for (const char* arch : {"VGG-16", "ResNet-50", "ResNet-18", "ResNet-34", "MobileNet-V2"}) {
+    const BaselineMedians m = median_baselines(pruning_corpus(), arch);
+    base.add_row({arch, report::Table::num(m.params_millions, 1),
+                  report::Table::num(m.flops_billions, 2), report::Table::num(m.top1, 2),
+                  report::Table::num(m.top5, 2), std::to_string(m.reporting_papers)});
+  }
+  std::printf("Normalization baselines (median across papers reporting one):\n%s\n",
+              base.render().c_str());
+
+  std::vector<std::vector<std::string>> csv{
+      {"family", "point", "params_millions", "gflops", "top1", "top5", "kind"}};
+  emit_panel(/*top5=*/false, /*flops=*/false, csv);
+  emit_panel(/*top5=*/true, /*flops=*/false, csv);
+  emit_panel(/*top5=*/false, /*flops=*/true, csv);
+  emit_panel(/*top5=*/true, /*flops=*/true, csv);
+  report::write_csv(args.out_dir + "/fig1_tradeoffs.csv", csv);
+  std::printf("wrote %s/fig1_tradeoffs.csv\n", args.out_dir.c_str());
+
+  // Headline checks from §3.3.
+  const auto vgg_pruned = normalized_pruned_points(pruning_corpus(), "ImageNet", "VGG-16");
+  double best_pruned_vgg = 0;
+  for (const auto& p : vgg_pruned) best_pruned_vgg = std::max(best_pruned_vgg, p.top1);
+  std::printf("\nShape checks:\n");
+  std::printf("  pruned VGG-16 best top1 %.2f vs original 71.6 -> %s\n", best_pruned_vgg,
+              best_pruned_vgg > 71.6 ? "pruning can beat its own baseline" : "(below baseline)");
+  std::printf("  EfficientNet-B0 (5.3M params) top1 77.1 beats every pruned VGG/ResNet point\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 2: "Reported comparisons between papers."
+//
+// Top: for each paper, how many other papers compare to it (in-degree of
+// the comparison graph). Bottom: how many other papers each paper compares
+// to (out-degree), split by peer-review status.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "corpus/analysis.hpp"
+
+using namespace shrinkbench;
+using namespace shrinkbench::corpus;
+
+namespace {
+
+void print_histogram(const SplitHistogram& hist, const std::string& title,
+                     const std::string& x_label, std::vector<std::vector<std::string>>& csv) {
+  std::printf("%s\n", title.c_str());
+  report::Table table({x_label, "peer-reviewed", "other", "total"});
+  for (int k = 0; k <= hist.max_key(); ++k) {
+    const int peer = hist.peer_reviewed.count(k) ? hist.peer_reviewed.at(k) : 0;
+    const int other = hist.other.count(k) ? hist.other.at(k) : 0;
+    if (peer + other == 0) continue;
+    table.add_row({std::to_string(k), std::to_string(peer), std::to_string(other),
+                   std::to_string(peer + other)});
+    csv.push_back({title, std::to_string(k), std::to_string(peer), std::to_string(other)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  // Bar rendering.
+  for (int k = 0; k <= hist.max_key(); ++k) {
+    const int total = hist.total(k);
+    if (total == 0) continue;
+    std::printf("  %2d | %s (%d)\n", k, std::string(static_cast<size_t>(total), '#').c_str(),
+                total);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  const Corpus& c = pruning_corpus();
+  std::printf("=== Figure 2: Reported comparisons between papers ===\n\n");
+
+  std::vector<std::vector<std::string>> csv{{"histogram", "k", "peer_reviewed", "other"}};
+  print_histogram(compared_to_histogram(c),
+                  "Number of Papers Comparing to a Given Paper (in-degree)",
+                  "compared to by k papers", csv);
+  print_histogram(compares_to_histogram(c),
+                  "Number of Papers a Given Paper Compares To (out-degree)",
+                  "compares to k papers", csv);
+  report::write_csv(args.out_dir + "/fig2_comparisons.csv", csv);
+  std::printf("wrote %s/fig2_comparisons.csv\n\n", args.out_dir.c_str());
+
+  const CorpusSummary s = summarize(c);
+  std::printf("Headline claims (paper §4.1):\n");
+  std::printf("  %d/81 papers compare to no other pruning method (paper: 'more than a fourth')\n",
+              s.compare_to_none);
+  std::printf("  %d/81 compare to at most one (paper: 'half')\n", s.compare_to_at_most_one);
+  std::printf("  %d/81 compare to three or fewer (paper: 'nearly all')\n",
+              s.compare_to_at_most_three);
+  std::printf("  %d modern papers have never been compared to by any later study\n",
+              s.never_compared_to);
+  return 0;
+}

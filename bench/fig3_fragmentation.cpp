@@ -1,0 +1,99 @@
+// Figure 3: "Fragmentation of results" — all self-reported tradeoff curves
+// on the four most common non-MNIST (dataset, architecture) configurations,
+// one panel per (config, x-metric, y-metric) with any data.
+//
+// What the figure demonstrates (paper §4.3): a given method appears in only
+// a few panels; methods report different metrics at different operating
+// points; later methods don't consistently beat earlier ones; only one
+// curve in the whole corpus carries a standard deviation.
+#include <cstdio>
+#include <optional>
+#include <set>
+
+#include "bench_common.hpp"
+#include "corpus/analysis.hpp"
+
+using namespace shrinkbench;
+using namespace shrinkbench::corpus;
+
+namespace {
+
+struct Metric {
+  const char* name;
+  std::optional<double> ResultPoint::* x;
+  std::optional<double> ResultPoint::* y;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  const Corpus& c = pruning_corpus();
+  std::printf("=== Figure 3: Fragmentation of results on the common configurations ===\n\n");
+
+  const Metric metrics[] = {
+      {"Compression Ratio vs dTop-1", &ResultPoint::compression, &ResultPoint::delta_top1},
+      {"Compression Ratio vs dTop-5", &ResultPoint::compression, &ResultPoint::delta_top5},
+      {"Theoretical Speedup vs dTop-1", &ResultPoint::speedup, &ResultPoint::delta_top1},
+      {"Theoretical Speedup vs dTop-5", &ResultPoint::speedup, &ResultPoint::delta_top5},
+  };
+
+  std::vector<std::vector<std::string>> csv{
+      {"config", "metric", "method", "x", "y", "reports_stddev"}};
+  int panels_with_data = 0;
+  std::set<std::string> methods_seen;
+
+  for (const auto& config : common_configs()) {
+    const auto curves = curves_for_config(c, config);
+    for (const Metric& metric : metrics) {
+      std::vector<report::Series> series;
+      for (const TradeoffCurve* curve : curves) {
+        report::Series s;
+        s.label = curve->method_label + (curve->reports_stddev ? " [has stddev]" : "");
+        for (const auto& pt : curve->points) {
+          const auto& xv = pt.*(metric.x);
+          const auto& yv = pt.*(metric.y);
+          if (!xv || !yv) continue;
+          s.x.push_back(*xv);
+          s.y.push_back(*yv);
+          csv.push_back({config.display, metric.name, curve->method_label,
+                         report::Table::num(*xv, 3), report::Table::num(*yv, 3),
+                         curve->reports_stddev ? "1" : "0"});
+        }
+        if (!s.x.empty()) {
+          methods_seen.insert(curve->method_label);
+          series.push_back(std::move(s));
+        }
+      }
+      if (series.empty()) continue;
+      ++panels_with_data;
+      report::ChartOptions opts;
+      opts.log_x = true;
+      opts.height = 14;
+      opts.x_label = metric.name;
+      opts.title = config.display + " — " + metric.name;
+      std::printf("%s\n", report::render_chart(series, opts).c_str());
+    }
+  }
+
+  report::write_csv(args.out_dir + "/fig3_fragmentation.csv", csv);
+  std::printf("wrote %s/fig3_fragmentation.csv\n\n", args.out_dir.c_str());
+
+  std::printf("Fragmentation summary:\n");
+  std::printf("  panels with any data: %d of 16 possible\n", panels_with_data);
+  std::printf("  distinct method curves across panels: %zu\n", methods_seen.size());
+  std::printf("  papers reporting on any common configuration: %d of 81 (paper: 37)\n",
+              summarize(c).papers_on_common_configs);
+  std::printf("  curves carrying a standard deviation: only He, Yang 2018 on CIFAR-10\n");
+
+  // "Methods from later years do not consistently outperform methods from
+  // earlier years" — the year-vs-quality correlation at a reference ratio.
+  std::printf("\nYear-over-year progress (Pearson correlation of publication year with\n"
+              "interpolated dTop-1 at 4x compression; near zero = no consistent progress):\n");
+  for (const auto& config : common_configs()) {
+    const YearProgress yp = year_progress(c, config, 4.0);
+    std::printf("  %-28s r = %+.3f over %zu comparable methods\n", config.display.c_str(),
+                yp.correlation, yp.per_method.size());
+  }
+  return 0;
+}

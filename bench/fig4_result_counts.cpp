@@ -1,0 +1,69 @@
+// Figure 4: "Number of results reported by each paper, excluding MNIST."
+//
+// Top: histogram of how many (dataset, architecture) pairs each paper
+// uses. Bottom: how many points each tradeoff curve uses on the common
+// configurations. Both split by peer-review status.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "corpus/analysis.hpp"
+
+using namespace shrinkbench;
+using namespace shrinkbench::corpus;
+
+namespace {
+
+void print_split(const SplitHistogram& hist, const std::string& title, const std::string& unit,
+                 std::vector<std::vector<std::string>>& csv) {
+  std::printf("%s\n", title.c_str());
+  report::Table table({unit, "peer-reviewed", "other", "total"});
+  for (int k = 1; k <= hist.max_key(); ++k) {
+    const int peer = hist.peer_reviewed.count(k) ? hist.peer_reviewed.at(k) : 0;
+    const int other = hist.other.count(k) ? hist.other.at(k) : 0;
+    if (peer + other == 0) continue;
+    table.add_row({std::to_string(k), std::to_string(peer), std::to_string(other),
+                   std::to_string(peer + other)});
+    csv.push_back({title, std::to_string(k), std::to_string(peer), std::to_string(other)});
+  }
+  std::printf("%s", table.render().c_str());
+  for (int k = 1; k <= hist.max_key(); ++k) {
+    if (hist.total(k) == 0) continue;
+    std::printf("  %2d | %s (%d)\n", k,
+                std::string(static_cast<size_t>(hist.total(k)), '#').c_str(), hist.total(k));
+  }
+  std::printf("\n");
+}
+
+int cumulative_at_most(const SplitHistogram& h, int kmax) {
+  int total = 0;
+  for (int k = 0; k <= kmax; ++k) total += h.total(k);
+  return total;
+}
+
+int grand_total(const SplitHistogram& h) { return cumulative_at_most(h, h.max_key()); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  const Corpus& c = pruning_corpus();
+  std::printf("=== Figure 4: Number of results reported by each paper (excluding MNIST) ===\n\n");
+
+  std::vector<std::vector<std::string>> csv{{"histogram", "k", "peer_reviewed", "other"}};
+  const SplitHistogram pairs = pairs_per_paper_histogram(c, /*exclude_mnist=*/true);
+  print_split(pairs, "Number of (Dataset, Architecture) Pairs Used", "pairs", csv);
+
+  const SplitHistogram points = points_per_curve_histogram(c);
+  print_split(points, "Number of Points used to Characterize Tradeoff Curve", "points", csv);
+
+  report::write_csv(args.out_dir + "/fig4_result_counts.csv", csv);
+  std::printf("wrote %s/fig4_result_counts.csv\n\n", args.out_dir.c_str());
+
+  std::printf("Headline claims (paper §4.4):\n");
+  std::printf("  papers using at most 3 pairs: %d of %d\n", cumulative_at_most(pairs, 3),
+              grand_total(pairs));
+  std::printf("  curves characterized by at most 3 points: %d of %d\n",
+              cumulative_at_most(points, 3), grand_total(points));
+  std::printf("  (the paper recommends >= 5 operating points, e.g. {2, 4, 8, 16, 32})\n");
+  return 0;
+}

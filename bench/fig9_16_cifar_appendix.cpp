@@ -1,0 +1,68 @@
+// Figures 9-16 (Appendix D): accuracy vs compression AND accuracy vs
+// theoretical speedup for CIFAR-VGG, ResNet-20, ResNet-56, and ResNet-110
+// on CIFAR-10(-sim), all five baseline strategies, error bars across seeds.
+//
+// fig{9,11,13,15} are the compression panels; fig{10,12,14,16} the speedup
+// panels. One binary regenerates all eight.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace shrinkbench;
+using namespace shrinkbench::bench;
+
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv);
+  std::printf("=== Figures 9-16: CIFAR-10 appendix sweeps (4 models x 5 strategies) ===\n\n");
+
+  ExperimentRunner runner(args.cache_dir);
+  const std::vector<std::string> strategies = {"global-weight", "layer-weight",
+                                               "global-gradient", "layer-gradient", "random"};
+  const std::vector<double> ratios = {1, 2, 4, 8, 16, 32};
+
+  struct ModelPlan {
+    const char* arch;
+    int fig_compression;
+    int fig_speedup;
+    std::vector<uint64_t> seeds;
+    std::vector<double> ratio_override;  // empty = the full ratio grid
+  };
+  // ResNet-110 is ~2x the cost of ResNet-56; quick mode gives it one seed
+  // and a coarser ratio grid.
+  const std::vector<ModelPlan> plans = {
+      {"cifar-vgg", 9, 10, {1, 2, 3}, {}},
+      {"resnet-20", 11, 12, {1, 2, 3}, {}},
+      {"resnet-56", 13, 14, {1, 2, 3}, {}},
+      {"resnet-110", 15, 16,
+       args.full ? std::vector<uint64_t>{1, 2, 3} : std::vector<uint64_t>{1},
+       args.full ? std::vector<double>{} : std::vector<double>{1, 2, 8, 32}},
+  };
+
+  for (const ModelPlan& plan : plans) {
+    ExperimentConfig base;
+    base.dataset = "synth-cifar10";
+    base.arch = plan.arch;
+    base.width = 8;
+    base.pretrain = bench_pretrain(args.full);
+    base.finetune = bench_cifar_finetune(args.full);
+
+    const auto& plan_ratios = plan.ratio_override.empty() ? ratios : plan.ratio_override;
+    const auto results = run_sweep(runner, base, strategies, plan_ratios, plan.seeds);
+    const auto agg = aggregate_by_strategy(results);
+    print_tradeoff_table(agg, std::string(plan.arch) + " on synth-cifar10:");
+    std::printf("%s\n", tradeoff_chart(agg, XAxis::Compression,
+                                       "Figure " + std::to_string(plan.fig_compression) + ": " +
+                                           plan.arch + " — accuracy vs compression")
+                            .c_str());
+    std::printf("%s\n", tradeoff_chart(agg, XAxis::Speedup,
+                                       "Figure " + std::to_string(plan.fig_speedup) + ": " +
+                                           plan.arch + " — accuracy vs theoretical speedup")
+                            .c_str());
+    save_results(args, std::string("fig9_16_") + plan.arch, results);
+  }
+
+  std::printf("Shape expectations (paper Appendix D): magnitude methods degrade gracefully to\n"
+              "16-32x; random pruning falls off a cliff much earlier; global allocation is\n"
+              "at least as good as layerwise at matched compression on most models.\n");
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Microbenchmarks (google-benchmark) for the primitives everything else is
+// built on: GEMM, im2col lowering, conv forward/backward, batchnorm,
+// scoring, mask allocation, and full prune_model calls. Includes the
+// mask-enforcement ablation called out in DESIGN.md: how much does
+// re-applying masks after every optimizer step cost?
+#include <benchmark/benchmark.h>
+
+#include "core/pruner.hpp"
+#include "data/synthetic.hpp"
+#include "metrics/metrics.hpp"
+#include "models/zoo.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/init.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+
+namespace sb = shrinkbench;
+
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  sb::Rng rng(1);
+  sb::Tensor a({n, n}), b({n, n});
+  rng.fill_normal(a, 0, 1);
+  rng.fill_normal(b, 0, 1);
+  for (auto _ : state) {
+    sb::Tensor c = sb::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmSparseA(benchmark::State& state) {
+  // The kernel skips zero A entries; measure the pruned-weight fast path.
+  const int64_t n = 128;
+  sb::Rng rng(1);
+  sb::Tensor a({n, n}), b({n, n});
+  rng.fill_normal(a, 0, 1);
+  rng.fill_normal(b, 0, 1);
+  const double sparsity = static_cast<double>(state.range(0)) / 100.0;
+  for (float& v : a.flat()) {
+    if (rng.uniform() < sparsity) v = 0.0f;
+  }
+  for (auto _ : state) {
+    sb::Tensor c = sb::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmSparseA)->Arg(0)->Arg(75)->Arg(94);
+
+void BM_Im2col(benchmark::State& state) {
+  const sb::ConvGeometry g{16, 12, 12, 3, 3, 1, 1};
+  sb::Rng rng(2);
+  sb::Tensor img({g.in_c, g.in_h, g.in_w});
+  rng.fill_normal(img, 0, 1);
+  std::vector<float> cols(static_cast<size_t>(g.col_rows() * g.col_cols()));
+  for (auto _ : state) {
+    sb::im2col(g, img.data(), cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2col);
+
+void BM_ConvForward(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  sb::Conv2d conv("c", 16, 16, 3, 1, 1, false);
+  sb::Rng rng(3);
+  sb::kaiming_normal(conv.weight().data, rng);
+  sb::Tensor x({batch, 16, 8, 8});
+  rng.fill_normal(x, 0, 1);
+  for (auto _ : state) {
+    sb::Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * conv.flops({16, 8, 8}) * batch);
+}
+BENCHMARK(BM_ConvForward)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_ConvBackward(benchmark::State& state) {
+  sb::Conv2d conv("c", 16, 16, 3, 1, 1, false);
+  sb::Rng rng(4);
+  sb::kaiming_normal(conv.weight().data, rng);
+  sb::Tensor x({32, 16, 8, 8}), dy({32, 16, 8, 8});
+  rng.fill_normal(x, 0, 1);
+  rng.fill_normal(dy, 0, 1);
+  for (auto _ : state) {
+    conv.forward(x, true);
+    sb::Tensor dx = conv.backward(dy);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_ConvBackward);
+
+void BM_BatchNormForward(benchmark::State& state) {
+  sb::BatchNorm2d bn("bn", 32);
+  sb::Rng rng(5);
+  sb::Tensor x({64, 32, 8, 8});
+  rng.fill_normal(x, 0, 1);
+  for (auto _ : state) {
+    sb::Tensor y = bn.forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_BatchNormForward);
+
+void BM_ScoreMagnitude(benchmark::State& state) {
+  sb::Parameter p("w", {512, 256}, true);
+  sb::Rng rng(6);
+  rng.fill_normal(p.data, 0, 1);
+  for (auto _ : state) {
+    sb::Tensor s = sb::score_parameter(sb::ScoreKind::Magnitude, p, {}, rng);
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetItemsProcessed(state.iterations() * p.numel());
+}
+BENCHMARK(BM_ScoreMagnitude);
+
+void BM_AllocateGlobal(benchmark::State& state) {
+  sb::Rng rng(7);
+  sb::Parameter p1("a", {512, 256}, true), p2("b", {1024, 128}, true);
+  rng.fill_normal(p1.data, 0, 1);
+  rng.fill_normal(p2.data, 0, 1);
+  for (auto _ : state) {
+    std::vector<sb::ScoredParam> scored;
+    scored.push_back({&p1, sb::score_parameter(sb::ScoreKind::Magnitude, p1, {}, rng)});
+    scored.push_back({&p2, sb::score_parameter(sb::ScoreKind::Magnitude, p2, {}, rng)});
+    benchmark::DoNotOptimize(
+        sb::allocate_masks(scored, sb::AllocationScope::Global, sb::Structure::Unstructured,
+                           0.25));
+  }
+  state.SetItemsProcessed(state.iterations() * (p1.numel() + p2.numel()));
+}
+BENCHMARK(BM_AllocateGlobal);
+
+void BM_PruneResNet20(benchmark::State& state) {
+  auto bundle = sb::make_synthetic(sb::synth_cifar());
+  auto model = sb::make_model("resnet-20", bundle.train.sample_shape(), 10, 8);
+  sb::Rng init(1);
+  sb::init_model(*model, init);
+  sb::Rng rng(2);
+  const auto strategy = sb::strategy_from_name("global-weight");
+  for (auto _ : state) {
+    sb::prune_model(*model, strategy, 0.25, bundle.train, {}, rng);
+    benchmark::DoNotOptimize(model.get());
+    state.PauseTiming();
+    for (sb::Parameter* p : sb::parameters_of(*model)) p->mask.fill(1.0f);  // reset
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_PruneResNet20);
+
+// Ablation: mask re-application cost inside the optimizer step. The
+// invariant "pruned weights stay zero" is enforced every step; this
+// measures its price relative to the bare update.
+void BM_SgdStep(benchmark::State& state) {
+  const bool with_mask_overhead = state.range(0) != 0;
+  auto bundle = sb::make_synthetic(sb::synth_cifar());
+  auto model = sb::make_model("resnet-20", bundle.train.sample_shape(), 10, 8);
+  sb::Rng init(1);
+  sb::init_model(*model, init);
+  auto params = sb::parameters_of(*model);
+  if (with_mask_overhead) {
+    sb::Rng rng(2);
+    sb::prune_model(*model, sb::strategy_from_name("global-weight"), 0.25, bundle.train, {}, rng);
+  }
+  sb::SGD opt(params, {.lr = 1e-3f, .momentum = 0.9f});
+  for (sb::Parameter* p : params) p->grad.fill(1e-4f);
+  for (auto _ : state) {
+    opt.step();  // step() always re-applies masks; arg toggles mask density
+    benchmark::DoNotOptimize(params.data());
+  }
+}
+BENCHMARK(BM_SgdStep)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Querying the meta-analysis corpus programmatically.
+//
+// The corpus API that powers Figures 1-5 is a public library: this example
+// answers the kinds of questions the paper poses in §1 ("which technique
+// is best? who compares to whom?") directly against the data.
+//
+// Run:  ./corpus_explorer [paper-label]
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "corpus/analysis.hpp"
+#include "corpus/corpus.hpp"
+#include "report/table.hpp"
+
+using namespace shrinkbench;
+using namespace shrinkbench::corpus;
+
+int main(int argc, char** argv) {
+  const Corpus& c = pruning_corpus();
+  const std::string query = argc > 1 ? argv[1] : "Han 2015";
+
+  // 1. Most-compared-to papers (the de-facto baselines).
+  std::map<int, int> in_degree;
+  for (const auto& p : c.papers) {
+    for (int t : p.compares_to) in_degree[t]++;
+  }
+  std::vector<std::pair<int, int>> ranked(in_degree.begin(), in_degree.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::printf("Most-compared-to papers (the field's de-facto baselines):\n");
+  report::Table top({"paper", "year", "compared to by"});
+  for (size_t i = 0; i < 8 && i < ranked.size(); ++i) {
+    const auto& p = c.papers[static_cast<size_t>(ranked[i].first)];
+    top.add_row({p.label, std::to_string(p.year), std::to_string(ranked[i].second)});
+  }
+  std::printf("%s\n", top.render().c_str());
+
+  // 2. Details for one paper.
+  const PaperRecord* paper = c.find(query);
+  if (paper == nullptr) {
+    std::printf("no paper labeled '%s' in the corpus\n", query.c_str());
+    return 1;
+  }
+  std::printf("%s (%d, %s):\n", paper->label.c_str(), paper->year,
+              paper->peer_reviewed ? "peer-reviewed" : "not peer-reviewed");
+  std::printf("  compares to %zu papers:", paper->compares_to.size());
+  for (int t : paper->compares_to) {
+    std::printf(" [%s]", c.papers[static_cast<size_t>(t)].label.c_str());
+  }
+  std::printf("\n  evaluates on %zu (dataset, architecture) pairs\n", paper->pairs.size());
+  for (const auto& curve : paper->curves) {
+    std::printf("  curve '%s' on %s/%s: %zu points\n", curve.method_label.c_str(),
+                curve.dataset.c_str(), curve.architecture.c_str(), curve.points.size());
+    for (const auto& pt : curve.points) {
+      std::printf("    ");
+      if (pt.compression) std::printf("compression %.2fx  ", *pt.compression);
+      if (pt.speedup) std::printf("speedup %.2fx  ", *pt.speedup);
+      if (pt.delta_top1) std::printf("dTop1 %+.2f  ", *pt.delta_top1);
+      if (pt.delta_top5) std::printf("dTop5 %+.2f", *pt.delta_top5);
+      std::printf("\n");
+    }
+  }
+
+  // 3. Who shares an evaluation setting with this paper? (§4.2: almost
+  // nobody — that's the fragmentation problem.)
+  int sharing = 0;
+  for (const auto& other : c.papers) {
+    if (other.id == paper->id) continue;
+    for (const auto& pair : other.pairs) {
+      if (std::find(paper->pairs.begin(), paper->pairs.end(), pair) != paper->pairs.end()) {
+        ++sharing;
+        break;
+      }
+    }
+  }
+  std::printf("\npapers sharing at least one (dataset, architecture) pair with %s: %d of 80\n",
+              paper->label.c_str(), sharing);
+  return 0;
+}

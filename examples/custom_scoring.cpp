@@ -1,0 +1,97 @@
+// Extending ShrinkBench-C++ with a custom scoring function.
+//
+// The experiment runner works with named strategies, but the pruning core
+// is layered: anything that can produce a per-weight score tensor can be
+// fed to allocate_masks(). This example implements a scoring function not
+// in the registry — "magnitude-over-fan-in" (each weight's magnitude
+// normalized by its layer's fan-in, so small layers aren't starved by
+// global thresholds) — and compares it against plain global magnitude at
+// several compression ratios.
+//
+// Run:  ./custom_scoring
+#include <cmath>
+#include <cstdio>
+
+#include "core/pruner.hpp"
+#include "core/train.hpp"
+#include "metrics/metrics.hpp"
+#include "models/zoo.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/init.hpp"
+
+using namespace shrinkbench;
+
+namespace {
+
+// The custom score: |w| * sqrt(fan_in). Fan-in-aware rescaling is a
+// common trick to make global thresholds layer-size aware.
+Tensor fanin_scaled_magnitude(const Parameter& param) {
+  const int64_t fan_in =
+      param.data.dim() == 4
+          ? param.data.size(1) * param.data.size(2) * param.data.size(3)
+          : param.data.size(1);
+  const float scale = std::sqrt(static_cast<float>(fan_in));
+  Tensor scores(param.data.shape());
+  const float* w = param.data.data();
+  const float* m = param.mask.data();
+  float* s = scores.data();
+  for (int64_t i = 0; i < scores.numel(); ++i) {
+    s[i] = m[i] == 0.0f ? -std::numeric_limits<float>::infinity() : std::fabs(w[i]) * scale;
+  }
+  return scores;
+}
+
+// Applies the custom scores through the same allocator the built-in
+// strategies use.
+void prune_with_custom_scores(Model& model, double fraction_to_keep) {
+  std::vector<ScoredParam> scored;
+  PruneOptions opts;
+  for (Parameter* p : prunable_params(model, opts)) {
+    scored.push_back(ScoredParam{p, fanin_scaled_magnitude(*p)});
+  }
+  allocate_masks(scored, AllocationScope::Global, Structure::Unstructured, fraction_to_keep);
+  apply_masks(model);
+}
+
+}  // namespace
+
+int main() {
+  const DatasetBundle data = make_synthetic(synth_cifar());
+  ModelPtr model = make_model("cifar-vgg", data.train.sample_shape(), data.train.num_classes);
+  Rng init_rng(1);
+  init_model(*model, init_rng);
+
+  TrainOptions pretrain;
+  pretrain.epochs = 30;
+  pretrain.lr = 3e-3f;
+  pretrain.lr_schedule = LrSchedule::Cosine;
+  pretrain.lr_min = 1.5e-4f;
+  pretrain.patience = 0;
+  std::printf("pretraining cifar-vgg...\n");
+  train_model(*model, data, pretrain);
+  const StateDict pretrained = state_dict(*model);
+  std::printf("pretrained top1: %.4f\n\n", evaluate(*model, data.test).top1);
+
+  std::printf("%-22s %-12s %-12s %-12s\n", "method", "target", "achieved", "top1");
+  for (const double ratio : {2.0, 4.0, 8.0, 16.0}) {
+    for (const bool custom : {false, true}) {
+      load_state_dict(*model, pretrained);  // same initial model every time
+      const double keep = fraction_for_compression(*model, ratio, {});
+      if (custom) {
+        prune_with_custom_scores(*model, keep);
+      } else {
+        Rng rng(3);
+        prune_model(*model, strategy_from_name("global-weight"), keep, data.train, {}, rng);
+      }
+      TrainOptions finetune = cifar_finetune_options();
+      finetune.epochs = 8;
+      train_model(*model, data, finetune);
+      std::printf("%-22s %-12.0f %-12.2f %-12.4f\n",
+                  custom ? "fanin-scaled magnitude" : "global-weight", ratio,
+                  compression_ratio(*model), evaluate(*model, data.test).top1);
+    }
+  }
+  std::printf("\n(The point is not which wins — it's that a new scoring function is ~20\n"
+              "lines and reuses the allocator, fine-tuning loop, and metrics unchanged.)\n");
+  return 0;
+}

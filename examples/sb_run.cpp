@@ -1,0 +1,107 @@
+// sb_run: command-line driver for single pruning experiments.
+//
+//   ./sb_run --arch resnet-56 --strategy global-gradient --ratio 8 \
+//            --dataset synth-cifar10 --seed 3 --schedule iterative --steps 3
+//
+// Prints the model summary, runs the full pretrain(cached) -> prune ->
+// fine-tune pipeline, and reports every §6 metric plus the Appendix B
+// best-practice checklist for the run.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/checklist.hpp"
+#include "core/experiment.hpp"
+#include "metrics/summary.hpp"
+
+using namespace shrinkbench;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --dataset NAME     synth-cifar10 | synth-imagenet | synth-mnist (default synth-cifar10)\n"
+      "  --arch NAME        lenet-300-100 | lenet-5 | cifar-vgg | resnet-20/56/110 | resnet-18\n"
+      "  --width N          base width override (0 = architecture default)\n"
+      "  --strategy NAME    one of:");
+  for (const auto& name : strategy_names()) std::printf(" %s", name.c_str());
+  std::printf(
+      "\n"
+      "  --ratio R          target compression ratio (default 4)\n"
+      "  --schedule NAME    one-shot | iterative | polynomial (default one-shot)\n"
+      "  --steps N          pruning rounds for iterative/polynomial (default 3)\n"
+      "  --seed N           run seed (default 1)\n"
+      "  --epochs N         fine-tune epochs (default 10)\n"
+      "  --prune-classifier include the classifier layer (off by default)\n"
+      "  --cache DIR        pretrained/result cache (default .sb_cache)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentConfig cfg;
+  cfg.finetune.epochs = 10;
+  cfg.finetune.patience = 4;
+  std::string cache = default_cache_dir();
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (a == "--dataset") {
+      cfg.dataset = next();
+    } else if (a == "--arch") {
+      cfg.arch = next();
+    } else if (a == "--width") {
+      cfg.width = std::atoll(next().c_str());
+    } else if (a == "--strategy") {
+      cfg.strategy = next();
+    } else if (a == "--ratio") {
+      cfg.target_compression = std::atof(next().c_str());
+    } else if (a == "--schedule") {
+      cfg.schedule = schedule_from_name(next());
+    } else if (a == "--steps") {
+      cfg.schedule_steps = std::atoi(next().c_str());
+    } else if (a == "--seed") {
+      cfg.run_seed = static_cast<uint64_t>(std::atoll(next().c_str()));
+    } else if (a == "--epochs") {
+      cfg.finetune.epochs = std::atoi(next().c_str());
+    } else if (a == "--prune-classifier") {
+      cfg.prune.include_classifier = true;
+    } else if (a == "--cache") {
+      cache = next();
+    } else {
+      usage(argv[0]);
+      return a == "--help" ? 0 : 1;
+    }
+  }
+  if (cfg.dataset == "synth-imagenet") cfg.finetune = imagenet_finetune_options();
+
+  ExperimentRunner runner(cache);
+  ModelPtr model = runner.pretrained(cfg);
+  const DatasetBundle& data = runner.dataset(cfg.dataset, cfg.data_seed);
+  std::printf("%s\n", describe(*model, data.train.sample_shape()).c_str());
+
+  const ExperimentResult r = runner.run(cfg);
+  std::printf("dataset=%s arch=%s strategy=%s schedule=%s ratio=%.1f seed=%llu\n",
+              cfg.dataset.c_str(), cfg.arch.c_str(), cfg.strategy.c_str(),
+              to_string(cfg.schedule).c_str(), cfg.target_compression,
+              static_cast<unsigned long long>(cfg.run_seed));
+  std::printf("  control:  top1 %.4f  top5 %.4f\n", r.pre_top1, r.pre_top5);
+  std::printf("  pruned:   top1 %.4f  top5 %.4f\n", r.post_top1, r.post_top5);
+  std::printf("  compression %.2fx  speedup %.2fx  (%lld -> %lld params)\n", r.compression,
+              r.speedup, static_cast<long long>(r.params_total),
+              static_cast<long long>(r.params_nonzero));
+  std::printf("  fine-tune epochs %d, wall time %.1fs\n\n", r.finetune_epochs, r.seconds);
+
+  std::printf("%s", render_checklist(evaluate_checklist({r}, cfg.strategy)).c_str());
+  std::printf("(single runs fail most checklist items by construction — sweep strategies,\n"
+              "ratios, and seeds with the bench binaries to satisfy them)\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Structured vs unstructured pruning, end to end — accuracy, theoretical
+// speedup, *measured* sparse-inference latency, and storage bytes.
+//
+// The paper's §2.3 frames the structure choice as accuracy-vs-hardware:
+// unstructured pruning keeps more accuracy per removed weight, structured
+// pruning produces dense small computations that actually run faster.
+// This example makes all four numbers visible for one model.
+//
+// Run:  ./structured_vs_unstructured
+#include <chrono>
+#include <cstdio>
+
+#include "core/pruner.hpp"
+#include "core/train.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/storage.hpp"
+#include "models/zoo.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/init.hpp"
+#include "nn/sparse.hpp"
+
+using namespace shrinkbench;
+
+namespace {
+
+double time_forward(Model& model, const Tensor& x, int reps) {
+  model.forward(x, false);  // warm-up
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) model.forward(x, false);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count() / reps;
+}
+
+// Sparse-executes every conv of the model once (linear layers stay dense:
+// they are tiny here) and returns the mean latency.
+double time_sparse_convs(Model& model, const Tensor& x, int reps) {
+  std::vector<Conv2d*> convs;
+  visit_layers(model, [&](Layer& l) {
+    if (auto* c = dynamic_cast<Conv2d*>(&l)) convs.push_back(c);
+  });
+  std::vector<SparseConv2dInference> sparse;
+  sparse.reserve(convs.size());
+  for (Conv2d* c : convs) sparse.emplace_back(*c);
+  // Time conv-by-conv on uniform-size random probes (a kernel-latency
+  // comparison, not an exact per-layer replay), summing — the convs are
+  // the model's hot path.
+  Rng rng(123);
+  double total = 0.0;
+  for (size_t i = 0; i < convs.size(); ++i) {
+    const int64_t in_c = convs[i]->in_channels();
+    const int64_t hw = x.size(2);
+    Tensor xi({x.size(0), in_c, hw, hw});
+    rng.fill_normal(xi, 0, 1);
+    sparse[i].forward(xi);  // warm-up
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) sparse[i].forward(xi);
+    total +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count() / reps;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  const DatasetBundle data = make_synthetic(synth_cifar());
+  ModelPtr model = make_model("cifar-vgg", data.train.sample_shape(), data.train.num_classes);
+  Rng rng(21);
+  init_model(*model, rng);
+
+  TrainOptions pretrain;
+  pretrain.epochs = 30;
+  pretrain.lr = 3e-3f;
+  pretrain.lr_schedule = LrSchedule::Cosine;
+  pretrain.lr_min = 1.5e-4f;
+  pretrain.patience = 0;
+  std::printf("pretraining cifar-vgg...\n");
+  train_model(*model, data, pretrain);
+  const StateDict pretrained = state_dict(*model);
+  std::printf("pretrained top1 %.4f\n\n", evaluate(*model, data.test).top1);
+
+  Tensor probe({64, 3, 8, 8});
+  rng.fill_normal(probe, 0, 1);
+
+  std::printf("%-18s %-8s %-12s %-10s %-12s %-14s %-12s\n", "strategy", "ratio", "top1",
+              "speedup", "dense ms", "sparse-conv ms", "csr bytes");
+  for (const double ratio : {4.0, 8.0}) {
+    for (const char* strategy : {"global-weight", "global-channel"}) {
+      load_state_dict(*model, pretrained);
+      const double keep = fraction_for_compression(*model, ratio, {});
+      Rng prune_rng(3);
+      prune_model(*model, strategy_from_name(strategy), keep, data.train, {}, prune_rng);
+      TrainOptions finetune = cifar_finetune_options();
+      finetune.epochs = 8;
+      train_model(*model, data, finetune);
+
+      const double dense_ms = time_forward(*model, probe, 10) * 1e3;
+      const double sparse_ms = time_sparse_convs(*model, probe, 10) * 1e3;
+      std::printf("%-18s %-8.0f %-12.4f %-10.2f %-12.3f %-14.3f %-12lld\n", strategy, ratio,
+                  evaluate(*model, data.test).top1,
+                  theoretical_speedup(*model, data.train.sample_shape()), dense_ms, sparse_ms,
+                  static_cast<long long>(storage_bytes(*model, StorageFormat::SparseCsr)));
+    }
+  }
+  std::printf("\nReading: unstructured keeps more accuracy; structured masks turn whole\n"
+              "filters off so the same CSR kernels traverse far fewer rows — and the dense\n"
+              "kernel itself skips zero channels. Theoretical speedup treats both alike;\n"
+              "wall-clock does not (paper §2.3, §2.4).\n");
+  return 0;
+}

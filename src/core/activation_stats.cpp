@@ -1,0 +1,61 @@
+#include "core/activation_stats.hpp"
+
+#include <cmath>
+
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+
+namespace shrinkbench {
+
+ChannelActivationStats collect_activation_stats(Model& model, const Dataset& dataset,
+                                                int batches, int64_t batch_size, Rng& rng) {
+  ChannelActivationStats stats;
+  std::map<std::string, int64_t> counts;  // activations seen per channel
+
+  model.set_forward_hook([&](Layer& layer, const Tensor& out) {
+    const bool is_conv = dynamic_cast<Conv2d*>(&layer) != nullptr;
+    const bool is_linear = dynamic_cast<Linear*>(&layer) != nullptr;
+    if (!is_conv && !is_linear) return;
+    const int64_t n = out.size(0);
+    const int64_t channels = out.size(1);
+    const int64_t spatial = is_conv ? out.size(2) * out.size(3) : 1;
+
+    auto& abs_acc = stats.mean_abs[layer.name()];
+    auto& pos_acc = stats.positive_fraction[layer.name()];
+    if (abs_acc.empty()) {
+      abs_acc.assign(static_cast<size_t>(channels), 0.0);
+      pos_acc.assign(static_cast<size_t>(channels), 0.0);
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t c = 0; c < channels; ++c) {
+        const float* src = out.data() + (i * channels + c) * spatial;
+        double abs_sum = 0.0;
+        int64_t positive = 0;
+        for (int64_t s = 0; s < spatial; ++s) {
+          abs_sum += std::fabs(src[s]);
+          positive += src[s] > 0.0f;
+        }
+        abs_acc[static_cast<size_t>(c)] += abs_sum;
+        pos_acc[static_cast<size_t>(c)] += static_cast<double>(positive);
+      }
+    }
+    counts[layer.name()] += n * spatial;
+  });
+
+  DataLoader loader(dataset, batch_size, /*shuffle=*/false, /*seed=*/0);
+  for (int b = 0; b < batches; ++b) {
+    const Batch batch = loader.sample_batch(rng);
+    model.forward(batch.x, /*train=*/false);
+    stats.samples += batch.x.size(0);
+  }
+  model.set_forward_hook(nullptr);
+
+  for (auto& [name, acc] : stats.mean_abs) {
+    const double denom = static_cast<double>(counts[name]);
+    for (double& v : acc) v /= denom;
+    for (double& v : stats.positive_fraction[name]) v /= denom;
+  }
+  return stats;
+}
+
+}  // namespace shrinkbench

@@ -1,0 +1,36 @@
+// Per-channel activation statistics for activation-based pruning scores.
+//
+// Methods like Hu et al. 2016 (APoZ) and the channel-selection family the
+// paper surveys (§2.3 "contributions to network activations") score
+// structural units by how active they are on real data. This module runs
+// inference over sampled minibatches with a forward hook installed and
+// records, for every Conv2d / Linear layer, each output channel's mean
+// absolute activation and its fraction of positive activations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/loader.hpp"
+#include "nn/sequential.hpp"
+
+namespace shrinkbench {
+
+struct ChannelActivationStats {
+  /// Layer name -> per-output-channel mean |activation|.
+  std::map<std::string, std::vector<double>> mean_abs;
+  /// Layer name -> per-output-channel fraction of positive activations
+  /// (1 - APoZ, higher = more alive).
+  std::map<std::string, std::vector<double>> positive_fraction;
+  int64_t samples = 0;
+};
+
+/// Runs `batches` inference minibatches sampled with `rng` and collects
+/// statistics for every Conv2d and Linear output in the model. The model
+/// is unchanged (eval mode, no gradients).
+ChannelActivationStats collect_activation_stats(Model& model, const Dataset& dataset,
+                                                int batches, int64_t batch_size, Rng& rng);
+
+}  // namespace shrinkbench

@@ -1,0 +1,225 @@
+#include "core/allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace shrinkbench {
+
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+int64_t target_keep(int64_t total, double fraction) {
+  const int64_t k = llround(fraction * static_cast<double>(total));
+  return std::clamp<int64_t>(k, 0, total);
+}
+
+// Keeps exactly k entries: the k highest scores across the given
+// (param, flat index) universe. Ties are broken deterministically by
+// (param order, index order).
+void keep_top_entries(std::vector<ScoredParam>& scored, int64_t k) {
+  // Find the k-th largest score with nth_element over a pooled copy.
+  std::vector<float> pool;
+  int64_t total = 0;
+  for (const auto& sp : scored) total += sp.scores.numel();
+  pool.reserve(static_cast<size_t>(total));
+  for (const auto& sp : scored) {
+    pool.insert(pool.end(), sp.scores.flat().begin(), sp.scores.flat().end());
+  }
+  for (auto& sp : scored) sp.param->mask.zero();
+  if (k <= 0) return;
+  if (k >= total) {
+    for (auto& sp : scored) {
+      // Keep everything not already pruned (-inf never resurrects).
+      const float* s = sp.scores.data();
+      float* m = sp.param->mask.data();
+      for (int64_t i = 0, n = sp.scores.numel(); i < n; ++i) m[i] = (s[i] == kNegInf) ? 0.f : 1.f;
+    }
+    return;
+  }
+  std::nth_element(pool.begin(), pool.begin() + (k - 1), pool.end(), std::greater<float>());
+  const float threshold = pool[static_cast<size_t>(k - 1)];
+
+  // First pass: keep strictly-above-threshold entries.
+  int64_t kept = 0;
+  for (auto& sp : scored) {
+    const float* s = sp.scores.data();
+    float* m = sp.param->mask.data();
+    for (int64_t i = 0, n = sp.scores.numel(); i < n; ++i) {
+      if (s[i] > threshold) {
+        m[i] = 1.0f;
+        ++kept;
+      }
+    }
+  }
+  // Second pass: fill remaining slots from entries equal to the threshold,
+  // in deterministic order.
+  for (auto& sp : scored) {
+    if (kept >= k) break;
+    const float* s = sp.scores.data();
+    float* m = sp.param->mask.data();
+    for (int64_t i = 0, n = sp.scores.numel(); i < n && kept < k; ++i) {
+      if (s[i] == threshold && m[i] == 0.0f && s[i] != kNegInf) {
+        m[i] = 1.0f;
+        ++kept;
+      }
+    }
+  }
+}
+
+struct ChannelUnit {
+  size_t param_idx = 0;
+  int64_t channel = 0;
+  int64_t size = 0;     // entries in the channel slice
+  double score = 0.0;   // summed entry scores (L1-style for magnitude)
+  bool prunable = true; // false when already fully pruned (-inf slice)
+};
+
+// Output-channel slices: conv weights [oc, ic, kh, kw] -> oc units of size
+// ic*kh*kw; linear weights [out, in] -> out units of size in.
+std::vector<ChannelUnit> build_units(const std::vector<ScoredParam>& scored) {
+  std::vector<ChannelUnit> units;
+  for (size_t pi = 0; pi < scored.size(); ++pi) {
+    const Tensor& s = scored[pi].scores;
+    if (s.dim() < 2) {
+      throw std::invalid_argument("channel allocation: parameter '" + scored[pi].param->name +
+                                  "' is not channel-structured");
+    }
+    const int64_t channels = s.size(0);
+    const int64_t unit_size = s.numel() / channels;
+    for (int64_t c = 0; c < channels; ++c) {
+      ChannelUnit u;
+      u.param_idx = pi;
+      u.channel = c;
+      u.size = unit_size;
+      const float* base = s.data() + c * unit_size;
+      double total = 0.0;
+      bool any_alive = false;
+      for (int64_t i = 0; i < unit_size; ++i) {
+        if (base[i] != kNegInf) {
+          total += static_cast<double>(base[i]);
+          any_alive = true;
+        }
+      }
+      u.score = total;
+      u.prunable = any_alive;
+      units.push_back(u);
+    }
+  }
+  return units;
+}
+
+void set_channel(ScoredParam& sp, int64_t channel, float value) {
+  const int64_t channels = sp.scores.size(0);
+  const int64_t unit_size = sp.scores.numel() / channels;
+  float* m = sp.param->mask.data() + channel * unit_size;
+  const float* s = sp.scores.data() + channel * unit_size;
+  for (int64_t i = 0; i < unit_size; ++i) {
+    // Never resurrect individually-pruned entries inside a kept channel.
+    m[i] = (s[i] == kNegInf) ? 0.0f : value;
+  }
+}
+
+int64_t keep_top_channels(std::vector<ScoredParam>& scored, std::vector<ChannelUnit> units,
+                          int64_t k, bool at_least_one_per_param) {
+  std::stable_sort(units.begin(), units.end(), [](const ChannelUnit& a, const ChannelUnit& b) {
+    return a.score > b.score;
+  });
+  for (auto& sp : scored) sp.param->mask.zero();
+
+  std::vector<int64_t> kept_per_param(scored.size(), 0);
+  int64_t kept = 0;
+  for (const ChannelUnit& u : units) {
+    if (!u.prunable) continue;
+    if (kept >= k) break;
+    set_channel(scored[u.param_idx], u.channel, 1.0f);
+    kept_per_param[u.param_idx]++;
+    kept += u.size;
+  }
+  if (at_least_one_per_param) {
+    // Guarantee connectivity: give every starved layer its best unit.
+    for (size_t pi = 0; pi < scored.size(); ++pi) {
+      if (kept_per_param[pi] > 0) continue;
+      const ChannelUnit* best = nullptr;
+      for (const ChannelUnit& u : units) {
+        if (u.param_idx == pi && u.prunable && (!best || u.score > best->score)) best = &u;
+      }
+      if (best) {
+        set_channel(scored[pi], best->channel, 1.0f);
+        kept += best->size;
+      }
+    }
+  }
+  return kept;
+}
+
+int64_t count_kept(const std::vector<ScoredParam>& scored) {
+  int64_t kept = 0;
+  for (const auto& sp : scored) kept += ops::count_nonzero(sp.param->mask);
+  return kept;
+}
+
+}  // namespace
+
+std::string to_string(AllocationScope scope) {
+  return scope == AllocationScope::Global ? "global" : "layerwise";
+}
+
+std::string to_string(Structure structure) {
+  return structure == Structure::Unstructured ? "unstructured" : "channel";
+}
+
+int64_t allocate_masks(std::vector<ScoredParam>& scored, AllocationScope scope,
+                       Structure structure, double fraction_to_keep) {
+  if (fraction_to_keep < 0.0 || fraction_to_keep > 1.0) {
+    throw std::invalid_argument("allocate_masks: fraction_to_keep must be in [0, 1]");
+  }
+  for (const auto& sp : scored) {
+    if (sp.param == nullptr || !sp.scores.same_shape(sp.param->data)) {
+      throw std::invalid_argument("allocate_masks: scores/parameter mismatch");
+    }
+  }
+  if (scored.empty()) return 0;
+
+  if (structure == Structure::Unstructured) {
+    if (scope == AllocationScope::Global) {
+      int64_t total = 0;
+      for (const auto& sp : scored) total += sp.scores.numel();
+      std::vector<ScoredParam*> all;
+      keep_top_entries(scored, target_keep(total, fraction_to_keep));
+    } else {
+      for (auto& sp : scored) {
+        std::vector<ScoredParam> one;
+        one.push_back(ScoredParam{sp.param, sp.scores});
+        // Layerwise keeps at least one weight per layer for connectivity.
+        const int64_t k = std::max<int64_t>(1, target_keep(sp.scores.numel(), fraction_to_keep));
+        keep_top_entries(one, k);
+      }
+    }
+    return count_kept(scored);
+  }
+
+  // Channel structure.
+  auto units = build_units(scored);
+  if (scope == AllocationScope::Global) {
+    int64_t total = 0;
+    for (const auto& sp : scored) total += sp.scores.numel();
+    keep_top_channels(scored, std::move(units), target_keep(total, fraction_to_keep),
+                      /*at_least_one_per_param=*/true);
+  } else {
+    for (size_t pi = 0; pi < scored.size(); ++pi) {
+      std::vector<ScoredParam> one;
+      one.push_back(ScoredParam{scored[pi].param, scored[pi].scores});
+      auto layer_units = build_units(one);
+      const int64_t k =
+          std::max<int64_t>(1, target_keep(one[0].scores.numel(), fraction_to_keep));
+      keep_top_channels(one, std::move(layer_units), k, /*at_least_one_per_param=*/true);
+    }
+  }
+  return count_kept(scored);
+}
+
+}  // namespace shrinkbench

@@ -1,0 +1,41 @@
+// Mask allocation: turning scores into 0/1 masks at a target sparsity.
+//
+// Two axes, following Section 2.3 of the paper:
+//
+//   scope      Global    — pool scores across layers, one threshold
+//              Layerwise — a separate threshold per layer, equal fractions
+//   structure  Unstructured — prune individual weights
+//              Channel      — prune whole conv filters / linear rows
+//
+// Layerwise allocation always keeps at least one unit per layer so the
+// network stays connected; global allocation is allowed to empty a layer
+// (that *is* global pruning's failure mode at extreme ratios, and part of
+// why its speedup-vs-compression profile differs — Figure 6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/parameter.hpp"
+
+namespace shrinkbench {
+
+enum class AllocationScope { Global, Layerwise };
+enum class Structure { Unstructured, Channel };
+
+std::string to_string(AllocationScope scope);
+std::string to_string(Structure structure);
+
+struct ScoredParam {
+  Parameter* param = nullptr;
+  Tensor scores;  // same shape as param->data; -inf marks already-pruned
+};
+
+/// Overwrites each param's mask to keep approximately
+/// round(fraction_to_keep * total_prunable_entries) weights (exactly that
+/// count for unstructured allocation; channel allocation overshoots by at
+/// most one unit per selection). Returns the number of entries kept.
+int64_t allocate_masks(std::vector<ScoredParam>& scored, AllocationScope scope,
+                       Structure structure, double fraction_to_keep);
+
+}  // namespace shrinkbench

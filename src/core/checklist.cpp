@@ -1,0 +1,106 @@
+#include "core/checklist.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace shrinkbench {
+
+int ChecklistReport::satisfied() const {
+  int n = 0;
+  for (const auto& item : items) n += item.satisfied;
+  return n;
+}
+
+ChecklistReport evaluate_checklist(const std::vector<ExperimentResult>& results,
+                                   const std::string& proposed_strategy) {
+  ChecklistReport report;
+  const auto add = [&](std::string id, std::string description, bool ok, std::string detail) {
+    report.items.push_back({std::move(id), std::move(description), ok, std::move(detail)});
+  };
+
+  std::vector<const ExperimentResult*> mine;
+  std::set<std::string> other_strategies;
+  std::set<std::pair<std::string, std::string>> pairs;
+  std::set<double> ratios;
+  std::set<uint64_t> seeds;
+  bool all_report_controls = !results.empty();
+  double max_ratio = 0.0;
+  for (const auto& r : results) {
+    if (r.config.strategy == proposed_strategy) {
+      mine.push_back(&r);
+      pairs.insert({r.config.dataset, r.config.arch});
+      ratios.insert(r.config.target_compression);
+      seeds.insert(r.config.run_seed);
+      max_ratio = std::max(max_ratio, r.compression);
+      if (r.pre_top1 <= 0.0) all_report_controls = false;
+    } else {
+      other_strategies.insert(r.config.strategy);
+    }
+  }
+
+  add("operating-points",
+      "At least 5 operating points spanning a range of compression ratios (e.g. {2,4,8,16,32})",
+      ratios.size() >= 5,
+      std::to_string(ratios.size()) + " distinct target ratios");
+
+  add("extreme-ratios",
+      "Data presented up to extreme compression where accuracy declines substantially",
+      max_ratio >= 16.0, "max achieved compression " + (mine.empty() ? std::string("n/a")
+                                                                     : std::to_string(max_ratio)));
+
+  add("dataset-pairs", "At least 3 (dataset, architecture) pairs, none of them MNIST-class toys",
+      pairs.size() >= 3 && std::none_of(pairs.begin(), pairs.end(),
+                                        [](const auto& p) { return p.first == "synth-mnist"; }),
+      std::to_string(pairs.size()) + " pairs");
+
+  add("multiple-seeds", "Multiple runs with separate seeds, enabling error bars",
+      seeds.size() >= 3, std::to_string(seeds.size()) + " seeds");
+
+  // Both efficiency metrics and both accuracy metrics are always recorded
+  // by ExperimentResult; the check is that they're actually distinct/real.
+  bool both_metrics = false, both_accuracies = false;
+  for (const ExperimentResult* r : mine) {
+    if (r->compression > 1.0 && r->speedup > 1.0) both_metrics = true;
+    if (r->post_top5 > 0.0) both_accuracies = true;
+  }
+  add("both-efficiency-metrics",
+      "Reports BOTH compression ratio and theoretical speedup for pruned models", both_metrics,
+      both_metrics ? "compression and speedup recorded" : "missing one");
+  add("both-accuracy-metrics", "Reports BOTH Top-1 and Top-5 accuracy", both_accuracies,
+      both_accuracies ? "top1 and top5 recorded" : "missing top5");
+
+  add("controls", "Reports the same metrics for the unpruned control model", all_report_controls,
+      all_report_controls ? "pre-pruning accuracy present in every run" : "missing controls");
+
+  add("random-baseline", "Comparison to a random pruning baseline",
+      other_strategies.count("random") > 0,
+      other_strategies.count("random") ? "random present" : "no random baseline in results");
+
+  const bool has_magnitude = other_strategies.count("global-weight") > 0 ||
+                             other_strategies.count("layer-weight") > 0 ||
+                             proposed_strategy == "global-weight" ||
+                             proposed_strategy == "layer-weight";
+  add("magnitude-baseline", "Comparison to a magnitude pruning baseline", has_magnitude,
+      has_magnitude ? "magnitude present" : "no magnitude baseline in results");
+
+  add("identical-harness",
+      "All methods compared under identical library, data loading, and training code",
+      !other_strategies.empty(),
+      "all results produced by one ExperimentRunner with shared caches");
+
+  return report;
+}
+
+std::string render_checklist(const ChecklistReport& report) {
+  std::ostringstream out;
+  out << "Best-practice checklist (paper §6 / Appendix B): " << report.satisfied() << "/"
+      << report.total() << " satisfied\n";
+  for (const auto& item : report.items) {
+    out << "  [" << (item.satisfied ? 'x' : ' ') << "] " << item.id << ": " << item.description
+        << "\n        -> " << item.detail << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace shrinkbench

@@ -1,0 +1,42 @@
+// The paper's Appendix B "checklist for evaluating a pruning method",
+// machine-checkable.
+//
+// Given the set of ExperimentResults backing a claimed evaluation, this
+// module grades which best practices (§6) the evaluation satisfies:
+// enough operating points, multiple (dataset, architecture) pairs,
+// multiple seeds with dispersion, both efficiency metrics, both accuracy
+// metrics, controls reported, and comparisons against the random and
+// magnitude baselines. Benches print their own report card, eating the
+// paper's cooking.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace shrinkbench {
+
+struct ChecklistItem {
+  std::string id;           // short key, e.g. "operating-points"
+  std::string description;  // the practice, quoted from §6 / Appendix B
+  bool satisfied = false;
+  std::string detail;       // what was found
+};
+
+struct ChecklistReport {
+  std::vector<ChecklistItem> items;
+  int satisfied() const;
+  int total() const { return static_cast<int>(items.size()); }
+};
+
+/// Grades an evaluation consisting of `results`. `proposed_strategy` is
+/// the method under evaluation; comparisons are sought among the other
+/// strategies present in `results`.
+ChecklistReport evaluate_checklist(const std::vector<ExperimentResult>& results,
+                                   const std::string& proposed_strategy);
+
+/// Renders the report as an aligned table with a [x]/[ ] column.
+std::string render_checklist(const ChecklistReport& report);
+
+}  // namespace shrinkbench

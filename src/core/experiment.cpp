@@ -1,0 +1,211 @@
+#include "core/experiment.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "metrics/metrics.hpp"
+
+namespace shrinkbench {
+
+ExperimentRunner::ExperimentRunner(std::string cache_dir) : store_(std::move(cache_dir)) {}
+
+const DatasetBundle& ExperimentRunner::dataset(const std::string& name, uint64_t data_seed) {
+  const std::string key = name + "/" + std::to_string(data_seed);
+  for (const auto& [k, bundle] : datasets_) {
+    if (k == key) return bundle;
+  }
+  datasets_.emplace_back(key, make_synthetic(synthetic_preset(name, data_seed)));
+  return datasets_.back().second;
+}
+
+ModelPtr ExperimentRunner::pretrained(const ExperimentConfig& config) {
+  const DatasetBundle& bundle = dataset(config.dataset, config.data_seed);
+  const int64_t width = config.width;
+  return store_.get(bundle, config.arch, width, config.init_seed, config.pretrain,
+                    config.pretrain_tag);
+}
+
+std::string config_fingerprint(const ExperimentConfig& c) {
+  std::ostringstream ss;
+  ss << c.dataset << '|' << c.data_seed << '|' << c.arch << '|' << c.width << '|' << c.init_seed
+     << '|' << c.pretrain_tag << '|' << c.strategy << '|' << c.target_compression << '|'
+     << to_string(c.schedule) << '|' << c.schedule_steps << '|' << c.prune.include_classifier
+     << '|' << c.prune.grad_batch_size << '|' << c.run_seed << '|' << c.pretrain.epochs << '|'
+     << c.pretrain.lr << '|' << static_cast<int>(c.pretrain.optimizer) << '|'
+     << c.pretrain.batch_size << '|' << c.pretrain.patience << '|' << c.finetune.epochs << '|'
+     << c.finetune.lr << '|' << static_cast<int>(c.finetune.optimizer) << '|'
+     << c.finetune.batch_size << '|' << c.finetune.patience << '|' << c.finetune.momentum << '|'
+     << c.finetune.weight_decay;
+  // Newer knobs are appended only when they differ from their defaults so
+  // that fingerprints of pre-existing cached results stay valid.
+  const auto append_schedule = [&ss](const char* tag, const TrainOptions& o) {
+    if (o.lr_schedule != LrSchedule::Fixed) {
+      ss << '|' << tag << static_cast<int>(o.lr_schedule) << ':' << o.lr_step_every << ':'
+         << o.lr_step_gamma << ':' << o.lr_min;
+    }
+  };
+  append_schedule("ptsched", c.pretrain);
+  append_schedule("ftsched", c.finetune);
+  if (c.prune.fisher_batches != 4) ss << "|fb" << c.prune.fisher_batches;
+  if (c.prune.activation_batches != 4) ss << "|ab" << c.prune.activation_batches;
+  const auto append_augment = [&ss](const char* tag, const AugmentOptions& a) {
+    if (a.any()) ss << '|' << tag << a.hflip << ':' << a.max_shift << ':' << a.noise_std;
+  };
+  append_augment("ptaug", c.pretrain.augment);
+  append_augment("ftaug", c.finetune.augment);
+  return ss.str();
+}
+
+namespace {
+
+std::filesystem::path result_cache_path(const std::string& cache_dir,
+                                        const ExperimentConfig& config) {
+  const std::string fp = config_fingerprint(config);
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(std::hash<std::string>{}(fp)));
+  return std::filesystem::path(cache_dir) / "results" / (std::string(hex) + ".result");
+}
+
+void write_cached_result(const std::filesystem::path& path, const ExperimentConfig& config,
+                         const ExperimentResult& r) {
+  std::filesystem::create_directories(path.parent_path());
+  std::ofstream os(path);
+  os.precision(17);  // cached doubles must round-trip bit-exactly
+  os << config_fingerprint(config) << '\n'
+     << r.pre_top1 << ' ' << r.pre_top5 << ' ' << r.pre_loss << ' ' << r.post_top1 << ' '
+     << r.post_top5 << ' ' << r.post_loss << ' ' << r.compression << ' ' << r.speedup << ' '
+     << r.params_total << ' ' << r.params_nonzero << ' ' << r.flops_dense << ' '
+     << r.flops_effective << ' ' << r.finetune_epochs << ' ' << r.seconds << '\n';
+}
+
+bool read_cached_result(const std::filesystem::path& path, const ExperimentConfig& config,
+                        ExperimentResult& r) {
+  std::ifstream is(path);
+  if (!is) return false;
+  std::string fingerprint;
+  if (!std::getline(is, fingerprint) || fingerprint != config_fingerprint(config)) return false;
+  r.config = config;
+  is >> r.pre_top1 >> r.pre_top5 >> r.pre_loss >> r.post_top1 >> r.post_top5 >> r.post_loss >>
+      r.compression >> r.speedup >> r.params_total >> r.params_nonzero >> r.flops_dense >>
+      r.flops_effective >> r.finetune_epochs >> r.seconds;
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) {
+  const auto cache_path = result_cache_path(store_.cache_dir(), config);
+  if (ExperimentResult cached; read_cached_result(cache_path, config, cached)) return cached;
+
+  const auto start = std::chrono::steady_clock::now();
+  const DatasetBundle& bundle = dataset(config.dataset, config.data_seed);
+  ModelPtr model = pretrained(config);
+  const Shape sample = bundle.train.sample_shape();
+
+  ExperimentResult result;
+  result.config = config;
+
+  const EvalResult pre = evaluate(*model, bundle.test, config.finetune.batch_size);
+  result.pre_top1 = pre.top1;
+  result.pre_top5 = pre.top5;
+  result.pre_loss = pre.loss;
+
+  const PruningStrategy strategy = strategy_from_name(config.strategy);
+  const double final_fraction =
+      fraction_for_compression(*model, config.target_compression, config.prune);
+  const auto fractions =
+      schedule_fractions(config.schedule, final_fraction, config.schedule_steps);
+
+  Rng rng(config.run_seed);
+  TrainOptions ft = config.finetune;
+  ft.loader_seed = config.run_seed ^ 0xf17e57a9;
+  // Compression ratio 1 is the unpruned control: pruning keeps every
+  // weight and fine-tuning a converged model is a no-op by design, so the
+  // control point is free (post == pre, as the paper's §6 requires it to
+  // be reported).
+  const bool no_op_control = fractions.size() == 1 && final_fraction >= 1.0;
+  for (const double fraction : fractions) {
+    prune_model(*model, strategy, fraction, bundle.train, config.prune, rng);
+    if (no_op_control) break;
+    const TrainHistory hist = train_model(*model, bundle, ft);
+    result.finetune_epochs += static_cast<int>(hist.epochs.size());
+    ft.loader_seed = rng.next_u64();  // fresh shuffling for later rounds
+  }
+
+  const EvalResult post = evaluate(*model, bundle.test, config.finetune.batch_size);
+  result.post_top1 = post.top1;
+  result.post_top5 = post.top5;
+  result.post_loss = post.loss;
+
+  const ParamCounts counts = count_params(*model);
+  result.params_total = counts.total;
+  result.params_nonzero = counts.nonzero;
+  result.compression = compression_ratio(*model);
+  const FlopCounts flops = count_flops(*model, sample);
+  result.flops_dense = flops.dense;
+  result.flops_effective = flops.effective;
+  result.speedup = theoretical_speedup(*model, sample);
+
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  write_cached_result(cache_path, config, result);
+  return result;
+}
+
+std::vector<ExperimentResult> run_sweep(ExperimentRunner& runner, const ExperimentConfig& base,
+                                        const std::vector<std::string>& strategies,
+                                        const std::vector<double>& compressions,
+                                        const std::vector<uint64_t>& run_seeds) {
+  std::vector<ExperimentResult> results;
+  const size_t total = strategies.size() * compressions.size() * run_seeds.size();
+  size_t done = 0;
+  for (const std::string& strategy : strategies) {
+    for (const double ratio : compressions) {
+      for (const uint64_t seed : run_seeds) {
+        ExperimentConfig config = base;
+        config.strategy = strategy;
+        config.target_compression = ratio;
+        config.run_seed = seed;
+        results.push_back(runner.run(config));
+        ++done;
+        std::fprintf(stderr, "[sweep] %zu/%zu %s %s x%.0f seed=%llu -> top1 %.4f (c=%.2f)\n",
+                     done, total, base.arch.c_str(), strategy.c_str(), ratio,
+                     static_cast<unsigned long long>(seed), results.back().post_top1,
+                     results.back().compression);
+      }
+    }
+  }
+  return results;
+}
+
+std::string experiment_csv_header() {
+  return "dataset,arch,width,strategy,schedule,target_compression,run_seed,init_seed,"
+         "pretrain_tag,pre_top1,pre_top5,post_top1,post_top5,compression,speedup,"
+         "params_total,params_nonzero,flops_dense,flops_effective,finetune_epochs,seconds";
+}
+
+std::string experiment_csv_row(const ExperimentResult& r) {
+  std::ostringstream ss;
+  const ExperimentConfig& c = r.config;
+  ss << c.dataset << ',' << c.arch << ',' << c.width << ',' << c.strategy << ','
+     << to_string(c.schedule) << ',' << c.target_compression << ',' << c.run_seed << ','
+     << c.init_seed << ',' << c.pretrain_tag << ',' << r.pre_top1 << ',' << r.pre_top5 << ','
+     << r.post_top1 << ',' << r.post_top5 << ',' << r.compression << ',' << r.speedup << ','
+     << r.params_total << ',' << r.params_nonzero << ',' << r.flops_dense << ','
+     << r.flops_effective << ',' << r.finetune_epochs << ',' << r.seconds;
+  return ss.str();
+}
+
+void write_experiment_csv(const std::string& path, const std::vector<ExperimentResult>& results) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_experiment_csv: cannot open " + path);
+  os << experiment_csv_header() << '\n';
+  for (const auto& r : results) os << experiment_csv_row(r) << '\n';
+}
+
+}  // namespace shrinkbench

@@ -1,0 +1,98 @@
+// The standardized pruning experiment: Algorithm 1 of the paper, end to
+// end, with every metric the paper's Section 6 checklist demands.
+//
+//   pretrained model -> [prune -> fine-tune]^N -> evaluate
+//
+// An ExperimentResult records raw pre/post Top-1 AND Top-5 accuracy, the
+// achieved compression ratio AND theoretical speedup, parameter and FLOP
+// counts, and the exact seeds — everything needed for the controls the
+// paper finds missing in the literature.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/pretrained.hpp"
+#include "core/pruner.hpp"
+#include "core/schedule.hpp"
+
+namespace shrinkbench {
+
+struct ExperimentConfig {
+  std::string dataset = "synth-cifar10";
+  uint64_t data_seed = 0;  // 0 = preset default
+  std::string arch = "resnet-56";
+  int64_t width = 0;  // 0 = architecture default
+  uint64_t init_seed = 1;
+  std::string pretrain_tag = "default";
+
+  std::string strategy = "global-weight";
+  double target_compression = 4.0;
+  ScheduleKind schedule = ScheduleKind::OneShot;
+  int schedule_steps = 1;
+  PruneOptions prune;
+
+  /// Controls fine-tune shuffling, gradient-score minibatch sampling, and
+  /// random-pruning draws — the per-run randomness whose effect Figure 7's
+  /// error bars quantify.
+  uint64_t run_seed = 1;
+
+  TrainOptions pretrain = default_pretrain_options();
+  TrainOptions finetune = cifar_finetune_options();
+};
+
+struct ExperimentResult {
+  ExperimentConfig config;
+  // Control metrics for the unpruned model (paper: "also report these
+  // metrics for an appropriate control").
+  double pre_top1 = 0.0, pre_top5 = 0.0, pre_loss = 0.0;
+  // Pruned + fine-tuned model.
+  double post_top1 = 0.0, post_top5 = 0.0, post_loss = 0.0;
+  double compression = 1.0;  // achieved: total params / surviving params
+  double speedup = 1.0;      // achieved: dense madds / effective madds
+  int64_t params_total = 0, params_nonzero = 0;
+  int64_t flops_dense = 0, flops_effective = 0;
+  int finetune_epochs = 0;
+  double seconds = 0.0;
+};
+
+/// Stable fingerprint of everything that affects an experiment's outcome;
+/// used as the result-cache key.
+std::string config_fingerprint(const ExperimentConfig& config);
+
+/// Runs experiments with shared dataset/pretrained-model caches. Completed
+/// results are additionally cached on disk by config fingerprint, so
+/// benches that share configurations (e.g. Figure 6 and Figures 17-18) pay
+/// for each experiment once.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(std::string cache_dir = default_cache_dir());
+
+  ExperimentResult run(const ExperimentConfig& config);
+
+  /// The dataset bundle a config resolves to (cached).
+  const DatasetBundle& dataset(const std::string& name, uint64_t data_seed = 0);
+
+  /// Pretrained model for a config (cached on disk).
+  ModelPtr pretrained(const ExperimentConfig& config);
+
+ private:
+  PretrainedStore store_;
+  std::vector<std::pair<std::string, DatasetBundle>> datasets_;  // keyed by "name/seed"
+};
+
+/// Cartesian sweep over strategies x compression ratios x seeds, reporting
+/// progress on stderr. This is the workhorse behind Figures 6-18.
+std::vector<ExperimentResult> run_sweep(ExperimentRunner& runner, const ExperimentConfig& base,
+                                        const std::vector<std::string>& strategies,
+                                        const std::vector<double>& compressions,
+                                        const std::vector<uint64_t>& run_seeds);
+
+/// CSV serialization for downstream analysis/plotting.
+std::string experiment_csv_header();
+std::string experiment_csv_row(const ExperimentResult& result);
+void write_experiment_csv(const std::string& path, const std::vector<ExperimentResult>& results);
+
+}  // namespace shrinkbench

@@ -1,0 +1,50 @@
+// Disk-cached pretrained models.
+//
+// The paper shows (Section 7.3, Figure 8) that which *initial model* you
+// start from confounds pruning comparisons, so ShrinkBench standardizes on
+// shared pretrained weights. This store trains a model once per
+// (dataset, architecture, width, init seed, tag) and caches the checkpoint;
+// every bench and example then begins from identical weights. Distinct
+// initial models for the Figure 8 experiment are produced by varying `tag`
+// together with the training options.
+#pragma once
+
+#include <string>
+
+#include "core/train.hpp"
+#include "data/synthetic.hpp"
+#include "models/zoo.hpp"
+
+namespace shrinkbench {
+
+/// Default cache directory: $SHRINKBENCH_CACHE or ".sb_cache".
+std::string default_cache_dir();
+
+class PretrainedStore {
+ public:
+  explicit PretrainedStore(std::string cache_dir = default_cache_dir());
+
+  /// Returns a freshly constructed model with pretrained weights, training
+  /// and caching them on first use. `tag` distinguishes alternative
+  /// training recipes for the same architecture (e.g. Figure 8's
+  /// "Weights A" vs "Weights B").
+  ///
+  /// Contract: the checkpoint is keyed by (dataset, arch, width,
+  /// init_seed, tag) — NOT by train_opts. A tag must always be paired
+  /// with the same recipe; if you change the recipe, change the tag,
+  /// or you will silently load weights trained the old way.
+  ModelPtr get(const DatasetBundle& bundle, const std::string& arch, int64_t width,
+               uint64_t init_seed, const TrainOptions& train_opts,
+               const std::string& tag = "default");
+
+  const std::string& cache_dir() const { return cache_dir_; }
+
+ private:
+  std::string cache_dir_;
+};
+
+/// Pretraining recipe used when a cache entry is missing: Adam(1e-3) with
+/// early stopping, long enough to converge on the synthetic tasks.
+TrainOptions default_pretrain_options();
+
+}  // namespace shrinkbench

@@ -1,0 +1,127 @@
+#include "core/pruner.hpp"
+
+#include <stdexcept>
+
+#include "core/activation_stats.hpp"
+#include "nn/loss.hpp"
+
+namespace shrinkbench {
+
+std::vector<Parameter*> prunable_params(Model& model, const PruneOptions& opts) {
+  std::vector<Parameter*> out;
+  for (Parameter* p : parameters_of(model)) {
+    if (!p->prunable) continue;
+    if (p->is_classifier && !opts.include_classifier) continue;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor> gradient_snapshot(Model& model, const Dataset& dataset,
+                                      const PruneOptions& opts, Rng& rng) {
+  DataLoader loader(dataset, opts.grad_batch_size, /*shuffle=*/false, /*seed=*/0);
+  const Batch batch = loader.sample_batch(rng);
+
+  zero_grads(model);
+  SoftmaxCrossEntropy loss_fn;
+  const Tensor logits = model.forward(batch.x, /*train=*/true);
+  loss_fn.forward(logits, batch.y);
+  model.backward(loss_fn.backward());
+
+  std::vector<Tensor> grads;
+  for (const Parameter* p : prunable_params(model, opts)) grads.push_back(p->grad);
+  zero_grads(model);
+  return grads;
+}
+
+std::vector<Tensor> squared_gradient_snapshot(Model& model, const Dataset& dataset,
+                                              const PruneOptions& opts, Rng& rng) {
+  if (opts.fisher_batches < 1) {
+    throw std::invalid_argument("squared_gradient_snapshot: fisher_batches must be >= 1");
+  }
+  const auto params = prunable_params(model, opts);
+  std::vector<Tensor> mean_sq;
+  mean_sq.reserve(params.size());
+  for (const Parameter* p : params) mean_sq.emplace_back(p->data.shape());
+
+  DataLoader loader(dataset, opts.grad_batch_size, /*shuffle=*/false, /*seed=*/0);
+  SoftmaxCrossEntropy loss_fn;
+  for (int b = 0; b < opts.fisher_batches; ++b) {
+    const Batch batch = loader.sample_batch(rng);
+    zero_grads(model);
+    const Tensor logits = model.forward(batch.x, /*train=*/true);
+    loss_fn.forward(logits, batch.y);
+    model.backward(loss_fn.backward());
+    for (size_t i = 0; i < params.size(); ++i) {
+      const float* g = params[i]->grad.data();
+      float* acc = mean_sq[i].data();
+      for (int64_t j = 0, n = mean_sq[i].numel(); j < n; ++j) acc[j] += g[j] * g[j];
+    }
+  }
+  zero_grads(model);
+  for (Tensor& t : mean_sq) ops::scale_inplace(t, 1.0f / static_cast<float>(opts.fisher_batches));
+  return mean_sq;
+}
+
+double prune_model(Model& model, const PruningStrategy& strategy, double fraction_to_keep,
+                   const Dataset& dataset, const PruneOptions& opts, Rng& rng) {
+  auto params = prunable_params(model, opts);
+  if (params.empty()) throw std::logic_error("prune_model: no prunable parameters");
+
+  std::vector<Tensor> grads;
+  if (needs_gradients(strategy.score)) {
+    grads = strategy.score == ScoreKind::Fisher
+                ? squared_gradient_snapshot(model, dataset, opts, rng)
+                : gradient_snapshot(model, dataset, opts, rng);
+  }
+
+  std::vector<ScoredParam> scored;
+  scored.reserve(params.size());
+  if (needs_activations(strategy.score)) {
+    ChannelActivationStats stats =
+        collect_activation_stats(model, dataset, opts.activation_batches,
+                                 opts.grad_batch_size, rng);
+    for (Parameter* p : params) {
+      // Conv/linear weights are named "<layer>.weight"; their output
+      // channels are the layer's output channels.
+      const std::string layer_name = p->name.substr(0, p->name.rfind('.'));
+      const auto it = stats.mean_abs.find(layer_name);
+      if (it == stats.mean_abs.end()) {
+        throw std::logic_error("prune_model: no activation stats for layer '" + layer_name +
+                               "'");
+      }
+      scored.push_back(ScoredParam{p, channel_scores_to_entry_scores(*p, it->second)});
+    }
+  } else {
+    const Tensor empty;
+    for (size_t i = 0; i < params.size(); ++i) {
+      const Tensor& grad = grads.empty() ? empty : grads[i];
+      scored.push_back(
+          ScoredParam{params[i], score_parameter(strategy.score, *params[i], grad, rng)});
+    }
+  }
+
+  const int64_t kept = allocate_masks(scored, strategy.scope, strategy.structure, fraction_to_keep);
+  apply_masks(model);
+
+  int64_t total = 0;
+  for (const Parameter* p : params) total += p->numel();
+  return static_cast<double>(kept) / static_cast<double>(total);
+}
+
+double fraction_for_compression(Model& model, double target_ratio, const PruneOptions& opts) {
+  if (target_ratio < 1.0) {
+    throw std::invalid_argument("fraction_for_compression: ratio must be >= 1");
+  }
+  int64_t total = 0, prunable = 0;
+  const auto prunables = prunable_params(model, opts);
+  for (const Parameter* p : parameters_of(model)) total += p->numel();
+  for (const Parameter* p : prunables) prunable += p->numel();
+  const int64_t always_kept = total - prunable;
+  const double target_survivors = static_cast<double>(total) / target_ratio;
+  const double keep = (target_survivors - static_cast<double>(always_kept)) /
+                      static_cast<double>(prunable);
+  return std::clamp(keep, 0.0, 1.0);
+}
+
+}  // namespace shrinkbench

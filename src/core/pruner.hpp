@@ -1,0 +1,56 @@
+// Applying a pruning strategy to a model.
+//
+// This is the ShrinkBench core loop: snapshot gradients if the score needs
+// them (one sampled minibatch, Appendix C.1), score every prunable
+// parameter, allocate masks at the target sparsity, and install them so
+// that data == data ⊙ mask.
+#pragma once
+
+#include <cstdint>
+
+#include "core/strategy.hpp"
+#include "data/loader.hpp"
+#include "nn/sequential.hpp"
+
+namespace shrinkbench {
+
+struct PruneOptions {
+  /// Include the final classifier weights in pruning (off by default,
+  /// matching the paper's Appendix C.1).
+  bool include_classifier = false;
+  /// Minibatch size for gradient-based scores.
+  int64_t grad_batch_size = 64;
+  /// Minibatches averaged by the Fisher score (variance reduction vs the
+  /// single-batch gradient scores of Appendix C.1).
+  int fisher_batches = 4;
+  /// Minibatches observed by activation-based scores.
+  int activation_batches = 4;
+};
+
+/// The parameters a strategy may touch under the given options.
+std::vector<Parameter*> prunable_params(Model& model, const PruneOptions& opts);
+
+/// Computes gradients of the mean cross-entropy on one minibatch sampled
+/// with `rng`, returned per-parameter in prunable_params order. Leaves the
+/// model's accumulated grads zeroed.
+std::vector<Tensor> gradient_snapshot(Model& model, const Dataset& dataset,
+                                      const PruneOptions& opts, Rng& rng);
+
+/// Mean squared gradient E[g²] per prunable parameter, averaged over
+/// opts.fisher_batches sampled minibatches (diagonal empirical Fisher).
+std::vector<Tensor> squared_gradient_snapshot(Model& model, const Dataset& dataset,
+                                              const PruneOptions& opts, Rng& rng);
+
+/// Prunes so that ~fraction_to_keep of prunable entries survive, then
+/// enforces masks. Returns the achieved fraction kept.
+double prune_model(Model& model, const PruningStrategy& strategy, double fraction_to_keep,
+                   const Dataset& dataset, const PruneOptions& opts, Rng& rng);
+
+/// Fraction of *prunable* entries to keep so the whole-model compression
+/// ratio (total params / surviving params) hits `target_ratio`. Clamped to
+/// [0, 1]: ratios beyond what pruning prunable weights alone can reach
+/// yield 0 (prune everything prunable) — callers should report the
+/// *achieved* ratio, which is what all benches print.
+double fraction_for_compression(Model& model, double target_ratio, const PruneOptions& opts);
+
+}  // namespace shrinkbench

@@ -1,0 +1,55 @@
+#include "core/schedule.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace shrinkbench {
+
+std::string to_string(ScheduleKind kind) {
+  switch (kind) {
+    case ScheduleKind::OneShot: return "one-shot";
+    case ScheduleKind::Iterative: return "iterative";
+    case ScheduleKind::Polynomial: return "polynomial";
+  }
+  throw std::logic_error("to_string(ScheduleKind): unreachable");
+}
+
+ScheduleKind schedule_from_name(const std::string& name) {
+  if (name == "one-shot") return ScheduleKind::OneShot;
+  if (name == "iterative") return ScheduleKind::Iterative;
+  if (name == "polynomial") return ScheduleKind::Polynomial;
+  throw std::invalid_argument("schedule_from_name: unknown schedule '" + name + "'");
+}
+
+std::vector<double> schedule_fractions(ScheduleKind kind, double final_fraction_to_keep,
+                                       int steps) {
+  if (final_fraction_to_keep < 0.0 || final_fraction_to_keep > 1.0) {
+    throw std::invalid_argument("schedule_fractions: fraction must be in [0, 1]");
+  }
+  if (steps < 1) throw std::invalid_argument("schedule_fractions: steps must be >= 1");
+  if (kind == ScheduleKind::OneShot || steps == 1) return {final_fraction_to_keep};
+
+  std::vector<double> fractions;
+  fractions.reserve(static_cast<size_t>(steps));
+  if (kind == ScheduleKind::Iterative) {
+    // Geometric interpolation: keep fraction f^(t/N) at step t. A fully
+    // zero target is approximated by a tiny floor to keep the geometry
+    // well-defined.
+    const double f = std::max(final_fraction_to_keep, 1e-9);
+    for (int t = 1; t <= steps; ++t) {
+      fractions.push_back(std::pow(f, static_cast<double>(t) / steps));
+    }
+    fractions.back() = final_fraction_to_keep;
+  } else {  // Polynomial
+    const double final_sparsity = 1.0 - final_fraction_to_keep;
+    for (int t = 1; t <= steps; ++t) {
+      const double progress = static_cast<double>(t) / steps;
+      const double sparsity = final_sparsity * (1.0 - std::pow(1.0 - progress, 3.0));
+      fractions.push_back(1.0 - sparsity);
+    }
+    fractions.back() = final_fraction_to_keep;
+  }
+  return fractions;
+}
+
+}  // namespace shrinkbench

@@ -1,0 +1,27 @@
+// Pruning schedules: how sparsity is distributed over pruning steps
+// (paper §2.3 "Scheduling").
+//
+//   OneShot    — prune to the target in a single step, then fine-tune
+//                (Liu et al. 2019 style).
+//   Iterative  — N rounds of prune-a-bit + fine-tune, with geometrically
+//                interpolated keep fractions (Han et al. 2015 style).
+//   Polynomial — N rounds following the cubic sparsity ramp of Zhu &
+//                Gupta / Gale et al. 2019: s_t = s_f · (1 − (1 − t/N)³).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace shrinkbench {
+
+enum class ScheduleKind { OneShot, Iterative, Polynomial };
+
+std::string to_string(ScheduleKind kind);
+ScheduleKind schedule_from_name(const std::string& name);
+
+/// The keep-fraction after each pruning step, ending exactly at
+/// final_fraction_to_keep. steps must be >= 1 (OneShot ignores steps).
+std::vector<double> schedule_fractions(ScheduleKind kind, double final_fraction_to_keep,
+                                       int steps);
+
+}  // namespace shrinkbench

@@ -1,0 +1,87 @@
+#include "core/scoring.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace shrinkbench {
+
+std::string to_string(ScoreKind kind) {
+  switch (kind) {
+    case ScoreKind::Magnitude: return "magnitude";
+    case ScoreKind::GradientMagnitude: return "gradient-magnitude";
+    case ScoreKind::GradientSquared: return "gradient-squared";
+    case ScoreKind::Random: return "random";
+    case ScoreKind::Fisher: return "fisher";
+    case ScoreKind::ChannelActivation: return "channel-activation";
+  }
+  throw std::logic_error("to_string(ScoreKind): unreachable");
+}
+
+bool needs_gradients(ScoreKind kind) {
+  return kind == ScoreKind::GradientMagnitude || kind == ScoreKind::GradientSquared ||
+         kind == ScoreKind::Fisher;
+}
+
+bool needs_activations(ScoreKind kind) { return kind == ScoreKind::ChannelActivation; }
+
+Tensor channel_scores_to_entry_scores(const Parameter& param,
+                                      const std::vector<double>& channel_scores) {
+  if (param.data.dim() < 2 ||
+      param.data.size(0) != static_cast<int64_t>(channel_scores.size())) {
+    throw std::invalid_argument("channel_scores_to_entry_scores: '" + param.name + "' has " +
+                                std::to_string(param.data.size(0)) + " channels, got " +
+                                std::to_string(channel_scores.size()) + " scores");
+  }
+  Tensor scores(param.data.shape());
+  const int64_t channels = param.data.size(0);
+  const int64_t unit = param.data.numel() / channels;
+  const float* m = param.mask.data();
+  float* s = scores.data();
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  for (int64_t c = 0; c < channels; ++c) {
+    const float v = static_cast<float>(channel_scores[static_cast<size_t>(c)]);
+    for (int64_t i = 0; i < unit; ++i) {
+      const int64_t idx = c * unit + i;
+      s[idx] = m[idx] == 0.0f ? kNegInf : v;
+    }
+  }
+  return scores;
+}
+
+Tensor score_parameter(ScoreKind kind, const Parameter& param, const Tensor& grad, Rng& rng) {
+  if (needs_gradients(kind) && !grad.same_shape(param.data)) {
+    throw std::invalid_argument("score_parameter: gradient snapshot missing for '" + param.name +
+                                "'");
+  }
+  Tensor scores(param.data.shape());
+  const float* w = param.data.data();
+  const float* g = needs_gradients(kind) ? grad.data() : nullptr;
+  const float* m = param.mask.data();
+  float* s = scores.data();
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  for (int64_t i = 0, n = scores.numel(); i < n; ++i) {
+    if (m[i] == 0.0f) {
+      s[i] = kNegInf;  // already pruned: never resurrect under iteration
+      continue;
+    }
+    switch (kind) {
+      case ScoreKind::Magnitude: s[i] = std::fabs(w[i]); break;
+      case ScoreKind::GradientMagnitude: s[i] = std::fabs(w[i] * g[i]); break;
+      case ScoreKind::GradientSquared: {
+        const float t = w[i] * g[i];
+        s[i] = t * t;
+        break;
+      }
+      case ScoreKind::Random: s[i] = static_cast<float>(rng.uniform()); break;
+      case ScoreKind::Fisher: s[i] = w[i] * w[i] * g[i]; break;  // g holds E[g²]
+      case ScoreKind::ChannelActivation:
+        throw std::invalid_argument(
+            "score_parameter: ChannelActivation scores come from "
+            "channel_scores_to_entry_scores, not score_parameter");
+    }
+  }
+  return scores;
+}
+
+}  // namespace shrinkbench

@@ -1,0 +1,65 @@
+// Pruning score functions.
+//
+// A score function assigns every entry of a prunable parameter a saliency;
+// allocators (allocation.hpp) then keep the highest-scoring entries. These
+// are the paper's Section 7.2 baselines plus two classic extensions:
+//
+//   Magnitude         |w|                 (Janowsky 1989; Han et al. 2015)
+//   GradientMagnitude |w · ∂L/∂w|         (Lee et al. 2019b-style saliency)
+//   GradientSquared   (w · ∂L/∂w)²        (first-order Taylor / Fisher
+//                                          proxy for LeCun's OBD)
+//   Random            U(0,1)              (the standard straw man)
+//   Fisher            w² · E[(∂L/∂w)²]    (diagonal empirical Fisher, the
+//                                          OBD-style second-order proxy,
+//                                          accumulated over several
+//                                          minibatches)
+//   ChannelActivation mean |activation|   (activation-based channel
+//                                          saliency à la Hu et al. 2016;
+//                                          structured only)
+//
+// Gradient-based scores are evaluated on a single sampled minibatch
+// (paper, Appendix C.1), which makes them seed-sensitive by design;
+// Fisher reduces that variance by averaging several batches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/parameter.hpp"
+#include "tensor/rng.hpp"
+
+namespace shrinkbench {
+
+enum class ScoreKind {
+  Magnitude,
+  GradientMagnitude,
+  GradientSquared,
+  Random,
+  Fisher,
+  ChannelActivation
+};
+
+std::string to_string(ScoreKind kind);
+
+/// Whether the score needs a gradient snapshot. For Fisher the snapshot
+/// passed to score_parameter must be the *accumulated mean squared*
+/// gradient E[g²], not a raw gradient.
+bool needs_gradients(ScoreKind kind);
+
+/// Whether the score needs activation statistics (collected via
+/// collect_activation_stats and converted with channel_scores_to_entry_scores).
+bool needs_activations(ScoreKind kind);
+
+/// Broadcasts one saliency per output channel onto a weight-shaped score
+/// tensor (every entry of channel c gets channel_scores[c]); entries whose
+/// mask is already 0 score -inf so they stay pruned.
+Tensor channel_scores_to_entry_scores(const Parameter& param,
+                                      const std::vector<double>& channel_scores);
+
+/// Computes per-entry scores for one parameter. `grad` is the gradient
+/// snapshot for gradient-based kinds (ignored otherwise; may be empty for
+/// non-gradient kinds). Entries already masked out are scored -inf so they
+/// stay pruned under iterative schedules.
+Tensor score_parameter(ScoreKind kind, const Parameter& param, const Tensor& grad, Rng& rng);
+
+}  // namespace shrinkbench

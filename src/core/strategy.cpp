@@ -1,0 +1,65 @@
+#include "core/strategy.hpp"
+
+#include <stdexcept>
+
+namespace shrinkbench {
+
+namespace {
+const std::vector<PruningStrategy>& registry() {
+  static const std::vector<PruningStrategy> kStrategies = {
+      {"global-weight", ScoreKind::Magnitude, AllocationScope::Global, Structure::Unstructured},
+      {"layer-weight", ScoreKind::Magnitude, AllocationScope::Layerwise, Structure::Unstructured},
+      {"global-gradient", ScoreKind::GradientMagnitude, AllocationScope::Global,
+       Structure::Unstructured},
+      {"layer-gradient", ScoreKind::GradientMagnitude, AllocationScope::Layerwise,
+       Structure::Unstructured},
+      {"random", ScoreKind::Random, AllocationScope::Global, Structure::Unstructured},
+      {"global-grad-sq", ScoreKind::GradientSquared, AllocationScope::Global,
+       Structure::Unstructured},
+      {"layer-grad-sq", ScoreKind::GradientSquared, AllocationScope::Layerwise,
+       Structure::Unstructured},
+      {"global-channel", ScoreKind::Magnitude, AllocationScope::Global, Structure::Channel},
+      {"layer-channel", ScoreKind::Magnitude, AllocationScope::Layerwise, Structure::Channel},
+      {"global-fisher", ScoreKind::Fisher, AllocationScope::Global, Structure::Unstructured},
+      {"layer-fisher", ScoreKind::Fisher, AllocationScope::Layerwise, Structure::Unstructured},
+      {"global-activation", ScoreKind::ChannelActivation, AllocationScope::Global,
+       Structure::Channel},
+      {"layer-activation", ScoreKind::ChannelActivation, AllocationScope::Layerwise,
+       Structure::Channel},
+  };
+  return kStrategies;
+}
+}  // namespace
+
+PruningStrategy strategy_from_name(const std::string& name) {
+  for (const auto& s : registry()) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("strategy_from_name: unknown strategy '" + name + "'");
+}
+
+std::vector<std::string> strategy_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& s : registry()) names.push_back(s.name);
+  return names;
+}
+
+std::string display_name(const std::string& strategy_name) {
+  if (strategy_name == "global-weight") return "Global Weight";
+  if (strategy_name == "layer-weight") return "Layer Weight";
+  if (strategy_name == "global-gradient") return "Global Gradient";
+  if (strategy_name == "layer-gradient") return "Layer Gradient";
+  if (strategy_name == "random") return "Random";
+  if (strategy_name == "global-grad-sq") return "Global GradSq";
+  if (strategy_name == "layer-grad-sq") return "Layer GradSq";
+  if (strategy_name == "global-channel") return "Global Channel";
+  if (strategy_name == "layer-channel") return "Layer Channel";
+  if (strategy_name == "global-fisher") return "Global Fisher";
+  if (strategy_name == "layer-fisher") return "Layer Fisher";
+  if (strategy_name == "global-activation") return "Global Activation";
+  if (strategy_name == "layer-activation") return "Layer Activation";
+  return strategy_name;
+}
+
+}  // namespace shrinkbench

@@ -1,0 +1,45 @@
+// Named pruning strategies = (score, scope, structure) triples.
+//
+// The five baselines of Section 7.2 plus structured and second-order
+// variants. Strategy names are the stable identifiers used by experiment
+// configs, benches, and CSV output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/scoring.hpp"
+
+namespace shrinkbench {
+
+struct PruningStrategy {
+  std::string name;
+  ScoreKind score = ScoreKind::Magnitude;
+  AllocationScope scope = AllocationScope::Global;
+  Structure structure = Structure::Unstructured;
+};
+
+/// Lookup by name. Registered strategies:
+///   global-weight     Global Magnitude Pruning        (paper §7.2)
+///   layer-weight      Layerwise Magnitude Pruning     (paper §7.2)
+///   global-gradient   Global Gradient Magnitude       (paper §7.2)
+///   layer-gradient    Layerwise Gradient Magnitude    (paper §7.2)
+///   random            Random Pruning                  (paper §7.2)
+///   global-grad-sq    Global (w·g)² first-order-Taylor/OBD proxy
+///   layer-grad-sq     Layerwise (w·g)²
+///   global-channel    Global structured (whole filters), magnitude
+///   layer-channel     Layerwise structured (whole filters), magnitude
+///   global-fisher     Global w²·E[g²] diagonal empirical Fisher (OBD-style)
+///   layer-fisher      Layerwise Fisher
+///   global-activation Global structured, mean-|activation| channel saliency
+///   layer-activation  Layerwise structured activation saliency
+PruningStrategy strategy_from_name(const std::string& name);
+
+std::vector<std::string> strategy_names();
+
+/// Display label matching the paper's figure legends, e.g.
+/// "global-weight" -> "Global Weight".
+std::string display_name(const std::string& strategy_name);
+
+}  // namespace shrinkbench

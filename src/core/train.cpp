@@ -1,0 +1,139 @@
+#include "core/train.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "metrics/metrics.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/loss.hpp"
+
+namespace shrinkbench {
+
+TrainOptions cifar_finetune_options() {
+  TrainOptions opts;
+  opts.epochs = 20;
+  opts.batch_size = 64;
+  opts.optimizer = OptimizerKind::Adam;
+  opts.lr = 3e-4f;
+  opts.patience = 6;
+  return opts;
+}
+
+TrainOptions imagenet_finetune_options() {
+  TrainOptions opts;
+  opts.epochs = 15;
+  opts.batch_size = 128;
+  opts.optimizer = OptimizerKind::SgdNesterov;
+  opts.lr = 1e-3f;
+  opts.momentum = 0.9f;
+  opts.patience = 5;
+  return opts;
+}
+
+namespace {
+std::unique_ptr<Optimizer> make_optimizer(Model& model, const TrainOptions& opts) {
+  auto params = parameters_of(model);
+  switch (opts.optimizer) {
+    case OptimizerKind::Sgd: {
+      SgdOptions o;
+      o.lr = opts.lr;
+      o.momentum = opts.momentum;
+      o.nesterov = false;
+      o.weight_decay = opts.weight_decay;
+      return std::make_unique<SGD>(std::move(params), o);
+    }
+    case OptimizerKind::SgdNesterov: {
+      SgdOptions o;
+      o.lr = opts.lr;
+      o.momentum = opts.momentum;
+      o.nesterov = true;
+      o.weight_decay = opts.weight_decay;
+      return std::make_unique<SGD>(std::move(params), o);
+    }
+    case OptimizerKind::Adam: {
+      AdamOptions o;
+      o.lr = opts.lr;
+      o.weight_decay = opts.weight_decay;
+      return std::make_unique<Adam>(std::move(params), o);
+    }
+  }
+  throw std::logic_error("make_optimizer: unreachable");
+}
+}  // namespace
+
+float lr_at_epoch(const TrainOptions& opts, int epoch) {
+  switch (opts.lr_schedule) {
+    case LrSchedule::Fixed:
+      return opts.lr;
+    case LrSchedule::StepDecay: {
+      const int steps = opts.lr_step_every > 0 ? epoch / opts.lr_step_every : 0;
+      return opts.lr * std::pow(opts.lr_step_gamma, static_cast<float>(steps));
+    }
+    case LrSchedule::Cosine: {
+      if (opts.epochs <= 1) return opts.lr;
+      const float progress = static_cast<float>(epoch) / static_cast<float>(opts.epochs - 1);
+      return opts.lr_min +
+             0.5f * (opts.lr - opts.lr_min) * (1.0f + std::cos(progress * 3.14159265f));
+    }
+  }
+  throw std::logic_error("lr_at_epoch: unreachable");
+}
+
+TrainHistory train_model(Model& model, const DatasetBundle& bundle, const TrainOptions& opts) {
+  auto optimizer = make_optimizer(model, opts);
+  DataLoader loader(bundle.train, opts.batch_size, /*shuffle=*/true, opts.loader_seed,
+                    opts.augment);
+  SoftmaxCrossEntropy loss_fn;
+
+  TrainHistory history;
+  StateDict best_state;
+  int epochs_since_best = 0;
+
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    optimizer->set_lr(lr_at_epoch(opts, epoch));
+    loader.reset();
+    double loss_sum = 0.0;
+    int64_t samples = 0;
+    Batch batch;
+    while (loader.next(batch)) {
+      optimizer->zero_grad();
+      const Tensor logits = model.forward(batch.x, /*train=*/true);
+      const float loss = loss_fn.forward(logits, batch.y);
+      model.backward(loss_fn.backward());
+      optimizer->step();
+      loss_sum += static_cast<double>(loss) * static_cast<double>(batch.x.size(0));
+      samples += batch.x.size(0);
+    }
+
+    const EvalResult val = evaluate(model, bundle.val, opts.batch_size);
+    EpochRecord rec;
+    rec.epoch = epoch;
+    rec.train_loss = loss_sum / static_cast<double>(samples);
+    rec.val_top1 = val.top1;
+    rec.val_loss = val.loss;
+    history.epochs.push_back(rec);
+    if (opts.verbose) {
+      std::printf("  epoch %2d  train_loss %.4f  val_top1 %.4f\n", epoch, rec.train_loss,
+                  rec.val_top1);
+    }
+
+    if (val.top1 > history.best_val_top1 || history.best_epoch < 0) {
+      history.best_val_top1 = val.top1;
+      history.best_epoch = epoch;
+      epochs_since_best = 0;
+      if (opts.restore_best) best_state = state_dict(model);
+    } else {
+      ++epochs_since_best;
+      if (opts.patience > 0 && epochs_since_best >= opts.patience) {
+        history.stopped_early = true;
+        break;
+      }
+    }
+  }
+
+  if (opts.restore_best && !best_state.empty()) load_state_dict(model, best_state);
+  return history;
+}
+
+}  // namespace shrinkbench

@@ -1,0 +1,75 @@
+// Training and fine-tuning loops.
+//
+// One code path serves both "train to convergence" (Algorithm 1, line 2)
+// and "fine-tune after pruning" (line 6): fine-tuning is just training a
+// masked model, with masks enforced after every optimizer step. Early
+// stopping tracks validation accuracy and restores the best weights
+// (paper, Appendix C.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/loader.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+
+namespace shrinkbench {
+
+enum class OptimizerKind { Sgd, SgdNesterov, Adam };
+
+/// Learning-rate schedules. The paper's Appendix C.2 setups use Fixed;
+/// StepDecay/Cosine exist because LR schedule is one of the §4.5
+/// confounders, and the ablation benches vary it.
+enum class LrSchedule { Fixed, StepDecay, Cosine };
+
+/// Learning rate for a given epoch under the options' schedule.
+float lr_at_epoch(const struct TrainOptions& opts, int epoch);
+
+struct TrainOptions {
+  int epochs = 30;
+  int64_t batch_size = 64;
+  OptimizerKind optimizer = OptimizerKind::Adam;
+  float lr = 3e-4f;
+  float momentum = 0.9f;      // SGD variants only
+  float weight_decay = 0.0f;
+  LrSchedule lr_schedule = LrSchedule::Fixed;
+  int lr_step_every = 10;       // StepDecay period (epochs)
+  float lr_step_gamma = 0.1f;   // StepDecay multiplier
+  float lr_min = 0.0f;          // Cosine floor
+  /// Train-time augmentation (off by default, matching the synthetic
+  /// generator's own built-in variation).
+  AugmentOptions augment;
+  /// Stop after this many epochs without a new best validation top-1;
+  /// <= 0 disables early stopping.
+  int patience = 8;
+  /// Restore the best-validation weights when training ends.
+  bool restore_best = true;
+  uint64_t loader_seed = 1;
+  bool verbose = false;
+};
+
+/// The paper's fine-tuning setups (Appendix C.2), epoch counts scaled to
+/// the synthetic tasks.
+TrainOptions cifar_finetune_options();     // Adam, lr 3e-4, fixed schedule
+TrainOptions imagenet_finetune_options();  // SGD + Nesterov 0.9, lr 1e-3
+
+struct EpochRecord {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double val_top1 = 0.0;
+  double val_loss = 0.0;
+};
+
+struct TrainHistory {
+  std::vector<EpochRecord> epochs;
+  double best_val_top1 = 0.0;
+  int best_epoch = -1;
+  bool stopped_early = false;
+};
+
+/// Trains on bundle.train, validating on bundle.val each epoch.
+TrainHistory train_model(Model& model, const DatasetBundle& bundle, const TrainOptions& opts);
+
+}  // namespace shrinkbench

@@ -1,0 +1,316 @@
+#include "corpus/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace shrinkbench::corpus {
+
+int SplitHistogram::total(int key) const {
+  int t = 0;
+  if (auto it = peer_reviewed.find(key); it != peer_reviewed.end()) t += it->second;
+  if (auto it = other.find(key); it != other.end()) t += it->second;
+  return t;
+}
+
+int SplitHistogram::max_key() const {
+  int m = 0;
+  if (!peer_reviewed.empty()) m = std::max(m, peer_reviewed.rbegin()->first);
+  if (!other.empty()) m = std::max(m, other.rbegin()->first);
+  return m;
+}
+
+namespace {
+void bump(SplitHistogram& h, bool peer, int key) {
+  (peer ? h.peer_reviewed : h.other)[key]++;
+}
+}  // namespace
+
+SplitHistogram compared_to_histogram(const Corpus& corpus) {
+  std::map<int, int> in_degree;
+  for (const auto& p : corpus.papers) in_degree[p.id] = 0;
+  for (const auto& p : corpus.papers) {
+    for (int target : p.compares_to) in_degree[target]++;
+  }
+  SplitHistogram hist;
+  for (const auto& p : corpus.papers) bump(hist, p.peer_reviewed, in_degree[p.id]);
+  return hist;
+}
+
+SplitHistogram compares_to_histogram(const Corpus& corpus) {
+  SplitHistogram hist;
+  for (const auto& p : corpus.papers) {
+    bump(hist, p.peer_reviewed, static_cast<int>(p.compares_to.size()));
+  }
+  return hist;
+}
+
+std::vector<PairCount> pair_counts(const Corpus& corpus, int min_papers) {
+  std::map<std::pair<std::string, std::string>, int> counts;
+  for (const auto& p : corpus.papers) {
+    for (const auto& pair : p.pairs) counts[pair]++;
+  }
+  std::vector<PairCount> result;
+  for (const auto& [pair, n] : counts) {
+    if (n >= min_papers) result.push_back({pair.first, pair.second, n});
+  }
+  std::sort(result.begin(), result.end(), [](const PairCount& a, const PairCount& b) {
+    if (a.papers != b.papers) return a.papers > b.papers;
+    if (a.dataset != b.dataset) return a.dataset < b.dataset;
+    return a.architecture < b.architecture;
+  });
+  return result;
+}
+
+CorpusSummary summarize(const Corpus& corpus) {
+  CorpusSummary s;
+  s.papers = static_cast<int>(corpus.papers.size());
+
+  std::set<std::string> datasets, archs;
+  std::set<std::pair<std::string, std::string>> pairs;
+  std::map<int, int> in_degree;
+  for (const auto& p : corpus.papers) in_degree[p.id] = 0;
+
+  const auto configs = common_configs();
+  for (const auto& p : corpus.papers) {
+    for (const auto& pair : p.pairs) {
+      datasets.insert(pair.first);
+      archs.insert(pair.second);
+      pairs.insert(pair);
+    }
+    for (int target : p.compares_to) in_degree[target]++;
+    const size_t n = p.compares_to.size();
+    if (n == 0) s.compare_to_none++;
+    if (n <= 1) s.compare_to_at_most_one++;
+    if (n <= 3) s.compare_to_at_most_three++;
+
+    bool on_common = false;
+    for (const auto& curve : p.curves) {
+      for (const auto& config : configs) {
+        if (curve.dataset != config.dataset) continue;
+        for (const auto& arch : config.architectures) {
+          if (curve.architecture == arch) on_common = true;
+        }
+      }
+    }
+    if (on_common) s.papers_on_common_configs++;
+  }
+  s.datasets = static_cast<int>(datasets.size());
+  s.architectures = static_cast<int>(archs.size());
+  s.pairs = static_cast<int>(pairs.size());
+  for (const auto& p : corpus.papers) {
+    if (p.year >= 2010 && in_degree[p.id] == 0) s.never_compared_to++;
+  }
+  return s;
+}
+
+std::vector<CommonConfig> common_configs() {
+  return {
+      {"VGG-16 on ImageNet", "ImageNet", {"VGG-16"}},
+      {"Alex/CaffeNet on ImageNet", "ImageNet", {"AlexNet", "CaffeNet"}},
+      {"ResNet-50 on ImageNet", "ImageNet", {"ResNet-50"}},
+      {"ResNet-56 on CIFAR-10", "CIFAR-10", {"ResNet-56"}},
+  };
+}
+
+std::vector<const TradeoffCurve*> curves_for_config(const Corpus& corpus,
+                                                    const CommonConfig& config) {
+  std::vector<const TradeoffCurve*> curves;
+  for (const auto& p : corpus.papers) {
+    for (const auto& curve : p.curves) {
+      if (curve.dataset != config.dataset) continue;
+      if (std::find(config.architectures.begin(), config.architectures.end(),
+                    curve.architecture) == config.architectures.end()) {
+        continue;
+      }
+      curves.push_back(&curve);
+    }
+  }
+  return curves;
+}
+
+SplitHistogram pairs_per_paper_histogram(const Corpus& corpus, bool exclude_mnist) {
+  SplitHistogram hist;
+  for (const auto& p : corpus.papers) {
+    int n = 0;
+    for (const auto& pair : p.pairs) {
+      if (exclude_mnist && pair.first == "MNIST") continue;
+      ++n;
+    }
+    if (n > 0) bump(hist, p.peer_reviewed, n);
+  }
+  return hist;
+}
+
+SplitHistogram points_per_curve_histogram(const Corpus& corpus) {
+  SplitHistogram hist;
+  for (const auto& config : common_configs()) {
+    for (const TradeoffCurve* curve : curves_for_config(corpus, config)) {
+      // A "curve" in Figure 4 is one method's points in one panel; we use
+      // the curve's point count directly.
+      const PaperRecord* owner = nullptr;
+      for (const auto& p : corpus.papers) {
+        for (const auto& c : p.curves) {
+          if (&c == curve) owner = &p;
+        }
+      }
+      bump(hist, owner != nullptr && owner->peer_reviewed,
+           static_cast<int>(curve->points.size()));
+    }
+  }
+  return hist;
+}
+
+namespace {
+double median_of(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2] : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+}  // namespace
+
+BaselineMedians median_baselines(const Corpus& corpus, const std::string& architecture) {
+  std::vector<double> params, flops, top1, top5;
+  for (const auto& p : corpus.papers) {
+    for (const auto& c : p.curves) {
+      if (c.architecture != architecture) continue;
+      if (c.baseline_params) params.push_back(*c.baseline_params);
+      if (c.baseline_flops) flops.push_back(*c.baseline_flops);
+      if (c.baseline_top1) top1.push_back(*c.baseline_top1);
+      if (c.baseline_top5) top5.push_back(*c.baseline_top5);
+    }
+  }
+  BaselineMedians m;
+  m.params_millions = median_of(params);
+  m.flops_billions = median_of(flops);
+  m.top1 = median_of(top1);
+  m.top5 = median_of(top5);
+  m.reporting_papers = static_cast<int>(params.size());
+  return m;
+}
+
+std::vector<NormalizedPoint> normalized_pruned_points(const Corpus& corpus,
+                                                      const std::string& dataset,
+                                                      const std::string& architecture) {
+  const BaselineMedians base = median_baselines(corpus, architecture);
+  std::vector<NormalizedPoint> points;
+  if (base.reporting_papers == 0) return points;
+  for (const auto& p : corpus.papers) {
+    for (const auto& c : p.curves) {
+      if (c.dataset != dataset || c.architecture != architecture) continue;
+      for (const auto& pt : c.points) {
+        NormalizedPoint np;
+        np.method = c.method_label;
+        if (pt.compression) {
+          np.params_millions = base.params_millions / *pt.compression;
+        } else if (pt.speedup) {
+          // Papers reporting only speedup: approximate size via the
+          // speedup (the normalization cannot recover what was never
+          // reported — §4.3's incomparability in miniature).
+          np.params_millions = base.params_millions / *pt.speedup;
+        } else {
+          continue;
+        }
+        np.has_flops = pt.speedup.has_value();
+        np.flops_billions = np.has_flops ? base.flops_billions / *pt.speedup : 0.0;
+        if (!pt.delta_top1 && !pt.delta_top5) continue;
+        np.top1 = base.top1 + pt.delta_top1.value_or(0.0);
+        np.has_top5 = pt.delta_top5.has_value();
+        np.top5 = base.top5 + pt.delta_top5.value_or(0.0);
+        points.push_back(np);
+      }
+    }
+  }
+  return points;
+}
+
+YearProgress year_progress(const Corpus& corpus, const CommonConfig& config,
+                           double reference_compression) {
+  YearProgress result;
+  for (const auto& paper : corpus.papers) {
+    for (const auto& curve : paper.curves) {
+      if (curve.dataset != config.dataset) continue;
+      if (std::find(config.architectures.begin(), config.architectures.end(),
+                    curve.architecture) == config.architectures.end()) {
+        continue;
+      }
+      // Gather (compression, delta_top1) points and linearly interpolate
+      // in log-compression at the reference ratio; skip curves that do not
+      // bracket it (they report at incomparable operating points — §4.3).
+      std::vector<std::pair<double, double>> pts;
+      for (const auto& p : curve.points) {
+        if (p.compression && p.delta_top1) {
+          pts.emplace_back(std::log2(*p.compression), *p.delta_top1);
+        }
+      }
+      if (pts.size() < 2) continue;
+      std::sort(pts.begin(), pts.end());
+      const double x = std::log2(reference_compression);
+      if (x < pts.front().first || x > pts.back().first) continue;
+      double value = pts.back().second;
+      for (size_t i = 1; i < pts.size(); ++i) {
+        if (x <= pts[i].first) {
+          const double t = (x - pts[i - 1].first) /
+                           std::max(1e-12, pts[i].first - pts[i - 1].first);
+          value = pts[i - 1].second + t * (pts[i].second - pts[i - 1].second);
+          break;
+        }
+      }
+      result.per_method.emplace_back(paper.year, value);
+    }
+  }
+  // Pearson correlation year vs quality.
+  const size_t n = result.per_method.size();
+  if (n >= 2) {
+    double mx = 0, my = 0;
+    for (const auto& [year, v] : result.per_method) {
+      mx += year;
+      my += v;
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+    double sxy = 0, sxx = 0, syy = 0;
+    for (const auto& [year, v] : result.per_method) {
+      sxy += (year - mx) * (v - my);
+      sxx += (year - mx) * (year - mx);
+      syy += (v - my) * (v - my);
+    }
+    if (sxx > 0 && syy > 0) result.correlation = sxy / std::sqrt(sxx * syy);
+  }
+  return result;
+}
+
+std::vector<std::string> fig5_magnitude_labels() {
+  return {"Frankle 2019, PruneAtEpoch=15", "Frankle 2019, PruneAtEpoch=90",
+          "Frankle 2019, ResetToEpoch=10", "Frankle 2019, ResetToEpoch=R",
+          "Gale 2019, Magnitude",          "Gale 2019, Magnitude-v2",
+          "Liu 2019, Magnitude"};
+}
+
+std::vector<std::string> fig5_other_labels() {
+  return {"Alvarez 2017",
+          "Dubey 2018, AP+Coreset-A",
+          "Dubey 2018, AP+Coreset-K",
+          "Dubey 2018, AP+Coreset-S",
+          "Gale 2019, SparseVD",
+          "Huang 2018",
+          "Lin 2018",
+          "Liu 2019, Scratch-B",
+          "Luo 2017",
+          "Yamamoto 2018",
+          "Zhuang 2018"};
+}
+
+const TradeoffCurve* resnet50_curve_by_label(const Corpus& corpus, const std::string& label) {
+  for (const auto& p : corpus.papers) {
+    for (const auto& c : p.curves) {
+      if (c.method_label == label && c.dataset == "ImageNet" && c.architecture == "ResNet-50") {
+        return &c;
+      }
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace shrinkbench::corpus

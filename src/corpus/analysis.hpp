@@ -1,0 +1,122 @@
+// Meta-analysis algorithms over the corpus — the computations behind the
+// paper's Figures 1-5 and Table 1. Everything here derives from
+// pruning_corpus(); the benches only format what these functions return.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+
+namespace shrinkbench::corpus {
+
+/// Histogram split by peer-review status (Figures 2 and 4 show the split).
+struct SplitHistogram {
+  std::map<int, int> peer_reviewed;
+  std::map<int, int> other;
+
+  int total(int key) const;
+  int max_key() const;
+};
+
+// ---- Figure 2 ----
+/// Distribution of in-degree: how many later papers compare to each paper.
+SplitHistogram compared_to_histogram(const Corpus& corpus);
+/// Distribution of out-degree: how many prior papers each paper compares to.
+SplitHistogram compares_to_histogram(const Corpus& corpus);
+
+// ---- Table 1 ----
+struct PairCount {
+  std::string dataset;
+  std::string architecture;
+  int papers = 0;
+};
+/// (dataset, architecture) pairs used by at least min_papers papers,
+/// sorted by count descending (ties by name).
+std::vector<PairCount> pair_counts(const Corpus& corpus, int min_papers);
+
+// ---- Headline aggregates (§4) ----
+struct CorpusSummary {
+  int papers = 0;
+  int datasets = 0;
+  int architectures = 0;
+  int pairs = 0;
+  int compare_to_none = 0;       // papers with out-degree 0
+  int compare_to_at_most_one = 0;
+  int compare_to_at_most_three = 0;
+  int never_compared_to = 0;     // papers with in-degree 0 (post-2010 only)
+  int papers_on_common_configs = 0;  // report results on a Figure 3 config
+};
+CorpusSummary summarize(const Corpus& corpus);
+
+// ---- Figure 3 ----
+/// The four most common non-MNIST configurations, with AlexNet and
+/// CaffeNet merged per the paper's footnote 4.
+struct CommonConfig {
+  std::string display;  // e.g. "Alex/CaffeNet on ImageNet"
+  std::string dataset;
+  std::vector<std::string> architectures;
+};
+std::vector<CommonConfig> common_configs();
+
+/// All curves of any paper on the given config.
+std::vector<const TradeoffCurve*> curves_for_config(const Corpus& corpus,
+                                                    const CommonConfig& config);
+
+// ---- Figure 4 ----
+SplitHistogram pairs_per_paper_histogram(const Corpus& corpus, bool exclude_mnist);
+/// Points per tradeoff curve, restricted to the common configs.
+SplitHistogram points_per_curve_histogram(const Corpus& corpus);
+
+// ---- Figure 1 (footnote 1 normalization) ----
+struct BaselineMedians {
+  double params_millions = 0.0;
+  double flops_billions = 0.0;
+  double top1 = 0.0;
+  double top5 = 0.0;
+  int reporting_papers = 0;
+};
+/// Median self-reported baseline for an architecture across all papers
+/// that report one.
+BaselineMedians median_baselines(const Corpus& corpus, const std::string& architecture);
+
+struct NormalizedPoint {
+  std::string method;
+  double params_millions = 0.0;
+  double flops_billions = 0.0;
+  double top1 = 0.0;
+  double top5 = 0.0;
+  bool has_top5 = false;
+  bool has_flops = false;
+};
+/// Applies the paper's normalization: reported fractions of size/FLOPs are
+/// multiplied by the architecture's median baseline, and deltas are added
+/// to the median baseline accuracy.
+std::vector<NormalizedPoint> normalized_pruned_points(const Corpus& corpus,
+                                                      const std::string& dataset,
+                                                      const std::string& architecture);
+
+// ---- "Methods from later years do not consistently outperform methods
+// from earlier years" (§4.3) ----
+struct YearProgress {
+  /// Pearson correlation between publication year and accuracy delta at
+  /// the reference compression (near zero = no consistent progress).
+  double correlation = 0.0;
+  /// (year, interpolated delta_top1 at the reference ratio) per method.
+  std::vector<std::pair<int, double>> per_method;
+};
+/// Interpolates each curve's Δtop-1 at `reference_compression` on the
+/// given config and correlates it with the owning paper's year.
+YearProgress year_progress(const Corpus& corpus, const CommonConfig& config,
+                           double reference_compression);
+
+// ---- Figure 5 ----
+/// Curve labels in the "unstructured magnitude-based pruning" panel.
+std::vector<std::string> fig5_magnitude_labels();
+/// Curve labels in the "all other methods" panel.
+std::vector<std::string> fig5_other_labels();
+/// Fetch a (ImageNet, ResNet-50) curve by its figure label (null if absent).
+const TradeoffCurve* resnet50_curve_by_label(const Corpus& corpus, const std::string& label);
+
+}  // namespace shrinkbench::corpus

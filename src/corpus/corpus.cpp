@@ -1,0 +1,582 @@
+#include "corpus/corpus.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "tensor/rng.hpp"
+
+namespace shrinkbench::corpus {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Paper roster. Real papers named in the survey (its references and the
+// legends of Figures 3 and 5) carry their true years / peer-review status;
+// "Entry-NN (reconstructed)" rows stand in for corpus members the survey
+// aggregates over but never names individually.
+// ---------------------------------------------------------------------------
+
+struct PaperSpec {
+  const char* label;
+  int year;
+  bool peer_reviewed;
+};
+
+constexpr PaperSpec kRealPapers[] = {
+    {"LeCun 1990", 1990, true},          // Optimal Brain Damage
+    {"Hassibi 1993", 1993, true},        // Optimal Brain Surgeon
+    {"Collins 2014", 2014, false},
+    {"Lebedev 2014", 2014, false},
+    {"Han 2015", 2015, true},
+    {"Zhang 2015", 2015, true},
+    {"Mariet 2015", 2015, false},
+    {"Kim 2015", 2015, false},
+    {"Figurnov 2016", 2016, true},
+    {"Guo 2016", 2016, true},
+    {"Han 2016", 2016, true},
+    {"Hu 2016", 2016, false},
+    {"Kim 2016", 2016, true},
+    {"Srinivas 2016", 2016, false},
+    {"Wen 2016", 2016, true},
+    {"Lebedev 2016", 2016, true},
+    {"Molchanov 2016", 2016, false},
+    {"Alvarez 2017", 2017, true},
+    {"He 2017", 2017, true},
+    {"Li 2017", 2017, true},
+    {"Lin 2017", 2017, true},
+    {"Luo 2017", 2017, true},
+    {"Srinivas 2017", 2017, false},
+    {"Yang 2017", 2017, true},
+    {"Liu 2017", 2017, true},
+    {"Dong 2017", 2017, true},
+    {"Louizos 2017", 2017, true},
+    {"Molchanov 2017", 2017, true},
+    {"Changpinyo 2017", 2017, false},
+    {"Zhu 2017", 2017, false},
+    {"Carreira-Perpinan 2018", 2018, true},
+    {"Ding 2018", 2018, true},
+    {"Dubey 2018", 2018, true},
+    {"He, Yang 2018", 2018, true},
+    {"He, Yihui 2018", 2018, true},
+    {"Huang 2018", 2018, true},
+    {"Lin 2018", 2018, true},
+    {"Peng 2018", 2018, true},
+    {"Suau 2018", 2018, false},
+    {"Suzuki 2018", 2018, false},
+    {"Yamamoto 2018", 2018, false},
+    {"Yu 2018", 2018, true},
+    {"Zhuang 2018", 2018, true},
+    {"Yao 2018", 2018, false},
+    {"Choi 2019", 2019, false},
+    {"Gale 2019", 2019, false},
+    {"Kim 2019", 2019, false},
+    {"Liu 2019", 2019, true},
+    {"Luo 2019", 2019, false},
+    {"Peng 2019", 2019, true},
+    {"Frankle & Carbin 2019", 2019, true},
+    {"Frankle 2019", 2019, false},
+    {"Lee 2019", 2019, true},
+    {"Lee 2019a", 2019, false},
+    {"Morcos 2019", 2019, true},
+    {"Mostafa 2019", 2019, true},
+    {"Dettmers 2019", 2019, false},
+};
+constexpr int kNumReal = static_cast<int>(std::size(kRealPapers));
+constexpr int kCorpusSize = 81;
+
+// Year distribution for the reconstructed remainder (the survey's corpus
+// skews heavily toward 2017-2019).
+constexpr int kFillerYears[] = {2015, 2016, 2016, 2016, 2017, 2017, 2017, 2017,
+                                2017, 2017, 2018, 2018, 2018, 2018, 2018, 2018,
+                                2018, 2018, 2019, 2019, 2019, 2019, 2019, 2019};
+static_assert(kNumReal + static_cast<int>(std::size(kFillerYears)) == kCorpusSize);
+
+// ---------------------------------------------------------------------------
+// Self-reported tradeoff curves (Figures 3 and 5). Metric masks say which
+// of (compression, speedup) x (top1, top5) a method reports — the
+// fragmentation the paper's Section 4.3 documents.
+// ---------------------------------------------------------------------------
+
+constexpr unsigned kCR = 1, kSU = 2, kT1 = 4, kT5 = 8;
+
+struct CurveSpec {
+  const char* paper;
+  const char* method;  // figure-legend label
+  const char* dataset;
+  const char* arch;
+  unsigned metrics;
+  int points;
+  double ratio_lo, ratio_hi;  // compression (or speedup) range covered
+  double quality;             // > 1 = loses less accuracy than average
+  bool absolute_style;        // Figure 5 curves: absolute top-1 vs params
+  bool reports_stddev;
+};
+
+constexpr CurveSpec kCurves[] = {
+    // --- (ImageNet, VGG-16): the most common pair (22 papers, Table 1) ---
+    {"Collins 2014", "Collins 2014", "ImageNet", "VGG-16", kCR | kT1 | kT5, 3, 2, 8, 0.8, false, false},
+    {"Han 2015", "Han 2015", "ImageNet", "VGG-16", kCR | kSU | kT1 | kT5, 4, 2, 16, 1.3, false, false},
+    {"Zhang 2015", "Zhang 2015", "ImageNet", "VGG-16", kSU | kT5, 3, 2, 5, 1.0, false, false},
+    {"Han 2016", "Han 2016", "ImageNet", "VGG-16", kCR | kT1 | kT5, 3, 4, 16, 1.35, false, false},
+    {"Figurnov 2016", "Figurnov 2016", "ImageNet", "VGG-16", kSU | kT1 | kT5, 2, 1.5, 4, 0.9, false, false},
+    {"Hu 2016", "Hu 2016", "ImageNet", "VGG-16", kCR | kT5, 3, 1.5, 6, 1.0, false, false},
+    {"Srinivas 2017", "Srinivas 2017", "ImageNet", "VGG-16", kCR | kT1, 2, 4, 12, 1.0, false, false},
+    {"Alvarez 2017", "Alvarez 2017", "ImageNet", "VGG-16", kCR | kT1, 3, 2, 10, 1.0, false, false},
+    {"He 2017", "He 2017", "ImageNet", "VGG-16", kSU | kT5, 3, 2, 5, 1.1, false, false},
+    {"He 2017", "He 2017, 3C", "ImageNet", "VGG-16", kSU | kT5, 3, 2, 5, 1.25, false, false},
+    {"Lin 2017", "Lin 2017", "ImageNet", "VGG-16", kSU | kT1, 2, 1.5, 4, 0.9, false, false},
+    {"Luo 2017", "Luo 2017", "ImageNet", "VGG-16", kCR | kSU | kT1 | kT5, 3, 2, 8, 1.1, false, false},
+    {"Yang 2017", "Yang 2017", "ImageNet", "VGG-16", kCR | kSU | kT1, 2, 2, 6, 0.9, false, false},
+    {"Carreira-Perpinan 2018", "Carreira-Perpinan 2018", "ImageNet", "VGG-16", kCR | kT1, 4, 2, 16, 1.15, false, false},
+    {"Dubey 2018", "Dubey 2018, AP+Coreset-A", "ImageNet", "VGG-16", kCR | kT1 | kT5, 3, 4, 16, 1.1, false, false},
+    {"Dubey 2018", "Dubey 2018, AP+Coreset-K", "ImageNet", "VGG-16", kCR | kT1 | kT5, 3, 4, 16, 1.15, false, false},
+    {"Dubey 2018", "Dubey 2018, AP+Coreset-S", "ImageNet", "VGG-16", kCR | kT1 | kT5, 3, 4, 16, 1.05, false, false},
+    {"Peng 2018", "Peng 2018", "ImageNet", "VGG-16", kSU | kT5, 2, 2, 5, 1.1, false, false},
+    {"Suau 2018", "Suau 2018, PFA-En", "ImageNet", "VGG-16", kCR | kT1, 3, 2, 8, 1.0, false, false},
+    {"Suau 2018", "Suau 2018, PFA-KL", "ImageNet", "VGG-16", kCR | kT1, 3, 2, 8, 0.95, false, false},
+    {"Suzuki 2018", "Suzuki 2018", "ImageNet", "VGG-16", kCR | kT1, 2, 2, 6, 1.0, false, false},
+    {"Yamamoto 2018", "Yamamoto 2018", "ImageNet", "VGG-16", kSU | kT1, 2, 2, 4, 1.1, false, false},
+    {"Kim 2019", "Kim 2019", "ImageNet", "VGG-16", kCR | kSU | kT1, 3, 2, 10, 1.05, false, false},
+    {"Choi 2019", "Choi 2019", "ImageNet", "VGG-16", kCR | kT1, 2, 4, 12, 1.0, false, false},
+    {"Luo 2019", "Luo 2019", "ImageNet", "VGG-16", kSU | kT1, 2, 2, 5, 1.05, false, false},
+
+    // --- (ImageNet, AlexNet / CaffeNet): merged in Figure 3 (footnote 4) ---
+    {"Han 2015", "Han 2015", "ImageNet", "CaffeNet", kCR | kT1 | kT5, 3, 3, 12, 1.25, false, false},
+    {"Guo 2016", "Guo 2016", "ImageNet", "CaffeNet", kCR | kT5, 2, 8, 17, 1.2, false, false},
+    {"Srinivas 2016", "Srinivas 2016", "ImageNet", "AlexNet", kCR | kT1, 2, 2, 8, 0.85, false, false},
+    {"Kim 2016", "Kim 2016", "ImageNet", "AlexNet", kSU | kT5, 2, 1.5, 3, 1.0, false, false},
+    {"Wen 2016", "Wen 2016", "ImageNet", "CaffeNet", kSU | kT1 | kT5, 3, 1.5, 4, 1.0, false, false},
+    {"Hu 2016", "Hu 2016", "ImageNet", "AlexNet", kCR | kT5, 2, 2, 6, 0.95, false, false},
+    {"Yang 2017", "Yang 2017", "ImageNet", "AlexNet", kCR | kSU | kT1, 3, 2, 8, 0.9, false, false},
+    {"Ding 2018", "Ding 2018", "ImageNet", "CaffeNet", kCR | kT1, 2, 2, 6, 1.0, false, false},
+    {"Srinivas 2017", "Srinivas 2017", "ImageNet", "AlexNet", kCR | kT1, 2, 4, 12, 1.0, false, false},
+    {"Kim 2019", "Kim 2019", "ImageNet", "AlexNet", kSU | kT5, 2, 1.5, 3.5, 1.05, false, false},
+
+    // --- (ImageNet, ResNet-50): 15 papers use the pair (Table 1) ---
+    {"He 2017", "He 2017", "ImageNet", "ResNet-50", kSU | kT5, 2, 1.5, 3, 1.05, false, false},
+    {"Luo 2017", "Luo 2017", "ImageNet", "ResNet-50", kCR | kSU | kT1 | kT5, 3, 1.5, 4, 1.05, false, false},
+    {"Alvarez 2017", "Alvarez 2017", "ImageNet", "ResNet-50", kCR | kT1, 3, 1.5, 4, 1.0, false, false},
+    {"Huang 2018", "Huang 2018", "ImageNet", "ResNet-50", kCR | kSU | kT1 | kT5, 3, 1.5, 4, 1.05, false, false},
+    {"Lin 2018", "Lin 2018", "ImageNet", "ResNet-50", kCR | kSU | kT1, 2, 1.5, 3, 1.0, false, false},
+    {"He, Yihui 2018", "He, Yihui 2018", "ImageNet", "ResNet-50", kSU | kT1, 1, 1.8, 1.8, 1.15, false, false},
+    {"Yu 2018", "Yu 2018", "ImageNet", "ResNet-50", kCR | kT1, 2, 1.5, 3, 1.05, false, false},
+    {"Zhuang 2018", "Zhuang 2018", "ImageNet", "ResNet-50", kSU | kT1, 2, 1.5, 3, 1.1, false, false},
+    {"Peng 2019", "Peng 2019, CCP", "ImageNet", "ResNet-50", kSU | kT1 | kT5, 2, 1.5, 2.5, 1.2, false, false},
+    {"Peng 2019", "Peng 2019, CCP-AC", "ImageNet", "ResNet-50", kSU | kT1 | kT5, 2, 1.5, 2.5, 1.25, false, false},
+    {"Gale 2019", "Gale 2019, Magnitude-v2", "ImageNet", "ResNet-50", kCR | kT1, 5, 1.5, 10, 1.2, false, false},
+    {"Liu 2019", "Liu 2019, Scratch-B", "ImageNet", "ResNet-50", kCR | kSU | kT1, 3, 1.5, 4, 1.1, false, false},
+    {"Dubey 2018", "Dubey 2018, AP+Coreset-K", "ImageNet", "ResNet-50", kCR | kT1, 2, 2, 6, 1.1, false, false},
+
+    // --- (CIFAR-10, ResNet-56): 14 papers use the pair (Table 1) ---
+    {"Li 2017", "Li 2017", "CIFAR-10", "ResNet-56", kCR | kSU | kT1, 2, 1.5, 3, 1.0, false, false},
+    {"He 2017", "He 2017", "CIFAR-10", "ResNet-56", kSU | kT1, 1, 2, 2, 1.0, false, false},
+    {"He, Yang 2018", "He, Yang 2018", "CIFAR-10", "ResNet-56", kSU | kT1, 2, 1.5, 3, 1.05, false, true},
+    {"He, Yang 2018", "He, Yang 2018, Fine-Tune", "CIFAR-10", "ResNet-56", kSU | kT1, 2, 1.5, 3, 1.15, false, true},
+    {"Carreira-Perpinan 2018", "Carreira-Perpinan 2018", "CIFAR-10", "ResNet-56", kCR | kT1, 4, 2, 32, 1.2, false, false},
+    {"Suzuki 2018", "Suzuki 2018", "CIFAR-10", "ResNet-56", kCR | kT1, 2, 2, 8, 1.0, false, false},
+    {"Ding 2018", "Ding 2018", "CIFAR-10", "ResNet-56", kCR | kT1, 2, 2, 6, 1.05, false, false},
+    {"Liu 2019", "Liu 2019, Scratch-B", "CIFAR-10", "ResNet-56", kCR | kSU | kT1, 3, 2, 8, 1.1, false, false},
+    {"He, Yihui 2018", "He, Yihui 2018", "CIFAR-10", "ResNet-56", kSU | kT1, 1, 2, 2, 1.1, false, false},
+    {"Peng 2019", "Peng 2019, CCP", "CIFAR-10", "ResNet-56", kSU | kT1, 2, 1.5, 3, 1.2, false, false},
+    {"Huang 2018", "Huang 2018", "CIFAR-10", "ResNet-56", kCR | kT1, 2, 2, 8, 1.05, false, false},
+
+    // --- Figure 1 sources beyond the big four ---
+    {"He, Yihui 2018", "He, Yihui 2018", "ImageNet", "MobileNet-V2", kCR | kSU | kT1, 2, 1.3, 2, 1.1, false, false},
+    {"Liu 2019", "Liu 2019, Scratch-B", "ImageNet", "MobileNet-V2", kCR | kT1, 2, 1.3, 2, 1.0, false, false},
+    {"He, Yang 2018", "He, Yang 2018", "ImageNet", "ResNet-18", kSU | kT1 | kT5, 2, 1.5, 2.5, 1.0, false, false},
+    {"Dong 2017", "Dong 2017", "ImageNet", "ResNet-18", kSU | kT1 | kT5, 2, 1.3, 2, 0.95, false, false},
+    {"Li 2017", "Li 2017", "ImageNet", "ResNet-34", kCR | kSU | kT1, 2, 1.2, 1.6, 1.0, false, false},
+    {"Dong 2017", "Dong 2017", "ImageNet", "ResNet-34", kSU | kT1, 2, 1.3, 2, 1.0, false, false},
+
+    // --- Figure 5: ResNet-50 magnitude variants vs all other methods ---
+    {"Frankle 2019", "Frankle 2019, PruneAtEpoch=15", "ImageNet", "ResNet-50", kCR | kT1, 5, 1.5, 16, 1.1, true, false},
+    {"Frankle 2019", "Frankle 2019, PruneAtEpoch=90", "ImageNet", "ResNet-50", kCR | kT1, 5, 1.5, 16, 1.2, true, false},
+    {"Frankle 2019", "Frankle 2019, ResetToEpoch=10", "ImageNet", "ResNet-50", kCR | kT1, 4, 1.5, 16, 1.15, true, false},
+    {"Frankle 2019", "Frankle 2019, ResetToEpoch=R", "ImageNet", "ResNet-50", kCR | kT1, 4, 1.5, 16, 0.9, true, false},
+    {"Gale 2019", "Gale 2019, Magnitude", "ImageNet", "ResNet-50", kCR | kT1, 6, 1.5, 16, 1.1, true, false},
+    {"Gale 2019", "Gale 2019, Magnitude-v2", "ImageNet", "ResNet-50", kCR | kT1, 6, 1.5, 16, 1.25, true, false},
+    {"Liu 2019", "Liu 2019, Magnitude", "ImageNet", "ResNet-50", kCR | kT1, 4, 1.5, 12, 1.05, true, false},
+    {"Alvarez 2017", "Alvarez 2017", "ImageNet", "ResNet-50", kCR | kT1, 3, 1.5, 4, 1.0, true, false},
+    {"Dubey 2018", "Dubey 2018, AP+Coreset-A", "ImageNet", "ResNet-50", kCR | kT1, 2, 2, 6, 1.05, true, false},
+    {"Dubey 2018", "Dubey 2018, AP+Coreset-S", "ImageNet", "ResNet-50", kCR | kT1, 2, 2, 6, 1.0, true, false},
+    {"Gale 2019", "Gale 2019, SparseVD", "ImageNet", "ResNet-50", kCR | kT1, 5, 1.5, 16, 1.2, true, false},
+    {"Yamamoto 2018", "Yamamoto 2018", "ImageNet", "ResNet-50", kSU | kT1, 2, 1.5, 2.5, 1.05, true, false},
+};
+
+// The methods whose Figure 5 panel is "unstructured magnitude variants".
+// (analysis.cpp exports this set for the fig5 bench.)
+
+// ---------------------------------------------------------------------------
+// Table 1 pair quotas.
+// ---------------------------------------------------------------------------
+
+struct PairQuota {
+  const char* dataset;
+  const char* arch;
+  int papers;
+};
+
+constexpr PairQuota kTable1[] = {
+    {"ImageNet", "VGG-16", 22},      {"ImageNet", "ResNet-50", 15},
+    {"MNIST", "LeNet-5-Caffe", 14},  {"CIFAR-10", "ResNet-56", 14},
+    {"MNIST", "LeNet-300-100", 12},  {"MNIST", "LeNet-5", 11},
+    {"ImageNet", "CaffeNet", 10},    {"CIFAR-10", "CIFAR-VGG (Torch)", 8},
+    {"ImageNet", "AlexNet", 8},      {"ImageNet", "ResNet-18", 6},
+    {"ImageNet", "ResNet-34", 6},    {"CIFAR-10", "ResNet-110", 5},
+    {"CIFAR-10", "PreResNet-164", 4}, {"CIFAR-10", "ResNet-32", 4},
+};
+
+constexpr int kDistinctDatasets = 49;
+constexpr int kDistinctArchs = 132;
+constexpr int kDistinctPairs = 195;
+
+const char* kExtraDatasets[] = {
+    "CIFAR-100", "SVHN", "Tiny-ImageNet", "Fashion-MNIST", "EMNIST", "STL-10", "Caltech-101",
+    "Caltech-256", "Places365", "SUN397", "PASCAL-VOC-2007", "PASCAL-VOC-2012", "COCO",
+    "Cityscapes", "CamVid", "ADE20K", "KITTI", "Flowers-102", "CUB-200", "Stanford-Cars",
+    "FGVC-Aircraft", "Food-101", "DTD", "UCF-101", "HMDB-51", "Kinetics", "Penn-Treebank",
+    "WikiText-2", "WikiText-103", "One-Billion-Word", "IMDB", "SST-2", "AG-News",
+    "Yelp-Reviews", "SQuAD", "WMT14-EnFr", "WMT14-EnDe", "LibriSpeech", "TIMIT", "WSJ",
+    "VoxCeleb", "MS-Celeb-1M", "LFW", "MegaFace", "Market-1501", "DukeMTMC"};
+static_assert(std::size(kExtraDatasets) == kDistinctDatasets - 3);  // + ImageNet/MNIST/CIFAR-10
+
+const char* kExtraArchNames[] = {
+    "VGG-11", "VGG-13", "VGG-19", "ResNet-101", "ResNet-152", "ResNet-20", "ResNet-44",
+    "PreResNet-56", "PreResNet-110", "WRN-16-8", "WRN-28-10", "WRN-40-4", "DenseNet-40",
+    "DenseNet-121", "DenseNet-169", "GoogLeNet", "Inception-V3", "Inception-V4", "Xception",
+    "MobileNet-V1", "MobileNet-V2", "ShuffleNet-V1", "ShuffleNet-V2", "SqueezeNet", "NASNet-A",
+    "AmoebaNet", "AlexNet-BN", "ZFNet", "OverFeat", "Network-in-Network", "FCN-8s", "SegNet",
+    "U-Net", "DeepLab-v3", "Faster-R-CNN", "SSD-300", "YOLOv2", "LSTM-2x650", "LSTM-2x1500",
+    "GRU-2x512", "Transformer-Base", "WaveNet", "DeepSpeech-2", "BERT-Base"};
+
+// ---------------------------------------------------------------------------
+// Comparison graph (Figure 2). Out-degree histogram follows the paper's
+// stated shape: >1/4 compare to none, ~1/4 to one, nearly all to <= 3.
+// ---------------------------------------------------------------------------
+
+struct OutDegreeSpec {
+  const char* label;
+  int degree;
+};
+
+// The rigorous comparison studies really did compare broadly (Section 4.5
+// names Gale 2019 and Liu 2019 as the near-only examples).
+constexpr OutDegreeSpec kHighComparers[] = {
+    {"Gale 2019", 10}, {"Liu 2019", 8},       {"Frankle & Carbin 2019", 6},
+    {"Yu 2018", 5},    {"He, Yihui 2018", 5}, {"Zhuang 2018", 5},
+    {"Luo 2017", 4},   {"He 2017", 4},        {"Huang 2018", 4},
+    {"Peng 2019", 4},  {"Mostafa 2019", 4},
+};
+
+// Popularity weights for who gets compared *to* (in-degree). Magnitude
+// pruning and the classics dominate, mirroring Section 4.1.
+const std::map<std::string, double>& popularity() {
+  static const std::map<std::string, double> kPopularity = {
+      {"Han 2015", 16.0},  {"LeCun 1990", 8.0},  {"Li 2017", 9.0},
+      {"He 2017", 9.0},    {"Hassibi 1993", 5.0}, {"Wen 2016", 7.0},
+      {"Luo 2017", 7.0},   {"Han 2016", 6.0},     {"Guo 2016", 5.0},
+      {"Molchanov 2017", 4.0}, {"Molchanov 2016", 4.0}, {"Liu 2017", 4.0},
+      {"Frankle & Carbin 2019", 4.0}, {"Zhang 2015", 3.0}, {"Louizos 2017", 3.0},
+      {"Dong 2017", 2.5},  {"Lee 2019", 2.5},     {"Yu 2018", 2.0},
+  };
+  return kPopularity;
+}
+
+// ---------------------------------------------------------------------------
+// Point synthesis. Accuracy deltas follow a smooth efficiency/quality
+// tradeoff with method-specific quality and reproducible jitter, spanning
+// the value ranges visible in Figures 3 and 5.
+// ---------------------------------------------------------------------------
+
+double delta_top1_at(double ratio, double quality, bool small_scale, Rng& rng) {
+  // Gain at light pruning (pruning sometimes *increases* accuracy, §3.2),
+  // polynomial-in-log2 drop at heavy pruning.
+  const double gain = 0.35 * quality * std::exp(-(ratio - 1.0) / 2.5);
+  const double l = std::max(0.0, std::log2(ratio));
+  const double scale = small_scale ? 0.12 : 0.30;  // CIFAR deltas are smaller
+  const double drop = scale * std::pow(l, 1.9) / quality;
+  return gain - drop + rng.normal(0.0, small_scale ? 0.08 : 0.2);
+}
+
+std::vector<ResultPoint> make_points(const CurveSpec& spec, Rng& rng) {
+  std::vector<ResultPoint> points;
+  const bool small_scale = std::string(spec.dataset) == "CIFAR-10";
+  for (int i = 0; i < spec.points; ++i) {
+    // Log-spaced operating points across the method's reported range.
+    const double t = spec.points == 1 ? 0.0 : static_cast<double>(i) / (spec.points - 1);
+    const double ratio =
+        spec.ratio_lo * std::pow(spec.ratio_hi / spec.ratio_lo, t) * rng.uniform(0.95, 1.05);
+    ResultPoint p;
+    const bool structured = (spec.metrics & kSU) && !(spec.metrics & kCR);
+    if (spec.metrics & kCR) p.compression = ratio;
+    if (spec.metrics & kSU) {
+      // Unstructured pruning converts compression to speedup sub-linearly;
+      // structured methods report speedup directly.
+      p.speedup = structured ? ratio : std::pow(ratio, 0.78) * rng.uniform(0.9, 1.1);
+    }
+    const double d1 = delta_top1_at(ratio, spec.quality, small_scale, rng);
+    if (spec.metrics & kT1) p.delta_top1 = d1;
+    if (spec.metrics & kT5) p.delta_top5 = 0.6 * d1 + rng.normal(0.0, 0.05);
+    points.push_back(p);
+  }
+  return points;
+}
+
+void attach_baseline(TradeoffCurve& curve, Rng& rng) {
+  // Papers report slightly different baselines for the "same" model —
+  // Section 5.2's up-to-4x FLOP discrepancy in miniature. Only some papers
+  // report baselines at all (footnote 1's motivation).
+  if (rng.uniform() < 0.4) return;
+  struct Baseline {
+    double params, flops, top1, top5;
+  };
+  static const std::map<std::string, Baseline> kBaselines = {
+      {"VGG-16", {138.4, 15.5, 71.6, 90.4}},     {"ResNet-50", {25.6, 4.1, 76.1, 92.9}},
+      {"AlexNet", {61.0, 0.72, 57.2, 80.2}},     {"CaffeNet", {60.9, 0.72, 57.4, 80.4}},
+      {"ResNet-18", {11.7, 1.8, 69.8, 89.1}},    {"ResNet-34", {21.8, 3.6, 73.3, 91.4}},
+      {"MobileNet-V2", {3.5, 0.31, 71.9, 91.0}}, {"ResNet-56", {0.85, 0.127, 93.0, 99.7}},
+  };
+  const auto it = kBaselines.find(curve.architecture);
+  if (it == kBaselines.end()) return;
+  const Baseline& b = it->second;
+  curve.baseline_params = b.params * rng.uniform(0.97, 1.03);
+  curve.baseline_flops = b.flops * rng.uniform(0.75, 1.5);  // FLOP formulas disagree most
+  curve.baseline_top1 = b.top1 + rng.normal(0.0, 0.4);
+  curve.baseline_top5 = b.top5 + rng.normal(0.0, 0.25);
+}
+
+// ---------------------------------------------------------------------------
+
+Corpus build_corpus() {
+  Rng rng(0x5043);
+  Corpus corpus;
+
+  // 1. Papers.
+  for (int i = 0; i < kNumReal; ++i) {
+    PaperRecord p;
+    p.id = i;
+    p.label = kRealPapers[i].label;
+    p.year = kRealPapers[i].year;
+    p.peer_reviewed = kRealPapers[i].peer_reviewed;
+    corpus.papers.push_back(std::move(p));
+  }
+  for (size_t i = 0; i < std::size(kFillerYears); ++i) {
+    PaperRecord p;
+    p.id = kNumReal + static_cast<int>(i);
+    p.label = "Entry-" + std::to_string(p.id + 1) + " (reconstructed)";
+    p.year = kFillerYears[i];
+    p.peer_reviewed = (i % 5) < 3;  // ~60% of the remainder peer-reviewed
+    corpus.papers.push_back(std::move(p));
+  }
+
+  auto paper_by_label = [&](const std::string& label) -> PaperRecord& {
+    for (auto& p : corpus.papers) {
+      if (p.label == label) return p;
+    }
+    throw std::logic_error("corpus: unknown paper label '" + label + "'");
+  };
+
+  // 2. Curves (+ the pairs they imply).
+  for (const CurveSpec& spec : kCurves) {
+    PaperRecord& paper = paper_by_label(spec.paper);
+    TradeoffCurve curve;
+    curve.method_label = spec.method;
+    curve.dataset = spec.dataset;
+    curve.architecture = spec.arch;
+    curve.points = make_points(spec, rng);
+    curve.reports_stddev = spec.reports_stddev;
+    attach_baseline(curve, rng);
+    paper.curves.push_back(std::move(curve));
+    const std::pair<std::string, std::string> pair{spec.dataset, spec.arch};
+    if (std::find(paper.pairs.begin(), paper.pairs.end(), pair) == paper.pairs.end()) {
+      paper.pairs.push_back(pair);
+    }
+  }
+
+  // 3. Fill Table 1 pair quotas. Candidate papers are chosen
+  // deterministically, preferring papers that already have few pairs so
+  // the pairs-per-paper histogram stays bottom-heavy (Figure 4, top).
+  for (const PairQuota& quota : kTable1) {
+    const std::pair<std::string, std::string> pair{quota.dataset, quota.arch};
+    int have = 0;
+    for (const auto& p : corpus.papers) {
+      have += std::count(p.pairs.begin(), p.pairs.end(), pair) > 0 ? 1 : 0;
+    }
+    // Deterministic rotation so different pairs land on different papers.
+    const size_t start =
+        std::hash<std::string>{}(std::string(quota.dataset) + quota.arch) % corpus.papers.size();
+    size_t idx = start;
+    const bool mnist = std::string(quota.dataset) == "MNIST";
+    while (have < quota.papers) {
+      PaperRecord& p = corpus.papers[idx % corpus.papers.size()];
+      idx += 7;  // coprime stride over 81 papers
+      if (std::find(p.pairs.begin(), p.pairs.end(), pair) != p.pairs.end()) continue;
+      if (p.year < 2014) continue;  // classics predate these benchmarks
+      // MNIST configs skew toward earlier/simpler papers (§4.2).
+      if (mnist && p.year >= 2019 && idx % 3 != 0) continue;
+      if (p.pairs.size() >= 6) continue;
+      p.pairs.push_back(pair);
+      ++have;
+    }
+  }
+
+  // 4. Rare pairs: grow the long tail until exactly 49 datasets, 132
+  // architectures, and 195 distinct pairs exist. Every paper gets at least
+  // one pair; extra pairs go to papers round-robin, preferring those with
+  // the fewest so far.
+  std::set<std::string> datasets, archs;
+  std::set<std::pair<std::string, std::string>> distinct_pairs;
+  for (const auto& p : corpus.papers) {
+    for (const auto& pr : p.pairs) {
+      datasets.insert(pr.first);
+      archs.insert(pr.second);
+      distinct_pairs.insert(pr);
+    }
+  }
+
+  size_t next_dataset = 0, next_arch = 0;
+  int synth_arch_counter = 0;
+  auto fresh_pair = [&]() -> std::pair<std::string, std::string> {
+    // Introduce new datasets/architectures while the survey's totals have
+    // not been met; afterwards recombine existing names.
+    std::string ds;
+    if (static_cast<int>(datasets.size()) < kDistinctDatasets &&
+        next_dataset < std::size(kExtraDatasets)) {
+      ds = kExtraDatasets[next_dataset++];
+    } else {
+      auto it = datasets.begin();
+      std::advance(it, static_cast<long>(rng.randint(static_cast<int64_t>(datasets.size()))));
+      ds = *it;
+    }
+    std::string arch;
+    if (static_cast<int>(archs.size()) < kDistinctArchs) {
+      if (next_arch < std::size(kExtraArchNames)) {
+        arch = kExtraArchNames[next_arch++];
+      } else {
+        arch = "Custom-CNN-" + std::to_string(++synth_arch_counter);
+      }
+    } else {
+      auto it = archs.begin();
+      std::advance(it, static_cast<long>(rng.randint(static_cast<int64_t>(archs.size()))));
+      arch = *it;
+    }
+    return {ds, arch};
+  };
+
+  // Papers with no pairs yet (classics, fillers) get one first.
+  for (auto& p : corpus.papers) {
+    if (!p.pairs.empty()) continue;
+    std::pair<std::string, std::string> pr;
+    if (p.year < 2010) {
+      pr = {"MNIST", p.label == "LeCun 1990" ? "LeNet-300-100" : "XOR-MLP"};
+    } else {
+      pr = fresh_pair();
+    }
+    while (distinct_pairs.count(pr) != 0) pr = fresh_pair();
+    p.pairs.push_back(pr);
+    datasets.insert(pr.first);
+    archs.insert(pr.second);
+    distinct_pairs.insert(pr);
+  }
+
+  size_t rr = 0;
+  while (static_cast<int>(distinct_pairs.size()) < kDistinctPairs ||
+         static_cast<int>(datasets.size()) < kDistinctDatasets ||
+         static_cast<int>(archs.size()) < kDistinctArchs) {
+    PaperRecord& p = corpus.papers[rr++ % corpus.papers.size()];
+    if (p.year < 2010) continue;
+    if (p.pairs.size() >= 8 && rr % 13 != 0) continue;  // keep the histogram bottom-heavy
+    auto pr = fresh_pair();
+    int guard = 0;
+    while ((distinct_pairs.count(pr) != 0 ||
+            std::find(p.pairs.begin(), p.pairs.end(), pr) != p.pairs.end()) &&
+           guard++ < 64) {
+      pr = fresh_pair();
+    }
+    if (distinct_pairs.count(pr) != 0) continue;
+    p.pairs.push_back(pr);
+    datasets.insert(pr.first);
+    archs.insert(pr.second);
+    distinct_pairs.insert(pr);
+  }
+
+  // 5. Comparison graph. Fixed out-degrees for the rigorous studies, then
+  // histogram-shaped degrees for everyone else; targets drawn by
+  // popularity among strictly earlier papers.
+  std::map<std::string, int> fixed_degree;
+  for (const auto& spec : kHighComparers) fixed_degree[spec.label] = spec.degree;
+
+  // Remaining papers (81 - 11 fixed = 70): 21 zeros, 19 ones, 18 twos,
+  // 12 threes — exactly the "quarter compare to none, another quarter to
+  // one, nearly all three or fewer" shape.
+  std::vector<int> rest_degrees;
+  for (int i = 0; i < 21; ++i) rest_degrees.push_back(0);
+  for (int i = 0; i < 19; ++i) rest_degrees.push_back(1);
+  for (int i = 0; i < 18; ++i) rest_degrees.push_back(2);
+  for (int i = 0; i < 12; ++i) rest_degrees.push_back(3);
+  assert(rest_degrees.size() + std::size(kHighComparers) == kCorpusSize);
+
+  size_t rest_idx = 0;
+  for (auto& p : corpus.papers) {
+    int degree;
+    if (auto it = fixed_degree.find(p.label); it != fixed_degree.end()) {
+      degree = it->second;
+    } else if (p.year < 2010) {
+      degree = 0;  // classics predate the corpus
+      ++rest_idx;  // consumes a zero slot
+    } else {
+      degree = rest_degrees[rest_idx++ % rest_degrees.size()];
+    }
+
+    // Candidates: strictly earlier papers (ties broken by id order).
+    std::vector<int> candidates;
+    std::vector<double> weights;
+    for (const auto& q : corpus.papers) {
+      if (q.year > p.year || (q.year == p.year && q.id >= p.id)) continue;
+      candidates.push_back(q.id);
+      const auto& pop = popularity();
+      const auto it = pop.find(q.label);
+      double w = it != pop.end() ? it->second : 1.0;
+      if (q.label.find("reconstructed") != std::string::npos) w = 0.2;
+      weights.push_back(w);
+    }
+    degree = std::min<int>(degree, static_cast<int>(candidates.size()));
+    for (int d = 0; d < degree; ++d) {
+      double total = 0.0;
+      for (double w : weights) total += w;
+      if (total <= 0.0) break;
+      double draw = rng.uniform(0.0, total);
+      size_t pick = 0;
+      for (; pick < weights.size(); ++pick) {
+        draw -= weights[pick];
+        if (draw <= 0.0) break;
+      }
+      pick = std::min(pick, weights.size() - 1);
+      p.compares_to.push_back(candidates[pick]);
+      weights[pick] = 0.0;  // without replacement
+    }
+    std::sort(p.compares_to.begin(), p.compares_to.end());
+  }
+
+  return corpus;
+}
+
+}  // namespace
+
+const PaperRecord* Corpus::find(const std::string& label) const {
+  for (const auto& p : papers) {
+    if (p.label == label) return &p;
+  }
+  return nullptr;
+}
+
+const Corpus& pruning_corpus() {
+  static const Corpus corpus = build_corpus();
+  return corpus;
+}
+
+}  // namespace shrinkbench::corpus

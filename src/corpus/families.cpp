@@ -1,0 +1,48 @@
+#include "corpus/families.hpp"
+
+namespace shrinkbench::corpus {
+
+const std::vector<ArchitectureFamily>& architecture_families() {
+  static const std::vector<ArchitectureFamily> kFamilies = {
+      {"MobileNet-v2",
+       2018,
+       {
+           {"MobileNet-v2 0.5x", 2.0, 0.10, 65.4, 86.4},
+           {"MobileNet-v2 0.75x", 2.6, 0.21, 69.8, 89.6},
+           {"MobileNet-v2", 3.5, 0.31, 71.9, 91.0},
+           {"MobileNet-v2 1.4x", 6.1, 0.58, 74.7, 92.0},
+       }},
+      {"ResNet",
+       2016,
+       {
+           {"ResNet-18", 11.7, 1.8, 69.8, 89.1},
+           {"ResNet-34", 21.8, 3.6, 73.3, 91.4},
+           {"ResNet-50", 25.6, 4.1, 76.0, 92.9},
+           {"ResNet-101", 44.5, 7.8, 77.4, 93.5},
+           {"ResNet-152", 60.2, 11.5, 78.3, 94.0},
+       }},
+      {"VGG",
+       2014,
+       {
+           {"VGG-11", 132.9, 7.6, 69.0, 88.6},
+           {"VGG-13", 133.0, 11.3, 69.9, 89.3},
+           {"VGG-16", 138.4, 15.5, 71.6, 90.4},
+           {"VGG-19", 143.7, 19.6, 72.4, 90.9},
+       }},
+      {"EfficientNet",
+       2019,
+       {
+           {"EfficientNet-B0", 5.3, 0.39, 77.1, 93.3},
+           {"EfficientNet-B1", 7.8, 0.70, 79.1, 94.4},
+           {"EfficientNet-B2", 9.2, 1.0, 80.1, 94.9},
+           {"EfficientNet-B3", 12.0, 1.8, 81.6, 95.7},
+           {"EfficientNet-B4", 19.0, 4.2, 82.9, 96.4},
+           {"EfficientNet-B5", 30.0, 9.9, 83.6, 96.7},
+           {"EfficientNet-B6", 43.0, 19.0, 84.0, 96.8},
+           {"EfficientNet-B7", 66.0, 37.0, 84.3, 97.0},
+       }},
+  };
+  return kFamilies;
+}
+
+}  // namespace shrinkbench::corpus

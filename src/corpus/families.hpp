@@ -1,0 +1,29 @@
+// Published size/FLOPs/accuracy figures for unpruned architecture
+// families — the solid curves of the paper's Figure 1. Values are the
+// standard ImageNet numbers from Tan & Le (2019) and Bianco et al. (2018),
+// the same sources the paper cites.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace shrinkbench::corpus {
+
+struct ArchitecturePoint {
+  std::string name;
+  double params_millions = 0.0;
+  double flops_billions = 0.0;  // multiply-adds per forward pass
+  double top1 = 0.0;
+  double top5 = 0.0;
+};
+
+struct ArchitectureFamily {
+  std::string name;
+  int year = 0;
+  std::vector<ArchitecturePoint> members;  // ordered small -> large
+};
+
+/// MobileNet-v2 (2018), ResNet (2016), VGG (2014), EfficientNet (2019).
+const std::vector<ArchitectureFamily>& architecture_families();
+
+}  // namespace shrinkbench::corpus

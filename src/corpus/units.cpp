@@ -1,0 +1,57 @@
+#include "corpus/units.hpp"
+
+namespace shrinkbench::corpus {
+
+namespace {
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+}  // namespace
+
+double accuracy_from_error(double error_percent) {
+  require(error_percent >= 0.0 && error_percent <= 100.0,
+          "accuracy_from_error: error must be in [0, 100]");
+  return 100.0 - error_percent;
+}
+
+double compression_from_fraction_pruned(double fraction_pruned) {
+  require(fraction_pruned >= 0.0 && fraction_pruned < 1.0,
+          "compression_from_fraction_pruned: fraction must be in [0, 1)");
+  return 1.0 / (1.0 - fraction_pruned);
+}
+
+double compression_from_fraction_remaining(double fraction_remaining) {
+  require(fraction_remaining > 0.0 && fraction_remaining <= 1.0,
+          "compression_from_fraction_remaining: fraction must be in (0, 1]");
+  return 1.0 / fraction_remaining;
+}
+
+double compression_from_misused_ratio(double one_minus_small_over_orig) {
+  // "compression ratio = 1 - compressed/original" (§5.2's misuse) is just
+  // the fraction pruned under another name.
+  return compression_from_fraction_pruned(one_minus_small_over_orig);
+}
+
+double fraction_pruned_from_compression(double compression_ratio) {
+  require(compression_ratio >= 1.0, "fraction_pruned_from_compression: ratio must be >= 1");
+  return 1.0 - 1.0 / compression_ratio;
+}
+
+double fraction_remaining_from_compression(double compression_ratio) {
+  require(compression_ratio >= 1.0, "fraction_remaining_from_compression: ratio must be >= 1");
+  return 1.0 / compression_ratio;
+}
+
+double speedup_from_flops_remaining(double flops_fraction_remaining) {
+  require(flops_fraction_remaining > 0.0 && flops_fraction_remaining <= 1.0,
+          "speedup_from_flops_remaining: fraction must be in (0, 1]");
+  return 1.0 / flops_fraction_remaining;
+}
+
+double speedup_from_flops_reduction_percent(double reduction_percent) {
+  require(reduction_percent >= 0.0 && reduction_percent < 100.0,
+          "speedup_from_flops_reduction_percent: percent must be in [0, 100)");
+  return 1.0 / (1.0 - reduction_percent / 100.0);
+}
+
+}  // namespace shrinkbench::corpus

@@ -1,0 +1,41 @@
+// Metric conversions for corpus ingestion (paper Appendix A / §5.2).
+//
+// Papers report the same quantity under many conventions: Top-1 *error*
+// vs accuracy, "fraction of parameters pruned" vs "fraction remaining"
+// vs "compression ratio" (which §5.2 notes is misused as 1 - small/orig
+// by many pruning papers, against the compression literature's
+// orig/small), and several "speedup" formulas. These helpers convert
+// everything to the survey's standard metrics — compression ratio =
+// original/compressed and theoretical speedup = original madds / pruned
+// madds — and throw on out-of-domain inputs instead of silently
+// producing nonsense.
+#pragma once
+
+#include <stdexcept>
+
+namespace shrinkbench::corpus {
+
+/// Top-1/Top-5 error (percent) -> accuracy (percent).
+double accuracy_from_error(double error_percent);
+
+/// Fraction of parameters *pruned* in [0, 1) -> compression ratio (>= 1).
+double compression_from_fraction_pruned(double fraction_pruned);
+
+/// Fraction of parameters *remaining* in (0, 1] -> compression ratio.
+double compression_from_fraction_remaining(double fraction_remaining);
+
+/// The §5.2 misuse: many pruning papers call (1 - compressed/original)
+/// the "compression ratio". Converts that convention to the standard one.
+double compression_from_misused_ratio(double one_minus_small_over_orig);
+
+/// Inverse conversions (for emitting both conventions in reports).
+double fraction_pruned_from_compression(double compression_ratio);
+double fraction_remaining_from_compression(double compression_ratio);
+
+/// original madds / pruned madds from a FLOPs-remaining fraction.
+double speedup_from_flops_remaining(double flops_fraction_remaining);
+
+/// Some papers report "FLOPs reduced by X%"; convert to speedup.
+double speedup_from_flops_reduction_percent(double reduction_percent);
+
+}  // namespace shrinkbench::corpus

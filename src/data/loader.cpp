@@ -1,0 +1,108 @@
+#include "data/loader.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+namespace shrinkbench {
+
+DataLoader::DataLoader(const Dataset& dataset, int64_t batch_size, bool shuffle, uint64_t seed)
+    : DataLoader(dataset, batch_size, shuffle, seed, AugmentOptions{}) {}
+
+DataLoader::DataLoader(const Dataset& dataset, int64_t batch_size, bool shuffle, uint64_t seed,
+                       AugmentOptions augment)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(seed),
+      augment_(augment),
+      augment_rng_(seed ^ 0xa46e57ULL) {
+  if (batch_size_ <= 0) throw std::invalid_argument("DataLoader: batch_size must be positive");
+  order_.resize(static_cast<size_t>(dataset_.size()));
+  std::iota(order_.begin(), order_.end(), int64_t{0});
+  reset();
+}
+
+void DataLoader::augment_in_place(Tensor& x) {
+  const int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+  std::vector<float> scratch(static_cast<size_t>(h * w));
+  for (int64_t i = 0; i < n; ++i) {
+    const bool flip = augment_.hflip && augment_rng_.bernoulli(0.5);
+    const int64_t dy =
+        augment_.max_shift > 0
+            ? augment_rng_.randint(2 * augment_.max_shift + 1) - augment_.max_shift
+            : 0;
+    const int64_t dx =
+        augment_.max_shift > 0
+            ? augment_rng_.randint(2 * augment_.max_shift + 1) - augment_.max_shift
+            : 0;
+    for (int64_t ch = 0; ch < c; ++ch) {
+      float* plane = x.data() + (i * c + ch) * h * w;
+      if (flip || dy != 0 || dx != 0) {
+        for (int64_t y = 0; y < h; ++y) {
+          const int64_t sy = ((y + dy) % h + h) % h;
+          for (int64_t xx = 0; xx < w; ++xx) {
+            int64_t sx = ((xx + dx) % w + w) % w;
+            if (flip) sx = w - 1 - sx;
+            scratch[static_cast<size_t>(y * w + xx)] = plane[sy * w + sx];
+          }
+        }
+        std::copy(scratch.begin(), scratch.end(), plane);
+      }
+      if (augment_.noise_std > 0.0f) {
+        for (int64_t k = 0; k < h * w; ++k) {
+          plane[k] += static_cast<float>(augment_rng_.normal(0.0, augment_.noise_std));
+        }
+      }
+    }
+  }
+}
+
+void DataLoader::reset() {
+  cursor_ = 0;
+  if (shuffle_) order_ = rng_.permutation(dataset_.size());
+}
+
+bool DataLoader::next(Batch& batch) {
+  const int64_t n = dataset_.size();
+  if (cursor_ >= n) return false;
+  const int64_t take = std::min(batch_size_, n - cursor_);
+  const Shape sample = dataset_.sample_shape();
+  const int64_t sample_numel = numel_of(sample);
+
+  batch.x = Tensor({take, sample[0], sample[1], sample[2]});
+  batch.y.resize(static_cast<size_t>(take));
+  for (int64_t i = 0; i < take; ++i) {
+    const int64_t src = order_[static_cast<size_t>(cursor_ + i)];
+    std::memcpy(batch.x.data() + i * sample_numel, dataset_.images.data() + src * sample_numel,
+                static_cast<size_t>(sample_numel) * sizeof(float));
+    batch.y[static_cast<size_t>(i)] = dataset_.labels[static_cast<size_t>(src)];
+  }
+  cursor_ += take;
+  if (augment_.any()) augment_in_place(batch.x);
+  return true;
+}
+
+Batch DataLoader::sample_batch(Rng& rng) const {
+  const int64_t n = dataset_.size();
+  const int64_t take = std::min(batch_size_, n);
+  const Shape sample = dataset_.sample_shape();
+  const int64_t sample_numel = numel_of(sample);
+  Batch batch;
+  batch.x = Tensor({take, sample[0], sample[1], sample[2]});
+  batch.y.resize(static_cast<size_t>(take));
+  for (int64_t i = 0; i < take; ++i) {
+    const int64_t src = rng.randint(n);
+    std::memcpy(batch.x.data() + i * sample_numel, dataset_.images.data() + src * sample_numel,
+                static_cast<size_t>(sample_numel) * sizeof(float));
+    batch.y[static_cast<size_t>(i)] = dataset_.labels[static_cast<size_t>(src)];
+  }
+  return batch;
+}
+
+int64_t DataLoader::batches_per_epoch() const {
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace shrinkbench

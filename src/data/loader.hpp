@@ -1,0 +1,67 @@
+// Minibatch iteration over a Dataset.
+//
+// Shuffling is driven by an explicit per-epoch seed so that a training run
+// is a pure function of (dataset seed, model seed, loader seed) — the
+// reproducibility discipline the paper's Appendix C describes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "tensor/rng.hpp"
+
+namespace shrinkbench {
+
+struct Batch {
+  Tensor x;  // [B, C, H, W]
+  std::vector<int> y;
+};
+
+/// Train-time augmentation applied while assembling batches. The paper's
+/// §4.5 lists "data augmentation and preprocessing" among the confounders
+/// papers rarely control; making it an explicit, seeded loader option is
+/// the ShrinkBench remedy.
+struct AugmentOptions {
+  bool hflip = false;          // random horizontal flip
+  int64_t max_shift = 0;       // random toroidal translation, +/- pixels
+  float noise_std = 0.0f;      // additive Gaussian pixel noise
+  bool any() const { return hflip || max_shift > 0 || noise_std > 0.0f; }
+};
+
+class DataLoader {
+ public:
+  DataLoader(const Dataset& dataset, int64_t batch_size, bool shuffle, uint64_t seed);
+  DataLoader(const Dataset& dataset, int64_t batch_size, bool shuffle, uint64_t seed,
+             AugmentOptions augment);
+
+  /// Starts a new epoch (reshuffles if enabled).
+  void reset();
+
+  /// Fills `batch` with the next minibatch; returns false at epoch end.
+  /// The final batch of an epoch may be smaller than batch_size.
+  bool next(Batch& batch);
+
+  /// One specific batch by RNG draw — used for gradient-based pruning
+  /// scores, which the paper computes on a single sampled minibatch
+  /// (Appendix C.1). Sensitivity to this draw is part of what Figure 7's
+  /// error bars measure.
+  Batch sample_batch(Rng& rng) const;
+
+  int64_t batches_per_epoch() const;
+  int64_t batch_size() const { return batch_size_; }
+
+ private:
+  void augment_in_place(Tensor& x);
+
+  const Dataset& dataset_;
+  int64_t batch_size_;
+  bool shuffle_;
+  Rng rng_;
+  AugmentOptions augment_;
+  Rng augment_rng_;
+  std::vector<int64_t> order_;
+  int64_t cursor_ = 0;
+};
+
+}  // namespace shrinkbench

@@ -1,0 +1,175 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace shrinkbench {
+
+namespace {
+
+// A class prototype: a few sinusoidal plane waves plus a Gaussian blob per
+// channel, all drawn from a class-specific stream.
+struct Prototype {
+  Tensor texture;  // [C, H, W]
+};
+
+Prototype make_prototype(const SyntheticSpec& spec, Rng& rng) {
+  Prototype proto{Tensor({spec.channels, spec.height, spec.width})};
+  constexpr int kWaves = 3;
+  for (int64_t c = 0; c < spec.channels; ++c) {
+    // Plane waves.
+    for (int wv = 0; wv < kWaves; ++wv) {
+      const double fx = rng.uniform(0.5, 2.5) * 2.0 * std::numbers::pi / spec.width;
+      const double fy = rng.uniform(0.5, 2.5) * 2.0 * std::numbers::pi / spec.height;
+      const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      const double amp = rng.uniform(0.3, 0.8);
+      for (int64_t y = 0; y < spec.height; ++y) {
+        for (int64_t x = 0; x < spec.width; ++x) {
+          proto.texture(c, y, x) +=
+              static_cast<float>(amp * std::sin(fx * x + fy * y + phase));
+        }
+      }
+    }
+    // Gaussian blob at a class-specific location.
+    const double cy = rng.uniform(1.0, spec.height - 1.0);
+    const double cx = rng.uniform(1.0, spec.width - 1.0);
+    const double sigma = rng.uniform(1.0, 2.5);
+    const double amp = rng.uniform(0.8, 1.5) * (rng.bernoulli(0.5) ? 1.0 : -1.0);
+    for (int64_t y = 0; y < spec.height; ++y) {
+      for (int64_t x = 0; x < spec.width; ++x) {
+        const double d2 = (y - cy) * (y - cy) + (x - cx) * (x - cx);
+        proto.texture(c, y, x) += static_cast<float>(amp * std::exp(-d2 / (2 * sigma * sigma)));
+      }
+    }
+  }
+  return proto;
+}
+
+// Writes one sample: prototype under shift/flip/jitter + noise.
+void render_sample(const SyntheticSpec& spec, const Prototype& proto, Rng& rng, float* out) {
+  const int64_t dy = rng.randint(2 * spec.max_shift + 1) - spec.max_shift;
+  const int64_t dx = rng.randint(2 * spec.max_shift + 1) - spec.max_shift;
+  const bool flip = rng.bernoulli(0.5);
+  const float amp = static_cast<float>(rng.uniform(0.8, 1.2));
+  for (int64_t c = 0; c < spec.channels; ++c) {
+    for (int64_t y = 0; y < spec.height; ++y) {
+      // Toroidal shift keeps the texture's energy constant across samples.
+      const int64_t sy = ((y + dy) % spec.height + spec.height) % spec.height;
+      for (int64_t x = 0; x < spec.width; ++x) {
+        int64_t sx = ((x + dx) % spec.width + spec.width) % spec.width;
+        if (flip) sx = spec.width - 1 - sx;
+        const float v = amp * proto.texture(c, sy, sx) +
+                        static_cast<float>(rng.normal(0.0, spec.noise));
+        out[(c * spec.height + y) * spec.width + x] = v;
+      }
+    }
+  }
+}
+
+Dataset make_split(const SyntheticSpec& spec, const std::vector<Prototype>& protos,
+                   const std::string& split, int64_t n, bool with_label_noise, Rng& rng) {
+  Dataset ds;
+  ds.name = spec.name + "/" + split;
+  ds.num_classes = spec.num_classes;
+  ds.images = Tensor({n, spec.channels, spec.height, spec.width});
+  ds.labels.resize(static_cast<size_t>(n));
+  // Label corruption draws from its own stream so the noise knob changes
+  // labels only — images are bit-identical across label_noise settings.
+  Rng label_rng = rng.fork();
+  const int64_t sample_numel = spec.channels * spec.height * spec.width;
+  for (int64_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(rng.randint(spec.num_classes));
+    render_sample(spec, protos[static_cast<size_t>(label)], rng, ds.images.data() + i * sample_numel);
+    int observed = label;
+    if (with_label_noise && spec.label_noise > 0.0f && label_rng.bernoulli(spec.label_noise)) {
+      observed = static_cast<int>(label_rng.randint(spec.num_classes));
+    }
+    ds.labels[static_cast<size_t>(i)] = observed;
+  }
+  return ds;
+}
+
+}  // namespace
+
+DatasetBundle make_synthetic(const SyntheticSpec& spec) {
+  if (spec.num_classes < 2) throw std::invalid_argument("make_synthetic: need >= 2 classes");
+  Rng master(spec.seed);
+  Rng proto_rng = master.fork();
+  std::vector<Prototype> protos;
+  protos.reserve(static_cast<size_t>(spec.num_classes));
+  for (int k = 0; k < spec.num_classes; ++k) protos.push_back(make_prototype(spec, proto_rng));
+
+  Rng train_rng = master.fork();
+  Rng val_rng = master.fork();
+  Rng test_rng = master.fork();
+  DatasetBundle bundle;
+  bundle.spec = spec;
+  bundle.train = make_split(spec, protos, "train", spec.train_size, true, train_rng);
+  bundle.val = make_split(spec, protos, "val", spec.val_size, false, val_rng);
+  bundle.test = make_split(spec, protos, "test", spec.test_size, false, test_rng);
+  return bundle;
+}
+
+SyntheticSpec synth_cifar(uint64_t seed) {
+  SyntheticSpec s;
+  s.name = "synth-cifar10";
+  s.num_classes = 10;
+  s.channels = 3;
+  s.height = s.width = 8;
+  s.train_size = 1024;
+  s.val_size = 384;
+  s.test_size = 384;
+  s.noise = 0.55f;
+  s.label_noise = 0.02f;
+  s.seed = seed;
+  return s;
+}
+
+SyntheticSpec synth_imagenet(uint64_t seed) {
+  SyntheticSpec s;
+  s.name = "synth-imagenet";
+  s.num_classes = 20;
+  s.channels = 3;
+  s.height = s.width = 12;
+  s.train_size = 2048;
+  s.val_size = 512;
+  s.test_size = 512;
+  s.noise = 0.75f;
+  s.label_noise = 0.03f;
+  s.seed = seed;
+  return s;
+}
+
+SyntheticSpec synth_mnist(uint64_t seed) {
+  SyntheticSpec s;
+  s.name = "synth-mnist";
+  s.num_classes = 10;
+  s.channels = 1;
+  s.height = s.width = 8;
+  s.train_size = 1024;
+  s.val_size = 384;
+  s.test_size = 384;
+  s.noise = 0.15f;  // easy on purpose: MNIST-like
+  s.label_noise = 0.0f;
+  s.max_shift = 1;
+  s.seed = seed;
+  return s;
+}
+
+SyntheticSpec synthetic_preset(const std::string& name, uint64_t seed_override) {
+  SyntheticSpec s;
+  if (name == "synth-cifar10") {
+    s = synth_cifar();
+  } else if (name == "synth-imagenet") {
+    s = synth_imagenet();
+  } else if (name == "synth-mnist") {
+    s = synth_mnist();
+  } else {
+    throw std::invalid_argument("synthetic_preset: unknown dataset '" + name + "'");
+  }
+  if (seed_override != 0) s.seed = seed_override;
+  return s;
+}
+
+}  // namespace shrinkbench

@@ -1,0 +1,75 @@
+// Procedural classification datasets.
+//
+// The paper's experiments run on MNIST / CIFAR-10 / ImageNet. Those are not
+// available offline, so (per DESIGN.md §2) we substitute procedurally
+// generated image classification tasks with the same tensor layout and
+// knobs for difficulty:
+//
+//   * each class has a smooth random "prototype" texture (sum of a few
+//     class-seeded 2-D sinusoids plus a Gaussian blob);
+//   * each sample is its class prototype under a random translation,
+//     amplitude jitter, optional horizontal flip, plus pixel noise;
+//   * a fraction of labels can be corrupted (label_noise) to bound
+//     achievable accuracy away from 100%, like real datasets.
+//
+// The resulting tasks are learnable by small convnets but not trivially,
+// so accuracy degrades smoothly as networks are pruned — which is the
+// property the paper's Figures 6-18 exercise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace shrinkbench {
+
+struct Dataset {
+  std::string name;
+  Tensor images;  // [N, C, H, W]
+  std::vector<int> labels;
+  int num_classes = 0;
+
+  int64_t size() const { return images.empty() ? 0 : images.size(0); }
+  Shape sample_shape() const { return {images.size(1), images.size(2), images.size(3)}; }
+};
+
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  int num_classes = 10;
+  int64_t channels = 3, height = 8, width = 8;
+  int64_t train_size = 2048, val_size = 512, test_size = 512;
+  /// Stddev of additive pixel noise (prototypes have unit-ish amplitude).
+  float noise = 0.35f;
+  /// Fraction of training labels replaced with a uniform random class.
+  float label_noise = 0.02f;
+  /// Max translation (pixels) applied to the prototype per sample.
+  int64_t max_shift = 2;
+  uint64_t seed = 0x5eed;
+};
+
+struct DatasetBundle {
+  Dataset train, val, test;
+  SyntheticSpec spec;
+};
+
+/// Generates train/val/test splits from one spec (shared class prototypes,
+/// independent sample noise). Deterministic in spec.seed.
+DatasetBundle make_synthetic(const SyntheticSpec& spec);
+
+// ---- Presets (stand-ins for the paper's datasets; see DESIGN.md §2) ----
+
+/// CIFAR-10 stand-in: 3x8x8, 10 classes.
+SyntheticSpec synth_cifar(uint64_t seed = 0xC1FA);
+/// ImageNet stand-in: 3x12x12, 20 classes (enough for a meaningful Top-5).
+SyntheticSpec synth_imagenet(uint64_t seed = 0x1A6E);
+/// MNIST stand-in: 1x8x8, 10 classes, easy (the paper's point that MNIST
+/// results do not generalize needs an "easy" dataset to demonstrate).
+SyntheticSpec synth_mnist(uint64_t seed = 0x3157);
+
+/// Preset lookup by name ("synth-cifar10", "synth-imagenet", "synth-mnist").
+SyntheticSpec synthetic_preset(const std::string& name, uint64_t seed_override = 0);
+
+}  // namespace shrinkbench

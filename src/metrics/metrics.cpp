@@ -1,0 +1,91 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace shrinkbench {
+
+ParamCounts count_params(Layer& model) {
+  ParamCounts counts;
+  for (const Parameter* p : parameters_of(model)) {
+    counts.total += p->numel();
+    const int64_t nz = ops::count_nonzero(p->mask);
+    counts.nonzero += nz;
+    if (p->prunable) {
+      counts.prunable += p->numel();
+      counts.prunable_nonzero += nz;
+    }
+  }
+  return counts;
+}
+
+double compression_ratio(Layer& model) {
+  const ParamCounts c = count_params(model);
+  if (c.nonzero == 0) throw std::logic_error("compression_ratio: fully pruned model");
+  return static_cast<double>(c.total) / static_cast<double>(c.nonzero);
+}
+
+FlopCounts count_flops(Layer& model, const Shape& sample_shape) {
+  return {model.flops(sample_shape), model.effective_flops(sample_shape)};
+}
+
+double theoretical_speedup(Layer& model, const Shape& sample_shape) {
+  const FlopCounts f = count_flops(model, sample_shape);
+  if (f.effective == 0) throw std::logic_error("theoretical_speedup: zero effective FLOPs");
+  return static_cast<double>(f.dense) / static_cast<double>(f.effective);
+}
+
+double topk_accuracy(const Tensor& logits, const std::vector<int>& labels, int64_t k) {
+  const int64_t n = logits.size(0), c = logits.size(1);
+  const int64_t kk = std::min(k, c);
+  int64_t correct = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const auto top = ops::topk_indices(
+        std::span<const float>(logits.data() + i * c, static_cast<size_t>(c)), kk);
+    const int label = labels[static_cast<size_t>(i)];
+    if (std::find(top.begin(), top.end(), static_cast<int64_t>(label)) != top.end()) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+EvalResult evaluate(Model& model, const Dataset& dataset, int64_t batch_size) {
+  DataLoader loader(dataset, batch_size, /*shuffle=*/false, /*seed=*/0);
+  SoftmaxCrossEntropy loss_fn;
+  EvalResult result;
+  double top1 = 0.0, top5 = 0.0, loss = 0.0;
+  Batch batch;
+  while (loader.next(batch)) {
+    const Tensor logits = model.forward(batch.x, /*train=*/false);
+    const double b = static_cast<double>(batch.x.size(0));
+    loss += loss_fn.forward(logits, batch.y) * b;
+    top1 += topk_accuracy(logits, batch.y, 1) * b;
+    top5 += topk_accuracy(logits, batch.y, 5) * b;
+    result.samples += batch.x.size(0);
+  }
+  if (result.samples == 0) throw std::invalid_argument("evaluate: empty dataset");
+  const double n = static_cast<double>(result.samples);
+  result.top1 = top1 / n;
+  result.top5 = top5 / n;
+  result.loss = loss / n;
+  return result;
+}
+
+Stats compute_stats(const std::vector<double>& values) {
+  Stats s;
+  s.n = static_cast<int64_t>(values.size());
+  if (s.n == 0) return s;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n > 1) {
+    double ss = 0.0;
+    for (double v : values) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+  }
+  return s;
+}
+
+}  // namespace shrinkbench

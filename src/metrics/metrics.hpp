@@ -1,0 +1,62 @@
+// Evaluation metrics.
+//
+// Exactly the quantities the paper says every pruning result should report
+// (Section 6): compression ratio = original size / new size, theoretical
+// speedup = original multiply-adds / new multiply-adds, Top-1 AND Top-5
+// accuracy, plus means and sample standard deviations across seeds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/loader.hpp"
+#include "nn/loss.hpp"
+#include "nn/sequential.hpp"
+
+namespace shrinkbench {
+
+struct ParamCounts {
+  int64_t total = 0;            // all parameters (incl. biases, batchnorm)
+  int64_t nonzero = 0;          // parameters surviving their masks
+  int64_t prunable = 0;         // parameters pruning may touch
+  int64_t prunable_nonzero = 0;
+};
+
+ParamCounts count_params(Layer& model);
+
+/// original size / new size, counting every parameter (masked weights are
+/// "removed"; biases and batchnorm affines always survive).
+double compression_ratio(Layer& model);
+
+struct FlopCounts {
+  int64_t dense = 0;      // multiply-adds of the unpruned architecture
+  int64_t effective = 0;  // multiply-adds counting only unmasked weights
+};
+
+FlopCounts count_flops(Layer& model, const Shape& sample_shape);
+
+/// original multiply-adds / new multiply-adds.
+double theoretical_speedup(Layer& model, const Shape& sample_shape);
+
+struct EvalResult {
+  double top1 = 0.0;
+  double top5 = 0.0;
+  double loss = 0.0;
+  int64_t samples = 0;
+};
+
+/// Full-dataset evaluation in inference mode (batchnorm uses running stats).
+EvalResult evaluate(Model& model, const Dataset& dataset, int64_t batch_size = 128);
+
+/// Top-k accuracy of a logits batch against labels.
+double topk_accuracy(const Tensor& logits, const std::vector<int>& labels, int64_t k);
+
+/// Sample mean and (n-1)-denominator standard deviation.
+struct Stats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  int64_t n = 0;
+};
+Stats compute_stats(const std::vector<double>& values);
+
+}  // namespace shrinkbench

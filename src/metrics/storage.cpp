@@ -1,0 +1,53 @@
+#include "metrics/storage.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace shrinkbench {
+
+std::string to_string(StorageFormat format) {
+  switch (format) {
+    case StorageFormat::Dense: return "dense";
+    case StorageFormat::SparseCsr: return "sparse-csr";
+    case StorageFormat::DenseBitmap: return "dense-bitmap";
+  }
+  throw std::logic_error("to_string(StorageFormat): unreachable");
+}
+
+int64_t storage_bytes(Layer& model, StorageFormat format) {
+  constexpr int64_t kValue = 4;   // float32
+  constexpr int64_t kIndex = 4;   // int32 column index
+  constexpr int64_t kOffset = 8;  // int64 row offset
+  int64_t bytes = 0;
+  for (const Parameter* p : parameters_of(model)) {
+    const int64_t total = p->numel();
+    if (!p->prunable || format == StorageFormat::Dense) {
+      bytes += total * kValue;
+      continue;
+    }
+    const int64_t nnz = ops::count_nonzero(p->mask);
+    switch (format) {
+      case StorageFormat::SparseCsr: {
+        const int64_t rows = p->data.dim() >= 2 ? p->data.size(0) : 1;
+        bytes += nnz * (kValue + kIndex) + (rows + 1) * kOffset;
+        break;
+      }
+      case StorageFormat::DenseBitmap:
+        bytes += nnz * kValue + (total + 7) / 8;
+        break;
+      case StorageFormat::Dense:
+        break;  // handled above
+    }
+  }
+  return bytes;
+}
+
+double storage_compression_ratio(Layer& model, StorageFormat format) {
+  const int64_t dense = storage_bytes(model, StorageFormat::Dense);
+  const int64_t compressed = storage_bytes(model, format);
+  if (compressed == 0) throw std::logic_error("storage_compression_ratio: empty model");
+  return static_cast<double>(dense) / static_cast<double>(compressed);
+}
+
+}  // namespace shrinkbench

@@ -1,0 +1,35 @@
+// Storage-footprint accounting (paper §2.4: "reducing the storage
+// footprint of the neural network" is one goal of pruning, with its own
+// metric — and §5.2 notes "compression ratio" must mean original size /
+// compressed size).
+//
+// A pruned model only saves storage if the sparse weights are *stored*
+// sparsely, and sparse formats carry index overhead: CSR stores an index
+// per surviving value, so below ~50% sparsity a "compressed" model is
+// bigger than the dense original. These functions make that concrete.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/layer.hpp"
+
+namespace shrinkbench {
+
+enum class StorageFormat {
+  Dense,       // float32 per weight, masked or not
+  SparseCsr,   // surviving float32 values + int32 column ids + row offsets
+  DenseBitmap, // surviving float32 values + 1 bit of mask per weight
+};
+
+std::string to_string(StorageFormat format);
+
+/// Bytes to store the model's parameters in the given format. Non-prunable
+/// parameters (biases, batchnorm affines) are always stored densely.
+int64_t storage_bytes(Layer& model, StorageFormat format);
+
+/// original dense bytes / bytes in `format` — the honest, bytes-level
+/// compression ratio (can be < 1 when index overhead dominates).
+double storage_compression_ratio(Layer& model, StorageFormat format);
+
+}  // namespace shrinkbench

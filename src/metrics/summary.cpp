@@ -1,0 +1,104 @@
+#include "metrics/summary.hpp"
+
+#include <sstream>
+#include <typeinfo>
+
+#include "nn/residual.hpp"
+#include "tensor/ops.hpp"
+
+namespace shrinkbench {
+
+namespace {
+
+// "N11shrinkbench6Conv2dE" -> "Conv2d" (GCC/Clang mangling; falls back to
+// the raw name elsewhere).
+std::string pretty_kind(const Layer& layer) {
+  const std::string mangled = typeid(layer).name();
+  std::string out;
+  size_t i = 0;
+  std::string last;
+  while (i < mangled.size()) {
+    if (!std::isdigit(static_cast<unsigned char>(mangled[i]))) {
+      ++i;
+      continue;
+    }
+    size_t len = 0;
+    while (i < mangled.size() && std::isdigit(static_cast<unsigned char>(mangled[i]))) {
+      len = len * 10 + static_cast<size_t>(mangled[i] - '0');
+      ++i;
+    }
+    if (i + len <= mangled.size()) {
+      last = mangled.substr(i, len);
+      i += len;
+    } else {
+      break;
+    }
+  }
+  return last.empty() ? mangled : last;
+}
+
+void collect_rows(Layer& layer, const Shape& in, std::vector<LayerSummaryRow>& rows) {
+  if (auto* seq = dynamic_cast<Sequential*>(&layer)) {
+    Shape s = in;
+    for (Layer* child : seq->children()) {
+      collect_rows(*child, s, rows);
+      s = child->output_sample_shape(s);
+    }
+    return;
+  }
+  if (auto* block = dynamic_cast<ResidualBlock*>(&layer)) {
+    for (Layer* child : block->children()) collect_rows(*child, in, rows);
+    return;
+  }
+  LayerSummaryRow row;
+  row.name = layer.name();
+  row.kind = pretty_kind(layer);
+  row.output_shape = layer.output_sample_shape(in);
+  std::vector<Parameter*> params;
+  layer.collect_params(params);
+  for (const Parameter* p : params) {
+    row.params += p->numel();
+    row.params_nonzero += ops::count_nonzero(p->mask);
+  }
+  row.flops = layer.flops(in);
+  row.flops_effective = layer.effective_flops(in);
+  rows.push_back(std::move(row));
+}
+
+}  // namespace
+
+std::vector<LayerSummaryRow> summarize_layers(Model& model, const Shape& sample_shape) {
+  std::vector<LayerSummaryRow> rows;
+  collect_rows(model, sample_shape, rows);
+  return rows;
+}
+
+std::string describe(Model& model, const Shape& sample_shape) {
+  const auto rows = summarize_layers(model, sample_shape);
+  std::ostringstream out;
+  out << model.name() << " (input " << to_string(sample_shape) << ")\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-24s %-13s %-16s %12s %12s %14s\n", "layer", "kind",
+                "output", "params", "nonzero", "madds");
+  out << line;
+  int64_t params = 0, nonzero = 0, flops = 0, eff = 0;
+  for (const auto& row : rows) {
+    std::snprintf(line, sizeof(line), "%-24s %-13s %-16s %12lld %12lld %14lld\n",
+                  row.name.c_str(), row.kind.c_str(), to_string(row.output_shape).c_str(),
+                  static_cast<long long>(row.params), static_cast<long long>(row.params_nonzero),
+                  static_cast<long long>(row.flops));
+    out << line;
+    params += row.params;
+    nonzero += row.params_nonzero;
+    flops += row.flops;
+    eff += row.flops_effective;
+  }
+  std::snprintf(line, sizeof(line),
+                "total: %lld params (%lld nonzero), %lld madds (%lld effective)\n",
+                static_cast<long long>(params), static_cast<long long>(nonzero),
+                static_cast<long long>(flops), static_cast<long long>(eff));
+  out << line;
+  return out.str();
+}
+
+}  // namespace shrinkbench

@@ -1,0 +1,29 @@
+// Human-readable model summaries: a per-layer table of output shapes,
+// parameter counts, surviving (unmasked) parameters, and multiply-adds —
+// the "identify the exact architecture" practice of the paper's §6, as a
+// one-call API.
+#pragma once
+
+#include <string>
+
+#include "nn/sequential.hpp"
+
+namespace shrinkbench {
+
+struct LayerSummaryRow {
+  std::string name;
+  std::string kind;        // "Conv2d", "Linear", "BatchNorm2d", ...
+  Shape output_shape;      // per-sample
+  int64_t params = 0;
+  int64_t params_nonzero = 0;
+  int64_t flops = 0;            // dense madds per sample
+  int64_t flops_effective = 0;  // under current masks
+};
+
+/// Per-leaf-layer rows in execution order (containers are expanded).
+std::vector<LayerSummaryRow> summarize_layers(Model& model, const Shape& sample_shape);
+
+/// Renders summarize_layers plus totals as an aligned table.
+std::string describe(Model& model, const Shape& sample_shape);
+
+}  // namespace shrinkbench

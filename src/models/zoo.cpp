@@ -1,0 +1,233 @@
+#include "models/zoo.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dropout.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+#include "nn/residual.hpp"
+
+namespace shrinkbench {
+
+namespace {
+
+void check_image_input(const Shape& sample_shape, const char* arch) {
+  if (sample_shape.size() != 3) {
+    throw std::invalid_argument(std::string(arch) + ": expected [C, H, W] sample shape, got " +
+                                to_string(sample_shape));
+  }
+}
+
+/// conv3x3 + bn + relu
+void add_conv_bn_relu(Sequential& seq, const std::string& prefix, int64_t in_c, int64_t out_c,
+                      int64_t stride = 1) {
+  seq.emplace<Conv2d>(prefix + ".conv", in_c, out_c, 3, stride, 1, /*bias=*/false);
+  seq.emplace<BatchNorm2d>(prefix + ".bn", out_c);
+  seq.emplace<ReLU>(prefix + ".relu");
+}
+
+/// Basic residual block (ResNet v1): conv-bn-relu-conv-bn (+ projection).
+LayerPtr make_basic_block(const std::string& name, int64_t in_c, int64_t out_c, int64_t stride) {
+  auto main = std::make_unique<Sequential>(name + ".main");
+  main->emplace<Conv2d>(name + ".conv1", in_c, out_c, 3, stride, 1, false);
+  main->emplace<BatchNorm2d>(name + ".bn1", out_c);
+  main->emplace<ReLU>(name + ".relu1");
+  main->emplace<Conv2d>(name + ".conv2", out_c, out_c, 3, 1, 1, false);
+  main->emplace<BatchNorm2d>(name + ".bn2", out_c);
+
+  std::unique_ptr<Sequential> shortcut;
+  if (stride != 1 || in_c != out_c) {
+    shortcut = std::make_unique<Sequential>(name + ".shortcut");
+    shortcut->emplace<Conv2d>(name + ".proj", in_c, out_c, 1, stride, 0, false);
+    shortcut->emplace<BatchNorm2d>(name + ".proj_bn", out_c);
+  }
+  return std::make_unique<ResidualBlock>(name, std::move(main), std::move(shortcut));
+}
+
+void add_stage(Sequential& seq, const std::string& name, int blocks, int64_t in_c, int64_t out_c,
+               int64_t first_stride) {
+  for (int b = 0; b < blocks; ++b) {
+    const std::string block_name = name + ".block" + std::to_string(b);
+    seq.add(make_basic_block(block_name, b == 0 ? in_c : out_c, out_c,
+                             b == 0 ? first_stride : 1));
+  }
+}
+
+}  // namespace
+
+ModelPtr lenet_300_100(const Shape& sample_shape, int num_classes) {
+  const int64_t in_dim = numel_of(sample_shape);
+  auto model = std::make_unique<Sequential>("lenet-300-100");
+  model->emplace<Flatten>("flatten");
+  model->emplace<Linear>("fc1", in_dim, 300, true);
+  model->emplace<ReLU>("relu1");
+  model->emplace<Linear>("fc2", 300, 100, true);
+  model->emplace<ReLU>("relu2");
+  model->emplace<Linear>("fc3", 100, num_classes, true, /*is_classifier=*/true);
+  return model;
+}
+
+ModelPtr lenet5(const Shape& sample_shape, int num_classes, int64_t base_width) {
+  check_image_input(sample_shape, "lenet-5");
+  const int64_t c = sample_shape[0];
+  const int64_t w1 = base_width, w2 = base_width * 8 / 3;  // 6 -> 16 at default width
+  auto model = std::make_unique<Sequential>("lenet-5");
+  model->emplace<Conv2d>("conv1", c, w1, 5, 1, 2, true);
+  model->emplace<ReLU>("relu1");
+  model->emplace<MaxPool2d>("pool1", 2, 2);
+  model->emplace<Conv2d>("conv2", w1, w2, 5, 1, 2, true);
+  model->emplace<ReLU>("relu2");
+  model->emplace<MaxPool2d>("pool2", 2, 2);
+  model->emplace<Flatten>("flatten");
+  const Shape conv_out = model->output_sample_shape(sample_shape);
+  model->emplace<Linear>("fc1", conv_out[0], 120, true);
+  model->emplace<ReLU>("relu3");
+  model->emplace<Linear>("fc2", 120, 84, true);
+  model->emplace<ReLU>("relu4");
+  model->emplace<Linear>("fc3", 84, num_classes, true, /*is_classifier=*/true);
+  return model;
+}
+
+ModelPtr cifar_vgg(const Shape& sample_shape, int num_classes, int64_t base_width,
+                   VggVariant variant) {
+  check_image_input(sample_shape, "cifar-vgg");
+  const int64_t c = sample_shape[0], w = base_width;
+  const char* variant_name = variant == VggVariant::Plain     ? "cifar-vgg"
+                             : variant == VggVariant::Dropout ? "cifar-vgg-dropout"
+                                                              : "cifar-vgg-smallfc";
+  auto model = std::make_unique<Sequential>(variant_name);
+  add_conv_bn_relu(*model, "block1.0", c, w);
+  add_conv_bn_relu(*model, "block1.1", w, w);
+  model->emplace<MaxPool2d>("pool1", 2, 2);
+  add_conv_bn_relu(*model, "block2.0", w, 2 * w);
+  add_conv_bn_relu(*model, "block2.1", 2 * w, 2 * w);
+  model->emplace<MaxPool2d>("pool2", 2, 2);
+  add_conv_bn_relu(*model, "block3.0", 2 * w, 4 * w);
+  add_conv_bn_relu(*model, "block3.1", 4 * w, 4 * w);
+  model->emplace<MaxPool2d>("pool3", 2, 2);
+  model->emplace<Flatten>("flatten");
+  const Shape conv_out = model->output_sample_shape(sample_shape);
+  const int64_t hidden = variant == VggVariant::SmallFc ? 2 * w : 4 * w;
+  model->emplace<Linear>("fc1", conv_out[0], hidden, true);
+  model->emplace<ReLU>("fc1.relu");
+  if (variant == VggVariant::Dropout) model->emplace<Dropout>("fc1.drop", 0.5f);
+  model->emplace<Linear>("fc2", hidden, num_classes, true, /*is_classifier=*/true);
+  return model;
+}
+
+ModelPtr resnet_cifar(int depth, const Shape& sample_shape, int num_classes, int64_t base_width) {
+  check_image_input(sample_shape, "resnet-cifar");
+  if ((depth - 2) % 6 != 0 || depth < 8) {
+    throw std::invalid_argument("resnet_cifar: depth must be 6n+2, got " + std::to_string(depth));
+  }
+  const int n = (depth - 2) / 6;
+  const int64_t c = sample_shape[0], w = base_width;
+  auto model = std::make_unique<Sequential>("resnet-" + std::to_string(depth));
+  add_conv_bn_relu(*model, "stem", c, w);
+  add_stage(*model, "stage1", n, w, w, 1);
+  add_stage(*model, "stage2", n, w, 2 * w, 2);
+  add_stage(*model, "stage3", n, 2 * w, 4 * w, 2);
+  model->emplace<GlobalAvgPool>("gap");
+  model->emplace<Linear>("fc", 4 * w, num_classes, true, /*is_classifier=*/true);
+  return model;
+}
+
+namespace {
+
+/// Pre-activation basic block: BN-ReLU-conv-BN-ReLU-conv, summed with an
+/// identity or 1x1-projection shortcut, no post-sum ReLU.
+LayerPtr make_preact_block(const std::string& name, int64_t in_c, int64_t out_c,
+                           int64_t stride) {
+  auto main = std::make_unique<Sequential>(name + ".main");
+  main->emplace<BatchNorm2d>(name + ".bn1", in_c);
+  main->emplace<ReLU>(name + ".relu1");
+  main->emplace<Conv2d>(name + ".conv1", in_c, out_c, 3, stride, 1, false);
+  main->emplace<BatchNorm2d>(name + ".bn2", out_c);
+  main->emplace<ReLU>(name + ".relu2");
+  main->emplace<Conv2d>(name + ".conv2", out_c, out_c, 3, 1, 1, false);
+
+  std::unique_ptr<Sequential> shortcut;
+  if (stride != 1 || in_c != out_c) {
+    shortcut = std::make_unique<Sequential>(name + ".shortcut");
+    shortcut->emplace<Conv2d>(name + ".proj", in_c, out_c, 1, stride, 0, false);
+  }
+  return std::make_unique<ResidualBlock>(name, std::move(main), std::move(shortcut),
+                                         /*final_relu=*/false);
+}
+
+}  // namespace
+
+ModelPtr preresnet_cifar(int depth, const Shape& sample_shape, int num_classes,
+                         int64_t base_width) {
+  check_image_input(sample_shape, "preresnet-cifar");
+  if ((depth - 2) % 6 != 0 || depth < 8) {
+    throw std::invalid_argument("preresnet_cifar: depth must be 6n+2, got " +
+                                std::to_string(depth));
+  }
+  const int n = (depth - 2) / 6;
+  const int64_t c = sample_shape[0], w = base_width;
+  auto model = std::make_unique<Sequential>("preresnet-" + std::to_string(depth));
+  model->emplace<Conv2d>("stem.conv", c, w, 3, 1, 1, false);
+  const auto add_preact_stage = [&](const std::string& stage, int blocks, int64_t in_c,
+                                    int64_t out_c, int64_t first_stride) {
+    for (int b = 0; b < blocks; ++b) {
+      model->add(make_preact_block(stage + ".block" + std::to_string(b),
+                                   b == 0 ? in_c : out_c, out_c, b == 0 ? first_stride : 1));
+    }
+  };
+  add_preact_stage("stage1", n, w, w, 1);
+  add_preact_stage("stage2", n, w, 2 * w, 2);
+  add_preact_stage("stage3", n, 2 * w, 4 * w, 2);
+  model->emplace<BatchNorm2d>("final.bn", 4 * w);
+  model->emplace<ReLU>("final.relu");
+  model->emplace<GlobalAvgPool>("gap");
+  model->emplace<Linear>("fc", 4 * w, num_classes, true, /*is_classifier=*/true);
+  return model;
+}
+
+ModelPtr resnet18(const Shape& sample_shape, int num_classes, int64_t base_width) {
+  check_image_input(sample_shape, "resnet-18");
+  const int64_t c = sample_shape[0], w = base_width;
+  auto model = std::make_unique<Sequential>("resnet-18");
+  add_conv_bn_relu(*model, "stem", c, w);
+  add_stage(*model, "stage1", 2, w, w, 1);
+  add_stage(*model, "stage2", 2, w, 2 * w, 2);
+  add_stage(*model, "stage3", 2, 2 * w, 4 * w, 2);
+  add_stage(*model, "stage4", 2, 4 * w, 8 * w, 1);  // keep >=2x2 maps on tiny inputs
+  model->emplace<GlobalAvgPool>("gap");
+  model->emplace<Linear>("fc", 8 * w, num_classes, true, /*is_classifier=*/true);
+  return model;
+}
+
+ModelPtr make_model(const std::string& arch, const Shape& sample_shape, int num_classes,
+                    int64_t base_width) {
+  const auto width_or = [&](int64_t fallback) { return base_width > 0 ? base_width : fallback; };
+  if (arch == "lenet-300-100") return lenet_300_100(sample_shape, num_classes);
+  if (arch == "lenet-5") return lenet5(sample_shape, num_classes, width_or(6));
+  if (arch == "cifar-vgg") return cifar_vgg(sample_shape, num_classes, width_or(8));
+  if (arch == "cifar-vgg-dropout") {
+    return cifar_vgg(sample_shape, num_classes, width_or(8), VggVariant::Dropout);
+  }
+  if (arch == "cifar-vgg-smallfc") {
+    return cifar_vgg(sample_shape, num_classes, width_or(8), VggVariant::SmallFc);
+  }
+  if (arch == "resnet-20") return resnet_cifar(20, sample_shape, num_classes, width_or(8));
+  if (arch == "resnet-56") return resnet_cifar(56, sample_shape, num_classes, width_or(8));
+  if (arch == "resnet-110") return resnet_cifar(110, sample_shape, num_classes, width_or(8));
+  if (arch == "preresnet-20") return preresnet_cifar(20, sample_shape, num_classes, width_or(8));
+  if (arch == "preresnet-56") return preresnet_cifar(56, sample_shape, num_classes, width_or(8));
+  if (arch == "resnet-18") return resnet18(sample_shape, num_classes, width_or(8));
+  throw std::invalid_argument("make_model: unknown architecture '" + arch + "'");
+}
+
+std::vector<std::string> model_names() {
+  return {"lenet-300-100", "lenet-5",       "cifar-vgg",    "cifar-vgg-dropout",
+          "cifar-vgg-smallfc", "resnet-20", "resnet-56",    "resnet-110",
+          "preresnet-20",  "preresnet-56",  "resnet-18"};
+}
+
+}  // namespace shrinkbench

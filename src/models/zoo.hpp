@@ -1,0 +1,62 @@
+// Standardized model zoo.
+//
+// These are the architectures the paper's experiments use (Section 7,
+// Appendix D), implemented with their published topologies but scaled-down
+// base widths so hundreds of prune+fine-tune runs fit a single CPU core
+// (DESIGN.md §2). Following the paper's Section 5.1 complaint about
+// architecture ambiguity, each factory documents exactly which variant it
+// builds.
+//
+//   * lenet_300_100  — the classic 2-hidden-layer MLP (LeCun et al. 1998).
+//   * lenet5         — conv-pool-conv-pool-fc-fc-fc, Caffe-flavored ReLUs.
+//   * cifar_vgg      — the Zagoruyko (2015) CIFAR "VGG": conv-bn stacks
+//                      with maxpool between width doublings, 2 FC layers.
+//   * resnet20/56/110— CIFAR-style ResNet v1 (He et al. 2016a): 3 stages
+//                      of (depth-2)/6 basic blocks, projection shortcuts.
+//   * resnet18       — ImageNet-style ResNet v1 basic-block network with
+//                      4 stages of 2 blocks; 3x3 stem (no 7x7/maxpool,
+//                      appropriate for small synthetic images).
+//
+// The final classifier Linear is flagged is_classifier so pruning skips it
+// by default (paper, Appendix C.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "tensor/rng.hpp"
+
+namespace shrinkbench {
+
+/// How the CIFAR-VGG is "customized" — the §5.1 ambiguity, made explicit.
+enum class VggVariant {
+  Plain,     // conv-bn stacks + 2 FC layers (our canonical "CIFAR-VGG")
+  Dropout,   // adds dropout before the classifier (many papers' variant)
+  SmallFc,   // halves the hidden FC width (Lee et al. 2019b's variant)
+};
+
+ModelPtr lenet_300_100(const Shape& sample_shape, int num_classes);
+ModelPtr lenet5(const Shape& sample_shape, int num_classes, int64_t base_width = 6);
+ModelPtr cifar_vgg(const Shape& sample_shape, int num_classes, int64_t base_width = 8,
+                   VggVariant variant = VggVariant::Plain);
+ModelPtr resnet_cifar(int depth, const Shape& sample_shape, int num_classes,
+                      int64_t base_width = 8);
+/// Pre-activation ("v2", He et al. 2016b) CIFAR ResNet — the architecture
+/// Table 1's "PreResNet-164" refers to. Same parameter budget as the v1
+/// network of equal depth/width, different block wiring.
+ModelPtr preresnet_cifar(int depth, const Shape& sample_shape, int num_classes,
+                         int64_t base_width = 8);
+ModelPtr resnet18(const Shape& sample_shape, int num_classes, int64_t base_width = 8);
+
+/// Factory by architecture name: "lenet-300-100", "lenet-5", "cifar-vgg",
+/// "cifar-vgg-dropout", "cifar-vgg-smallfc", "resnet-20", "resnet-56",
+/// "resnet-110", "preresnet-20", "preresnet-56", "resnet-18". Throws on
+/// unknown names. base_width 0 uses each architecture's default.
+ModelPtr make_model(const std::string& arch, const Shape& sample_shape, int num_classes,
+                    int64_t base_width = 0);
+
+/// All registry names, for enumeration in tests and docs.
+std::vector<std::string> model_names();
+
+}  // namespace shrinkbench

@@ -1,0 +1,122 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace shrinkbench {
+
+BatchNorm2d::BatchNorm2d(std::string name, int64_t channels, float eps, float momentum)
+    : Layer(std::move(name)),
+      channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_(this->name() + ".gamma", {channels}, /*prunable=*/false),
+      beta_(this->name() + ".beta", {channels}, /*prunable=*/false),
+      running_mean_({channels}),
+      running_var_(Tensor::ones({channels})) {
+  gamma_.data.fill(1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  if (x.dim() != 4 || x.size(1) != channels_) {
+    throw std::invalid_argument(name() + ": expected [N, " + std::to_string(channels_) +
+                                ", H, W], got " + to_string(x.shape()));
+  }
+  const int64_t n = x.size(0), h = x.size(2), w = x.size(3);
+  const int64_t spatial = h * w;
+  const int64_t per_channel = n * spatial;
+
+  Tensor y(x.shape());
+  if (train) {
+    cached_xhat_ = Tensor(x.shape());
+    cached_inv_std_.assign(static_cast<size_t>(channels_), 0.0f);
+  }
+
+  for (int64_t c = 0; c < channels_; ++c) {
+    float mean, var;
+    if (train) {
+      double s = 0.0, s2 = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        const float* src = x.data() + (i * channels_ + c) * spatial;
+        for (int64_t k = 0; k < spatial; ++k) {
+          s += src[k];
+          s2 += static_cast<double>(src[k]) * src[k];
+        }
+      }
+      mean = static_cast<float>(s / per_channel);
+      var = static_cast<float>(s2 / per_channel - static_cast<double>(mean) * mean);
+      if (var < 0.0f) var = 0.0f;  // guard against FP cancellation
+      running_mean_.at(c) = (1.0f - momentum_) * running_mean_.at(c) + momentum_ * mean;
+      running_var_.at(c) = (1.0f - momentum_) * running_var_.at(c) + momentum_ * var;
+    } else {
+      mean = running_mean_.at(c);
+      var = running_var_.at(c);
+    }
+    const float inv_std = 1.0f / std::sqrt(var + eps_);
+    const float g = gamma_.data.at(c), b = beta_.data.at(c);
+    if (train) cached_inv_std_[static_cast<size_t>(c)] = inv_std;
+    for (int64_t i = 0; i < n; ++i) {
+      const float* src = x.data() + (i * channels_ + c) * spatial;
+      float* dst = y.data() + (i * channels_ + c) * spatial;
+      float* xh = train ? cached_xhat_.data() + (i * channels_ + c) * spatial : nullptr;
+      for (int64_t k = 0; k < spatial; ++k) {
+        const float xhat = (src[k] - mean) * inv_std;
+        if (xh) xh[k] = xhat;
+        dst[k] = g * xhat + b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  if (cached_xhat_.empty()) throw std::logic_error(name() + ": backward before forward(train)");
+  const int64_t n = grad_out.size(0), h = grad_out.size(2), w = grad_out.size(3);
+  const int64_t spatial = h * w;
+  const int64_t per_channel = n * spatial;
+
+  Tensor dx(grad_out.shape());
+  for (int64_t c = 0; c < channels_; ++c) {
+    // Channel-wise sums: Σdy and Σdy·x̂.
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const float* dy = grad_out.data() + (i * channels_ + c) * spatial;
+      const float* xh = cached_xhat_.data() + (i * channels_ + c) * spatial;
+      for (int64_t k = 0; k < spatial; ++k) {
+        sum_dy += dy[k];
+        sum_dy_xhat += static_cast<double>(dy[k]) * xh[k];
+      }
+    }
+    gamma_.grad.at(c) += static_cast<float>(sum_dy_xhat);
+    beta_.grad.at(c) += static_cast<float>(sum_dy);
+
+    const float g = gamma_.data.at(c);
+    const float inv_std = cached_inv_std_[static_cast<size_t>(c)];
+    const float mean_dy = static_cast<float>(sum_dy / per_channel);
+    const float mean_dy_xhat = static_cast<float>(sum_dy_xhat / per_channel);
+    const float scale = g * inv_std;
+    for (int64_t i = 0; i < n; ++i) {
+      const float* dy = grad_out.data() + (i * channels_ + c) * spatial;
+      const float* xh = cached_xhat_.data() + (i * channels_ + c) * spatial;
+      float* dst = dx.data() + (i * channels_ + c) * spatial;
+      for (int64_t k = 0; k < spatial; ++k) {
+        dst[k] = scale * (dy[k] - mean_dy - xh[k] * mean_dy_xhat);
+      }
+    }
+  }
+  return dx;
+}
+
+void BatchNorm2d::collect_params(std::vector<Parameter*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+Shape BatchNorm2d::output_sample_shape(const Shape& in) const {
+  if (in.size() != 3 || in[0] != channels_) {
+    throw std::invalid_argument(name() + ": bad sample shape " + to_string(in));
+  }
+  return in;
+}
+
+}  // namespace shrinkbench

@@ -1,0 +1,121 @@
+#include "nn/checkpoint.hpp"
+
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "nn/batchnorm.hpp"
+#include "tensor/serialize.hpp"
+
+namespace shrinkbench {
+
+namespace {
+constexpr int64_t kCheckpointVersion = 2;
+
+std::vector<BatchNorm2d*> batchnorms_of(Layer& model) {
+  std::vector<BatchNorm2d*> bns;
+  visit_layers(model, [&](Layer& l) {
+    if (auto* bn = dynamic_cast<BatchNorm2d*>(&l)) bns.push_back(bn);
+  });
+  return bns;
+}
+}  // namespace
+
+void save_checkpoint(Layer& model, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_checkpoint: cannot open " + path);
+  write_i64(os, kCheckpointVersion);
+
+  const auto params = parameters_of(model);
+  write_i64(os, static_cast<int64_t>(params.size()));
+  for (const Parameter* p : params) {
+    write_string(os, p->name);
+    write_tensor(os, p->data);
+    write_tensor(os, p->mask);
+  }
+
+  const auto bns = batchnorms_of(model);
+  write_i64(os, static_cast<int64_t>(bns.size()));
+  for (BatchNorm2d* bn : bns) {
+    write_string(os, bn->name());
+    write_tensor(os, bn->running_mean());
+    write_tensor(os, bn->running_var());
+  }
+  if (!os) throw std::runtime_error("save_checkpoint: write failed for " + path);
+}
+
+void load_checkpoint(Layer& model, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_checkpoint: cannot open " + path);
+  if (read_i64(is) != kCheckpointVersion) {
+    throw std::runtime_error("load_checkpoint: version mismatch in " + path);
+  }
+
+  std::map<std::string, Parameter*> by_name;
+  for (Parameter* p : parameters_of(model)) by_name[p->name] = p;
+
+  const int64_t n_params = read_i64(is);
+  for (int64_t i = 0; i < n_params; ++i) {
+    const std::string name = read_string(is);
+    Tensor data = read_tensor(is);
+    Tensor mask = read_tensor(is);
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      throw std::runtime_error("load_checkpoint: unknown parameter '" + name + "'");
+    }
+    if (!it->second->data.same_shape(data)) {
+      throw std::runtime_error("load_checkpoint: shape mismatch for '" + name + "'");
+    }
+    it->second->data = std::move(data);
+    it->second->mask = std::move(mask);
+  }
+
+  std::map<std::string, BatchNorm2d*> bn_by_name;
+  for (BatchNorm2d* bn : batchnorms_of(model)) bn_by_name[bn->name()] = bn;
+  const int64_t n_bns = read_i64(is);
+  for (int64_t i = 0; i < n_bns; ++i) {
+    const std::string name = read_string(is);
+    Tensor mean = read_tensor(is);
+    Tensor var = read_tensor(is);
+    auto it = bn_by_name.find(name);
+    if (it == bn_by_name.end()) {
+      throw std::runtime_error("load_checkpoint: unknown batchnorm '" + name + "'");
+    }
+    it->second->running_mean() = std::move(mean);
+    it->second->running_var() = std::move(var);
+  }
+}
+
+StateDict state_dict(Layer& model) {
+  StateDict state;
+  for (const Parameter* p : parameters_of(model)) {
+    state[p->name] = p->data;
+    state[p->name + ".mask"] = p->mask;
+  }
+  for (BatchNorm2d* bn : batchnorms_of(model)) {
+    state[bn->name() + ".running_mean"] = bn->running_mean();
+    state[bn->name() + ".running_var"] = bn->running_var();
+  }
+  return state;
+}
+
+void load_state_dict(Layer& model, const StateDict& state) {
+  const auto fetch = [&](const std::string& key, const Shape& shape) -> const Tensor& {
+    auto it = state.find(key);
+    if (it == state.end()) throw std::runtime_error("load_state_dict: missing key '" + key + "'");
+    if (it->second.shape() != shape) {
+      throw std::runtime_error("load_state_dict: shape mismatch for '" + key + "'");
+    }
+    return it->second;
+  };
+  for (Parameter* p : parameters_of(model)) {
+    p->data = fetch(p->name, p->data.shape());
+    p->mask = fetch(p->name + ".mask", p->mask.shape());
+  }
+  for (BatchNorm2d* bn : batchnorms_of(model)) {
+    bn->running_mean() = fetch(bn->name() + ".running_mean", bn->running_mean().shape());
+    bn->running_var() = fetch(bn->name() + ".running_var", bn->running_var().shape());
+  }
+}
+
+}  // namespace shrinkbench

@@ -1,0 +1,33 @@
+// Model checkpointing: parameters, masks, and batchnorm running statistics.
+//
+// Checkpoints are keyed by parameter/layer name, so a freshly constructed
+// model of the same architecture can always load a checkpoint regardless of
+// how it was built. Used by the PretrainedStore (src/core) so every bench
+// and example reuses the same initial models — the paper's "use the same
+// initial model" best practice.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "nn/layer.hpp"
+
+namespace shrinkbench {
+
+void save_checkpoint(Layer& model, const std::string& path);
+
+/// Throws std::runtime_error on shape/name mismatch or unreadable file.
+void load_checkpoint(Layer& model, const std::string& path);
+
+/// In-memory snapshot of all state needed to restore a model exactly:
+/// parameter data, masks, and batchnorm running statistics. Keys are
+/// "<name>", "<name>.mask", "<bn name>.running_mean/var".
+using StateDict = std::map<std::string, Tensor>;
+
+StateDict state_dict(Layer& model);
+
+/// Restores a snapshot; throws std::runtime_error on missing keys or shape
+/// mismatches.
+void load_state_dict(Layer& model, const StateDict& state);
+
+}  // namespace shrinkbench

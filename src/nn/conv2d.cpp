@@ -1,0 +1,162 @@
+#include "nn/conv2d.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/gemm.hpp"
+
+namespace shrinkbench {
+
+Conv2d::Conv2d(std::string name, int64_t in_c, int64_t out_c, int64_t kernel, int64_t stride,
+               int64_t pad, bool bias)
+    : Layer(std::move(name)),
+      in_c_(in_c),
+      out_c_(out_c),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias),
+      weight_(this->name() + ".weight", {out_c, in_c, kernel, kernel}, /*prunable=*/true) {
+  if (has_bias_) bias_ = Parameter(this->name() + ".bias", {out_c}, /*prunable=*/false);
+}
+
+ConvGeometry Conv2d::geometry(int64_t h, int64_t w) const {
+  return ConvGeometry{in_c_, h, w, kernel_, kernel_, stride_, pad_};
+}
+
+namespace {
+
+// Gathers NCHW activations [n, c, oh*ow] into channel-major [c, n*oh*ow]
+// (and scatters back), so a whole minibatch becomes one GEMM operand.
+void gather_channel_major(const float* nchw, int64_t n, int64_t c, int64_t spatial, float* cm) {
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* src = nchw + (i * c + ch) * spatial;
+      std::copy(src, src + spatial, cm + ch * (n * spatial) + i * spatial);
+    }
+  }
+}
+
+void scatter_channel_major(const float* cm, int64_t n, int64_t c, int64_t spatial, float* nchw) {
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* src = cm + ch * (n * spatial) + i * spatial;
+      std::copy(src, src + spatial, nchw + (i * c + ch) * spatial);
+    }
+  }
+}
+
+}  // namespace
+
+Tensor Conv2d::forward(const Tensor& x, bool train) {
+  if (x.dim() != 4 || x.size(1) != in_c_) {
+    throw std::invalid_argument(name() + ": expected [N, " + std::to_string(in_c_) +
+                                ", H, W], got " + to_string(x.shape()));
+  }
+  const int64_t n = x.size(0), h = x.size(2), w = x.size(3);
+  const ConvGeometry g = geometry(h, w);
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument(name() + ": input " + to_string(x.shape()) + " too small");
+  }
+  if (train) cached_input_ = x;
+
+  // Batched lowering: cols is [col_rows, n * col_cols]; image i occupies
+  // column block i. One GEMM computes the whole minibatch.
+  const int64_t ld = n * g.col_cols();
+  const int64_t image_numel = in_c_ * h * w;
+  const int64_t spatial = oh * ow;
+  std::vector<float> cols(static_cast<size_t>(g.col_rows() * ld));
+  for (int64_t i = 0; i < n; ++i) {
+    im2col_ld(g, x.data() + i * image_numel, cols.data() + i * g.col_cols(), ld);
+  }
+  std::vector<float> out_cm(static_cast<size_t>(out_c_ * ld));
+  gemm(false, false, out_c_, ld, g.col_rows(), 1.0f, weight_.data.data(), g.col_rows(),
+       cols.data(), ld, 0.0f, out_cm.data(), ld);
+
+  Tensor y({n, out_c_, oh, ow});
+  scatter_channel_major(out_cm.data(), n, out_c_, spatial, y.data());
+  if (has_bias_) {
+    float* yp = y.data();
+    const float* bp = bias_.data.data();
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t c = 0; c < out_c_; ++c) {
+        float* dst = yp + (i * out_c_ + c) * spatial;
+        for (int64_t s = 0; s < spatial; ++s) dst[s] += bp[c];
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  if (cached_input_.empty()) throw std::logic_error(name() + ": backward before forward");
+  const Tensor& x = cached_input_;
+  const int64_t n = x.size(0), h = x.size(2), w = x.size(3);
+  const ConvGeometry g = geometry(h, w);
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  const int64_t image_numel = in_c_ * h * w;
+  const int64_t spatial = oh * ow;
+  const int64_t ld = n * g.col_cols();
+
+  // Recompute the batched column matrix (cheaper than caching it).
+  std::vector<float> cols(static_cast<size_t>(g.col_rows() * ld));
+  for (int64_t i = 0; i < n; ++i) {
+    im2col_ld(g, x.data() + i * image_numel, cols.data() + i * g.col_cols(), ld);
+  }
+  std::vector<float> dy_cm(static_cast<size_t>(out_c_ * ld));
+  gather_channel_major(grad_out.data(), n, out_c_, spatial, dy_cm.data());
+
+  // dW += dY [out_c, n*ohw] * cols^T [n*ohw, cK2]
+  gemm(false, /*trans_b=*/true, out_c_, g.col_rows(), ld, 1.0f, dy_cm.data(), ld, cols.data(),
+       ld, 1.0f, weight_.grad.data(), g.col_rows());
+  // dcols = W^T [cK2, out_c] * dY [out_c, n*ohw]   (reuse cols storage)
+  std::vector<float> dcols(static_cast<size_t>(g.col_rows() * ld));
+  gemm(/*trans_a=*/true, false, g.col_rows(), ld, out_c_, 1.0f, weight_.data.data(),
+       g.col_rows(), dy_cm.data(), ld, 0.0f, dcols.data(), ld);
+
+  Tensor dx(x.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    col2im_ld(g, dcols.data() + i * g.col_cols(), ld, dx.data() + i * image_numel);
+  }
+  if (has_bias_) {
+    float* bg = bias_.grad.data();
+    const float* gp = grad_out.data();
+    const int64_t spatial = oh * ow;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t c = 0; c < out_c_; ++c) {
+        const float* src = gp + (i * out_c_ + c) * spatial;
+        double s = 0.0;
+        for (int64_t sp = 0; sp < spatial; ++sp) s += src[sp];
+        bg[c] += static_cast<float>(s);
+      }
+    }
+  }
+  return dx;
+}
+
+void Conv2d::collect_params(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  if (has_bias_) out.push_back(&bias_);
+}
+
+Shape Conv2d::output_sample_shape(const Shape& in) const {
+  if (in.size() != 3 || in[0] != in_c_) {
+    throw std::invalid_argument(name() + ": bad sample shape " + to_string(in));
+  }
+  const ConvGeometry g = geometry(in[1], in[2]);
+  return {out_c_, g.out_h(), g.out_w()};
+}
+
+int64_t Conv2d::flops(const Shape& in) const {
+  const ConvGeometry g = geometry(in[1], in[2]);
+  // One multiply-add per weight per output spatial position.
+  return g.out_h() * g.out_w() * weight_.numel();
+}
+
+int64_t Conv2d::effective_flops(const Shape& in) const {
+  const ConvGeometry g = geometry(in[1], in[2]);
+  return g.out_h() * g.out_w() * ops::count_nonzero(weight_.mask);
+}
+
+}  // namespace shrinkbench

@@ -1,0 +1,32 @@
+#include "nn/dropout.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace shrinkbench {
+
+Dropout::Dropout(std::string name, float p, uint64_t seed)
+    : Layer(std::move(name)), p_(p), rng_(seed) {
+  if (p < 0.0f || p >= 1.0f) {
+    throw std::invalid_argument(this->name() + ": dropout p must be in [0, 1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  if (!train || p_ == 0.0f) return x;
+  cached_mask_ = Tensor(x.shape());
+  const float keep_scale = 1.0f / (1.0f - p_);
+  for (float& m : cached_mask_.flat()) {
+    m = rng_.bernoulli(p_) ? 0.0f : keep_scale;
+  }
+  return ops::mul(x, cached_mask_);
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (p_ == 0.0f) return grad_out;
+  if (cached_mask_.empty()) throw std::logic_error(name() + ": backward before forward");
+  return ops::mul(grad_out, cached_mask_);
+}
+
+}  // namespace shrinkbench

@@ -1,0 +1,34 @@
+// Inverted dropout.
+//
+// Exists chiefly because of the paper's §5.1: many "VGG-16" papers
+// actually evaluate a custom variant with added dropout (or batchnorm, or
+// resized FC layers), making results incomparable. The model zoo exposes
+// those variants explicitly, and bench/ablation_architecture_ambiguity
+// measures how much the choice moves pruning results.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/rng.hpp"
+
+namespace shrinkbench {
+
+class Dropout : public Layer {
+ public:
+  /// p = probability of zeroing each activation during training. Inverted
+  /// scaling (kept activations divided by 1-p) makes inference a no-op.
+  /// The seed makes training runs reproducible.
+  Dropout(std::string name, float p, uint64_t seed = 0xD09);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  Shape output_sample_shape(const Shape& in) const override { return in; }
+
+  float p() const { return p_; }
+
+ private:
+  float p_;
+  Rng rng_;
+  Tensor cached_mask_;  // scaled keep-mask from the last training forward
+};
+
+}  // namespace shrinkbench

@@ -1,0 +1,27 @@
+// Flattens [N, ...] to [N, prod(...)].
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace shrinkbench {
+
+class Flatten : public Layer {
+ public:
+  explicit Flatten(std::string name) : Layer(std::move(name)) {}
+
+  Tensor forward(const Tensor& x, bool train) override {
+    if (train) cached_in_shape_ = x.shape();
+    return x.reshaped({x.size(0), -1});
+  }
+
+  Tensor backward(const Tensor& grad_out) override {
+    return grad_out.reshaped(cached_in_shape_);
+  }
+
+  Shape output_sample_shape(const Shape& in) const override { return {numel_of(in)}; }
+
+ private:
+  Shape cached_in_shape_;
+};
+
+}  // namespace shrinkbench

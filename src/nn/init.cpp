@@ -1,0 +1,41 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace shrinkbench {
+
+namespace {
+std::pair<int64_t, int64_t> fans(const Tensor& weight) {
+  if (weight.dim() == 2) {
+    return {weight.size(1), weight.size(0)};
+  }
+  if (weight.dim() == 4) {
+    const int64_t receptive = weight.size(2) * weight.size(3);
+    return {weight.size(1) * receptive, weight.size(0) * receptive};
+  }
+  throw std::invalid_argument("init: weight must be rank-2 or rank-4, got " +
+                              to_string(weight.shape()));
+}
+}  // namespace
+
+void kaiming_normal(Tensor& weight, Rng& rng) {
+  const auto [fan_in, fan_out] = fans(weight);
+  (void)fan_out;
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  rng.fill_normal(weight, 0.0f, stddev);
+}
+
+void xavier_uniform(Tensor& weight, Rng& rng) {
+  const auto [fan_in, fan_out] = fans(weight);
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  rng.fill_uniform(weight, -a, a);
+}
+
+void init_model(Layer& model, Rng& rng) {
+  for (Parameter* p : parameters_of(model)) {
+    if (p->prunable) kaiming_normal(p->data, rng);
+  }
+}
+
+}  // namespace shrinkbench

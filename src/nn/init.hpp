@@ -1,0 +1,21 @@
+// Weight initialization.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/rng.hpp"
+
+namespace shrinkbench {
+
+/// Kaiming-He normal init: N(0, sqrt(2 / fan_in)), where fan_in for a conv
+/// weight [out_c, in_c, kh, kw] is in_c*kh*kw and for a linear weight
+/// [out, in] is in.
+void kaiming_normal(Tensor& weight, Rng& rng);
+
+/// Xavier/Glorot uniform init: U(-a, a), a = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(Tensor& weight, Rng& rng);
+
+/// Initializes every prunable weight in the tree with Kaiming-He normal and
+/// leaves biases / batchnorm affines at their constructor defaults.
+void init_model(Layer& model, Rng& rng);
+
+}  // namespace shrinkbench

@@ -1,0 +1,24 @@
+#include "nn/layer.hpp"
+
+namespace shrinkbench {
+
+std::vector<Parameter*> parameters_of(Layer& layer) {
+  std::vector<Parameter*> params;
+  layer.collect_params(params);
+  return params;
+}
+
+void zero_grads(Layer& layer) {
+  for (Parameter* p : parameters_of(layer)) p->zero_grad();
+}
+
+void apply_masks(Layer& layer) {
+  for (Parameter* p : parameters_of(layer)) p->apply_mask();
+}
+
+void visit_layers(Layer& root, const std::function<void(Layer&)>& fn) {
+  fn(root);
+  for (Layer* child : root.children()) visit_layers(*child, fn);
+}
+
+}  // namespace shrinkbench

@@ -1,0 +1,47 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace shrinkbench {
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits, const std::vector<int>& labels) {
+  if (logits.dim() != 2) throw std::invalid_argument("SoftmaxCrossEntropy: logits must be [N, C]");
+  const int64_t n = logits.size(0), c = logits.size(1);
+  if (static_cast<int64_t>(labels.size()) != n) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: label count mismatch");
+  }
+  probs_ = Tensor({n, c});
+  labels_ = labels;
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    float m = row[0];
+    for (int64_t j = 1; j < c; ++j) m = std::max(m, row[j]);
+    double z = 0.0;
+    for (int64_t j = 0; j < c; ++j) z += std::exp(static_cast<double>(row[j] - m));
+    const int label = labels[static_cast<size_t>(i)];
+    if (label < 0 || label >= c) throw std::invalid_argument("SoftmaxCrossEntropy: bad label");
+    float* prow = probs_.data() + i * c;
+    for (int64_t j = 0; j < c; ++j) {
+      prow[j] = static_cast<float>(std::exp(static_cast<double>(row[j] - m)) / z);
+    }
+    total += -(static_cast<double>(row[label] - m) - std::log(z));
+  }
+  return static_cast<float>(total / static_cast<double>(n));
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  if (probs_.empty()) throw std::logic_error("SoftmaxCrossEntropy: backward before forward");
+  const int64_t n = probs_.size(0), c = probs_.size(1);
+  Tensor d = probs_;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  float* dp = d.data();
+  for (int64_t i = 0; i < n; ++i) {
+    dp[i * c + labels_[static_cast<size_t>(i)]] -= 1.0f;
+  }
+  for (int64_t i = 0, m = d.numel(); i < m; ++i) dp[i] *= inv_n;
+  return d;
+}
+
+}  // namespace shrinkbench

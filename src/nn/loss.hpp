@@ -1,0 +1,27 @@
+// Softmax cross-entropy loss with integer class labels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace shrinkbench {
+
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: [N, C]; labels: N entries in [0, C). Returns mean loss.
+  float forward(const Tensor& logits, const std::vector<int>& labels);
+
+  /// Gradient of the mean loss w.r.t. the logits: (softmax - onehot) / N.
+  Tensor backward() const;
+
+  /// Softmax probabilities from the last forward call ([N, C]).
+  const Tensor& probs() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<int> labels_;
+};
+
+}  // namespace shrinkbench

@@ -1,0 +1,67 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace shrinkbench {
+
+SGD::SGD(std::vector<Parameter*> params, SgdOptions opts)
+    : Optimizer(std::move(params), opts.lr), opts_(opts) {
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) velocity_.emplace_back(p->data.shape());
+}
+
+void SGD::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    Tensor& vel = velocity_[i];
+    float* w = p.data.data();
+    const float* g = p.grad.data();
+    float* v = vel.data();
+    const float lr = lr_;
+    const float mu = opts_.momentum;
+    const float wd = opts_.weight_decay;
+    for (int64_t j = 0, n = p.numel(); j < n; ++j) {
+      float grad = g[j] + wd * w[j];
+      if (mu != 0.0f) {
+        v[j] = mu * v[j] + grad;
+        grad = opts_.nesterov ? grad + mu * v[j] : v[j];
+      }
+      w[j] -= lr * grad;
+    }
+  }
+  enforce_masks();
+}
+
+Adam::Adam(std::vector<Parameter*> params, AdamOptions opts)
+    : Optimizer(std::move(params), opts.lr), opts_(opts) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->data.shape());
+    v_.emplace_back(p->data.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(opts_.beta1, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(opts_.beta2, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    float* w = p.data.data();
+    const float* g = p.grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (int64_t j = 0, n = p.numel(); j < n; ++j) {
+      const float grad = g[j] + opts_.weight_decay * w[j];
+      m[j] = opts_.beta1 * m[j] + (1.0f - opts_.beta1) * grad;
+      v[j] = opts_.beta2 * v[j] + (1.0f - opts_.beta2) * grad * grad;
+      const float mhat = m[j] / bias1;
+      const float vhat = v[j] / bias2;
+      w[j] -= lr_ * mhat / (std::sqrt(vhat) + opts_.eps);
+    }
+  }
+  enforce_masks();
+}
+
+}  // namespace shrinkbench

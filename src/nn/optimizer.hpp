@@ -1,0 +1,82 @@
+// Optimizers.
+//
+// Both optimizers re-apply every parameter's pruning mask after updating,
+// maintaining the library-wide invariant that pruned weights stay zero
+// through fine-tuning (they receive gradients but the mask projects the
+// update back onto the sparsity pattern).
+//
+// The paper's experimental setups (Appendix C.2) map onto these directly:
+// CIFAR fine-tuning uses Adam(3e-4); ImageNet fine-tuning uses SGD with
+// Nesterov momentum 0.9 and lr 1e-3.
+#pragma once
+
+#include <vector>
+
+#include "nn/parameter.hpp"
+
+namespace shrinkbench {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params, float lr)
+      : params_(std::move(params)), lr_(lr) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  virtual void step() = 0;
+
+  void zero_grad() {
+    for (Parameter* p : params_) p->zero_grad();
+  }
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ protected:
+  void enforce_masks() {
+    for (Parameter* p : params_) p->apply_mask();
+  }
+
+  std::vector<Parameter*> params_;
+  float lr_;
+};
+
+struct SgdOptions {
+  float lr = 0.1f;
+  float momentum = 0.0f;
+  bool nesterov = false;
+  float weight_decay = 0.0f;
+};
+
+class SGD : public Optimizer {
+ public:
+  SGD(std::vector<Parameter*> params, SgdOptions opts);
+  void step() override;
+
+ private:
+  SgdOptions opts_;
+  std::vector<Tensor> velocity_;
+};
+
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, AdamOptions opts);
+  void step() override;
+
+ private:
+  AdamOptions opts_;
+  std::vector<Tensor> m_, v_;
+  int64_t t_ = 0;
+};
+
+}  // namespace shrinkbench

@@ -1,0 +1,49 @@
+// Trainable parameter with an associated pruning mask.
+//
+// The mask is the paper's M in f(x; M ⊙ W): a 0/1 tensor of the same shape
+// as the weights. The library maintains the invariant that after every
+// optimizer step and every pruning operation, data == data ⊙ mask (pruned
+// weights stay exactly zero through fine-tuning).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace shrinkbench {
+
+struct Parameter {
+  Parameter() = default;
+  Parameter(std::string name_, Shape shape, bool prunable_)
+      : name(std::move(name_)),
+        data(shape),
+        grad(shape),
+        mask(Tensor::ones(shape)),
+        prunable(prunable_) {}
+
+  std::string name;
+  Tensor data;
+  Tensor grad;
+  Tensor mask;
+  /// Whether pruning strategies may zero entries of this parameter.
+  /// Conv/linear weights are prunable; biases and batchnorm affines are not.
+  bool prunable = false;
+  /// Marks the classifier layer's weights; excluded from pruning by
+  /// default, mirroring the paper's Appendix C.1.
+  bool is_classifier = false;
+
+  int64_t numel() const { return data.numel(); }
+  int64_t nonzero() const { return ops::count_nonzero(mask); }
+
+  void zero_grad() { grad.zero(); }
+
+  /// Re-establishes data == data ⊙ mask and grad == grad ⊙ mask.
+  void apply_mask() {
+    ops::mul_inplace(data, mask);
+    ops::mul_inplace(grad, mask);
+  }
+};
+
+}  // namespace shrinkbench

@@ -1,0 +1,172 @@
+#include "nn/pool.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace shrinkbench {
+
+namespace {
+int64_t pooled_extent(int64_t in, int64_t kernel, int64_t stride) {
+  return (in - kernel) / stride + 1;
+}
+void check_4d(const Tensor& x, const std::string& name) {
+  if (x.dim() != 4) {
+    throw std::invalid_argument(name + ": expected [N, C, H, W], got " + to_string(x.shape()));
+  }
+}
+}  // namespace
+
+MaxPool2d::MaxPool2d(std::string name, int64_t kernel, int64_t stride)
+    : Layer(std::move(name)), kernel_(kernel), stride_(stride) {}
+
+Tensor MaxPool2d::forward(const Tensor& x, bool train) {
+  check_4d(x, name());
+  const int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+  const int64_t oh = pooled_extent(h, kernel_, stride_), ow = pooled_extent(w, kernel_, stride_);
+  Tensor y({n, c, oh, ow});
+  if (train) {
+    cached_in_shape_ = x.shape();
+    argmax_.assign(static_cast<size_t>(y.numel()), 0);
+  }
+  int64_t out_idx = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.data() + (i * c + ch) * h * w;
+      const int64_t plane_base = (i * c + ch) * h * w;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = 0;
+          for (int64_t ky = 0; ky < kernel_; ++ky) {
+            for (int64_t kx = 0; kx < kernel_; ++kx) {
+              const int64_t yy = oy * stride_ + ky, xx = ox * stride_ + kx;
+              const float v = plane[yy * w + xx];
+              if (v > best) {
+                best = v;
+                best_idx = plane_base + yy * w + xx;
+              }
+            }
+          }
+          y.at(out_idx) = best;
+          if (train) argmax_[static_cast<size_t>(out_idx)] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  if (cached_in_shape_.empty()) throw std::logic_error(name() + ": backward before forward");
+  Tensor dx(cached_in_shape_);
+  for (int64_t i = 0, m = grad_out.numel(); i < m; ++i) {
+    dx.at(argmax_[static_cast<size_t>(i)]) += grad_out.at(i);
+  }
+  return dx;
+}
+
+Shape MaxPool2d::output_sample_shape(const Shape& in) const {
+  if (in.size() != 3) throw std::invalid_argument(name() + ": bad sample shape " + to_string(in));
+  return {in[0], pooled_extent(in[1], kernel_, stride_), pooled_extent(in[2], kernel_, stride_)};
+}
+
+AvgPool2d::AvgPool2d(std::string name, int64_t kernel, int64_t stride)
+    : Layer(std::move(name)), kernel_(kernel), stride_(stride) {}
+
+Tensor AvgPool2d::forward(const Tensor& x, bool train) {
+  check_4d(x, name());
+  const int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+  const int64_t oh = pooled_extent(h, kernel_, stride_), ow = pooled_extent(w, kernel_, stride_);
+  if (train) cached_in_shape_ = x.shape();
+  Tensor y({n, c, oh, ow});
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  int64_t out_idx = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.data() + (i * c + ch) * h * w;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox, ++out_idx) {
+          float s = 0.0f;
+          for (int64_t ky = 0; ky < kernel_; ++ky) {
+            for (int64_t kx = 0; kx < kernel_; ++kx) {
+              s += plane[(oy * stride_ + ky) * w + ox * stride_ + kx];
+            }
+          }
+          y.at(out_idx) = s * inv;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_out) {
+  if (cached_in_shape_.empty()) throw std::logic_error(name() + ": backward before forward");
+  const int64_t n = cached_in_shape_[0], c = cached_in_shape_[1], h = cached_in_shape_[2],
+                w = cached_in_shape_[3];
+  const int64_t oh = grad_out.size(2), ow = grad_out.size(3);
+  Tensor dx(cached_in_shape_);
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  int64_t out_idx = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      float* plane = dx.data() + (i * c + ch) * h * w;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox, ++out_idx) {
+          const float g = grad_out.at(out_idx) * inv;
+          for (int64_t ky = 0; ky < kernel_; ++ky) {
+            for (int64_t kx = 0; kx < kernel_; ++kx) {
+              plane[(oy * stride_ + ky) * w + ox * stride_ + kx] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+Shape AvgPool2d::output_sample_shape(const Shape& in) const {
+  if (in.size() != 3) throw std::invalid_argument(name() + ": bad sample shape " + to_string(in));
+  return {in[0], pooled_extent(in[1], kernel_, stride_), pooled_extent(in[2], kernel_, stride_)};
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
+  check_4d(x, name());
+  const int64_t n = x.size(0), c = x.size(1), spatial = x.size(2) * x.size(3);
+  if (train) cached_in_shape_ = x.shape();
+  Tensor y({n, c});
+  const float inv = 1.0f / static_cast<float>(spatial);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* src = x.data() + (i * c + ch) * spatial;
+      double s = 0.0;
+      for (int64_t k = 0; k < spatial; ++k) s += src[k];
+      y(i, ch) = static_cast<float>(s) * inv;
+    }
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  if (cached_in_shape_.empty()) throw std::logic_error(name() + ": backward before forward");
+  const int64_t n = cached_in_shape_[0], c = cached_in_shape_[1],
+                spatial = cached_in_shape_[2] * cached_in_shape_[3];
+  Tensor dx(cached_in_shape_);
+  const float inv = 1.0f / static_cast<float>(spatial);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float g = grad_out(i, ch) * inv;
+      float* dst = dx.data() + (i * c + ch) * spatial;
+      for (int64_t k = 0; k < spatial; ++k) dst[k] = g;
+    }
+  }
+  return dx;
+}
+
+Shape GlobalAvgPool::output_sample_shape(const Shape& in) const {
+  if (in.size() != 3) throw std::invalid_argument(name() + ": bad sample shape " + to_string(in));
+  return {in[0]};
+}
+
+}  // namespace shrinkbench

@@ -1,0 +1,98 @@
+// Ordered composition of layers. Sequential is also the "model" type:
+// every network in src/models is a Sequential whose elements may themselves
+// be containers (e.g. ResidualBlock).
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace shrinkbench {
+
+class Sequential : public Layer {
+ public:
+  explicit Sequential(std::string name) : Layer(std::move(name)) {}
+
+  /// Appends a layer; returns a reference for fluent building.
+  Sequential& add(LayerPtr layer) {
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    layers_.push_back(std::make_unique<L>(std::forward<Args>(args)...));
+    return *this;
+  }
+
+  Tensor forward(const Tensor& x, bool train) override {
+    Tensor h = x;
+    for (auto& layer : layers_) {
+      h = layer->forward(h, train);
+      if (hook_) hook_(*layer, h);
+    }
+    return h;
+  }
+
+  void set_forward_hook(ForwardHook hook) override {
+    hook_ = hook;
+    for (auto& layer : layers_) layer->set_forward_hook(hook);
+  }
+
+  Tensor backward(const Tensor& grad_out) override {
+    Tensor g = grad_out;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+    return g;
+  }
+
+  void collect_params(std::vector<Parameter*>& out) override {
+    for (auto& layer : layers_) layer->collect_params(out);
+  }
+
+  std::vector<Layer*> children() override {
+    std::vector<Layer*> out;
+    out.reserve(layers_.size());
+    for (auto& layer : layers_) out.push_back(layer.get());
+    return out;
+  }
+
+  Shape output_sample_shape(const Shape& in) const override {
+    Shape s = in;
+    for (const auto& layer : layers_) s = layer->output_sample_shape(s);
+    return s;
+  }
+
+  int64_t flops(const Shape& in) const override {
+    Shape s = in;
+    int64_t total = 0;
+    for (const auto& layer : layers_) {
+      total += layer->flops(s);
+      s = layer->output_sample_shape(s);
+    }
+    return total;
+  }
+
+  int64_t effective_flops(const Shape& in) const override {
+    Shape s = in;
+    int64_t total = 0;
+    for (const auto& layer : layers_) {
+      total += layer->effective_flops(s);
+      s = layer->output_sample_shape(s);
+    }
+    return total;
+  }
+
+  size_t size() const { return layers_.size(); }
+  Layer& operator[](size_t i) { return *layers_[i]; }
+
+ private:
+  std::vector<LayerPtr> layers_;
+  ForwardHook hook_;
+};
+
+using Model = Sequential;
+using ModelPtr = std::unique_ptr<Sequential>;
+
+}  // namespace shrinkbench

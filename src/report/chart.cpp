@@ -1,0 +1,70 @@
+#include "report/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace shrinkbench::report {
+
+namespace {
+constexpr char kGlyphs[] = "ox+*#@%&^~ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+}
+
+std::string render_chart(const std::vector<Series>& series, const ChartOptions& options) {
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  for (const auto& s : series) {
+    for (size_t i = 0; i < s.x.size(); ++i) {
+      const double x = options.log_x ? std::log2(std::max(s.x[i], 1e-12)) : s.x[i];
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymin = std::min(ymin, s.y[i]);
+      ymax = std::max(ymax, s.y[i]);
+    }
+  }
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  if (!std::isfinite(xmin) || !std::isfinite(ymin)) {
+    out << "  (no data)\n";
+    return out.str();
+  }
+  if (xmax - xmin < 1e-12) xmax = xmin + 1.0;
+  if (ymax - ymin < 1e-12) ymax = ymin + 1.0;
+
+  const int w = options.width, h = options.height;
+  std::vector<std::string> grid(static_cast<size_t>(h), std::string(static_cast<size_t>(w), ' '));
+  for (size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % (sizeof(kGlyphs) - 1)];
+    const auto& s = series[si];
+    for (size_t i = 0; i < s.x.size(); ++i) {
+      const double x = options.log_x ? std::log2(std::max(s.x[i], 1e-12)) : s.x[i];
+      const int col = static_cast<int>(std::lround((x - xmin) / (xmax - xmin) * (w - 1)));
+      const int row = static_cast<int>(std::lround((s.y[i] - ymin) / (ymax - ymin) * (h - 1)));
+      if (col >= 0 && col < w && row >= 0 && row < h) {
+        grid[static_cast<size_t>(h - 1 - row)][static_cast<size_t>(col)] = glyph;
+      }
+    }
+  }
+
+  char ybuf[64];
+  std::snprintf(ybuf, sizeof(ybuf), "%8.3f", ymax);
+  out << ybuf << " +" << std::string(static_cast<size_t>(w), '-') << "+\n";
+  for (int r = 0; r < h; ++r) out << "         |" << grid[static_cast<size_t>(r)] << "|\n";
+  std::snprintf(ybuf, sizeof(ybuf), "%8.3f", ymin);
+  out << ybuf << " +" << std::string(static_cast<size_t>(w), '-') << "+\n";
+  {
+    char xbuf[128];
+    const auto show = [&](double v) { return options.log_x ? std::exp2(v) : v; };
+    std::snprintf(xbuf, sizeof(xbuf), "          %-12.3g%*s%.3g  (%s%s)", show(xmin),
+                  std::max(1, w - 16), "", show(xmax), options.x_label.c_str(),
+                  options.log_x ? ", log scale" : "");
+    out << xbuf << '\n';
+  }
+  for (size_t si = 0; si < series.size(); ++si) {
+    out << "    " << kGlyphs[si % (sizeof(kGlyphs) - 1)] << " = " << series[si].label << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace shrinkbench::report

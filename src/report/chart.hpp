@@ -1,0 +1,29 @@
+// ASCII scatter/line charts so the benches can render each figure's series
+// directly in the terminal (and the CSV output carries exact values).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace shrinkbench::report {
+
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct ChartOptions {
+  int width = 72;       // plot columns
+  int height = 20;      // plot rows
+  bool log_x = false;   // log2 x axis (compression / speedup axes)
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+/// Renders series as an ASCII scatter plot; each series uses its own glyph
+/// and the legend maps glyphs to labels.
+std::string render_chart(const std::vector<Series>& series, const ChartOptions& options);
+
+}  // namespace shrinkbench::report

@@ -1,0 +1,27 @@
+// Aligned-text table rendering for bench output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace shrinkbench::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Formats a double with the given precision; "-" for NaN.
+  static std::string num(double value, int precision = 3);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes arbitrary CSV rows; first row should be the header.
+void write_csv(const std::string& path, const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace shrinkbench::report

@@ -1,0 +1,76 @@
+#include "tensor/im2col.hpp"
+
+#include <algorithm>
+
+namespace shrinkbench {
+
+void im2col_ld(const ConvGeometry& g, const float* image, float* cols, int64_t ld) {
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  int64_t row = 0;
+  for (int64_t c = 0; c < g.in_c; ++c) {
+    const float* chan = image + c * g.in_h * g.in_w;
+    for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* out_row = cols + row * ld;
+        for (int64_t y = 0; y < oh; ++y) {
+          const int64_t in_y = y * g.stride + kh - g.pad;
+          float* dst = out_row + y * ow;
+          if (in_y < 0 || in_y >= g.in_h) {
+            std::fill(dst, dst + ow, 0.0f);
+            continue;
+          }
+          const float* src_row = chan + in_y * g.in_w;
+          const int64_t base = kw - g.pad;
+          if (g.stride == 1 && base >= 0 && base + ow <= g.in_w) {
+            // Fully interior fast path: contiguous copy.
+            std::copy(src_row + base, src_row + base + ow, dst);
+          } else {
+            for (int64_t x = 0; x < ow; ++x) {
+              const int64_t in_x = x * g.stride + base;
+              dst[x] = (in_x >= 0 && in_x < g.in_w) ? src_row[in_x] : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void im2col(const ConvGeometry& g, const float* image, float* cols) {
+  im2col_ld(g, image, cols, g.col_cols());
+}
+
+void col2im_ld(const ConvGeometry& g, const float* cols, int64_t ld, float* image) {
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  int64_t row = 0;
+  for (int64_t c = 0; c < g.in_c; ++c) {
+    float* chan = image + c * g.in_h * g.in_w;
+    for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* src_row = cols + row * ld;
+        for (int64_t y = 0; y < oh; ++y) {
+          const int64_t in_y = y * g.stride + kh - g.pad;
+          if (in_y < 0 || in_y >= g.in_h) continue;
+          float* dst_row = chan + in_y * g.in_w;
+          const float* src = src_row + y * ow;
+          const int64_t base = kw - g.pad;
+          if (g.stride == 1 && base >= 0 && base + ow <= g.in_w) {
+            float* dst = dst_row + base;
+            for (int64_t x = 0; x < ow; ++x) dst[x] += src[x];
+          } else {
+            for (int64_t x = 0; x < ow; ++x) {
+              const int64_t in_x = x * g.stride + base;
+              if (in_x >= 0 && in_x < g.in_w) dst_row[in_x] += src[x];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const ConvGeometry& g, const float* cols, float* image) {
+  col2im_ld(g, cols, g.col_cols(), image);
+}
+
+}  // namespace shrinkbench

@@ -1,0 +1,104 @@
+#include "tensor/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace shrinkbench {
+
+namespace {
+
+uint64_t splitmix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+int64_t Rng::randint(int64_t n) {
+  if (n <= 0) throw std::invalid_argument("Rng::randint: n must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t un = static_cast<uint64_t>(n);
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % un;
+  uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return static_cast<int64_t>(x % un);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::vector<int64_t> Rng::permutation(int64_t n) {
+  std::vector<int64_t> perm(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+  for (int64_t i = n - 1; i > 0; --i) {
+    const int64_t j = randint(i + 1);
+    std::swap(perm[static_cast<size_t>(i)], perm[static_cast<size_t>(j)]);
+  }
+  return perm;
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+void Rng::fill_uniform(Tensor& t, float lo, float hi) {
+  for (float& x : t.flat()) x = static_cast<float>(uniform(lo, hi));
+}
+
+void Rng::fill_normal(Tensor& t, float mean, float stddev) {
+  for (float& x : t.flat()) x = static_cast<float>(normal(mean, stddev));
+}
+
+void Rng::fill_bernoulli(Tensor& t, double p) {
+  for (float& x : t.flat()) x = bernoulli(p) ? 1.0f : 0.0f;
+}
+
+}  // namespace shrinkbench

@@ -1,0 +1,55 @@
+// Deterministic random number generation.
+//
+// ShrinkBench fixes random seeds for every experiment so that runs are
+// exactly reproducible (paper, Appendix C). All randomness in this library
+// flows through Rng: weight init, dataset synthesis, shuffling, random
+// pruning, and minibatch selection for gradient-based scoring.
+//
+// The generator is xoshiro256++, seeded through splitmix64 so that small
+// integer seeds (0, 1, 2, ...) produce well-mixed, independent streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace shrinkbench {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5b);
+
+  /// Raw 64 random bits.
+  uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n) for n > 0.
+  int64_t randint(int64_t n);
+  /// Standard normal via Box-Muller (cached pair).
+  double normal();
+  double normal(double mean, double stddev);
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// Random permutation of {0, ..., n-1} (Fisher-Yates).
+  std::vector<int64_t> permutation(int64_t n);
+
+  /// Derive an independent child stream (for per-worker / per-class seeds).
+  Rng fork();
+
+  void fill_uniform(Tensor& t, float lo, float hi);
+  void fill_normal(Tensor& t, float mean, float stddev);
+  /// Fills with 0/1 values, 1 with probability p.
+  void fill_bernoulli(Tensor& t, double p);
+
+ private:
+  uint64_t state_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace shrinkbench

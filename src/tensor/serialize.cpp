@@ -1,0 +1,59 @@
+#include "tensor/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace shrinkbench {
+
+namespace {
+constexpr int64_t kTensorMagic = 0x5342544e53523031;  // "SBTNSR01"
+}
+
+void write_i64(std::ostream& os, int64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+int64_t read_i64(std::istream& is) {
+  int64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("read_i64: truncated stream");
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_i64(os, static_cast<int64_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const int64_t n = read_i64(is);
+  if (n < 0 || n > (1 << 20)) throw std::runtime_error("read_string: implausible length");
+  std::string s(static_cast<size_t>(n), '\0');
+  is.read(s.data(), n);
+  if (!is) throw std::runtime_error("read_string: truncated stream");
+  return s;
+}
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  write_i64(os, kTensorMagic);
+  write_i64(os, t.dim());
+  for (int64_t d : t.shape()) write_i64(os, d);
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+Tensor read_tensor(std::istream& is) {
+  if (read_i64(is) != kTensorMagic) throw std::runtime_error("read_tensor: bad magic");
+  const int64_t rank = read_i64(is);
+  if (rank < 0 || rank > 8) throw std::runtime_error("read_tensor: implausible rank");
+  Shape shape(static_cast<size_t>(rank));
+  for (auto& d : shape) d = read_i64(is);
+  Tensor t(shape);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!is) throw std::runtime_error("read_tensor: truncated payload");
+  return t;
+}
+
+}  // namespace shrinkbench

@@ -1,0 +1,91 @@
+// Core dense tensor type for the ShrinkBench C++ reproduction.
+//
+// Tensors are row-major, contiguous, float32, and have deep-copy value
+// semantics: copying a Tensor copies its storage. All sharing between
+// components (e.g. a layer's weights seen by an optimizer) is expressed
+// explicitly through references or pointers to the owning object, never
+// through hidden aliasing inside Tensor itself.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace shrinkbench {
+
+/// Dimension sizes of a tensor, outermost first.
+using Shape = std::vector<int64_t>;
+
+/// Number of elements implied by a shape (1 for rank-0).
+int64_t numel_of(const Shape& shape);
+
+/// Human-readable form, e.g. "[64, 3, 8, 8]".
+std::string to_string(const Shape& shape);
+
+/// Dense row-major float32 tensor.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, float fill);
+  Tensor(Shape shape, std::vector<float> values);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  static Tensor scalar(float v) { return Tensor({}, {v}); }
+  /// 1-D tensor from an explicit list of values.
+  static Tensor of(std::initializer_list<float> values);
+
+  const Shape& shape() const { return shape_; }
+  int64_t dim() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t size(int64_t axis) const;
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return std::span<float>(data_); }
+  std::span<const float> flat() const { return std::span<const float>(data_); }
+
+  float& at(int64_t i) { assert(i >= 0 && i < numel()); return data_[static_cast<size_t>(i)]; }
+  float at(int64_t i) const { assert(i >= 0 && i < numel()); return data_[static_cast<size_t>(i)]; }
+
+  // Multi-dimensional element access (rank-checked in debug builds).
+  float& operator()(int64_t i);
+  float operator()(int64_t i) const;
+  float& operator()(int64_t i, int64_t j);
+  float operator()(int64_t i, int64_t j) const;
+  float& operator()(int64_t i, int64_t j, int64_t k);
+  float operator()(int64_t i, int64_t j, int64_t k) const;
+  float& operator()(int64_t i, int64_t j, int64_t k, int64_t l);
+  float operator()(int64_t i, int64_t j, int64_t k, int64_t l) const;
+
+  /// Returns a tensor with the same data and a new shape (numel must match).
+  /// One dimension may be -1 to infer its size.
+  Tensor reshaped(Shape new_shape) const&;
+  Tensor reshaped(Shape new_shape) &&;
+  /// Changes this tensor's shape in place (numel must match; -1 allowed).
+  void reshape(Shape new_shape);
+
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  /// Deep copy (Tensor already copies deeply; clone() makes intent explicit).
+  Tensor clone() const { return *this; }
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  Shape resolve_shape(Shape new_shape) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace shrinkbench

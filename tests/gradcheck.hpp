@@ -1,0 +1,82 @@
+// Numerical gradient checking for Layer implementations.
+//
+// Defines a scalar loss L = sum_i c_i * y_i over the layer output with
+// fixed random coefficients c, then compares the analytic input and
+// parameter gradients from backward() against central finite differences.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layer.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace shrinkbench::testing {
+
+struct GradCheckOptions {
+  float eps = 1e-3f;
+  float tolerance = 2e-2f;  // relative-ish tolerance on each gradient entry
+  bool check_params = true;
+};
+
+inline float weighted_sum(const Tensor& y, const Tensor& c) {
+  float s = 0.0f;
+  const float* yp = y.data();
+  const float* cp = c.data();
+  for (int64_t i = 0; i < y.numel(); ++i) s += yp[i] * cp[i];
+  return s;
+}
+
+inline void expect_close(float analytic, float numeric, float tol, const std::string& what) {
+  const float scale = std::max({1.0f, std::fabs(analytic), std::fabs(numeric)});
+  EXPECT_NEAR(analytic, numeric, tol * scale) << what;
+}
+
+/// Checks dL/dx and (optionally) dL/dtheta for every parameter entry.
+inline void gradcheck(Layer& layer, Tensor x, GradCheckOptions opts = {}) {
+  Rng rng(0xC0FFEE);
+  const Tensor y0 = layer.forward(x, /*train=*/true);
+  Tensor c(y0.shape());
+  rng.fill_normal(c, 0.0f, 1.0f);
+
+  zero_grads(layer);
+  layer.forward(x, true);
+  const Tensor dx = layer.backward(c);
+  ASSERT_TRUE(dx.same_shape(x));
+
+  auto loss_at = [&](const Tensor& input) {
+    return weighted_sum(layer.forward(input, /*train=*/true), c);
+  };
+
+  // Input gradients.
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = x.at(i);
+    x.at(i) = orig + opts.eps;
+    const float lp = loss_at(x);
+    x.at(i) = orig - opts.eps;
+    const float lm = loss_at(x);
+    x.at(i) = orig;
+    const float numeric = (lp - lm) / (2 * opts.eps);
+    expect_close(dx.at(i), numeric, opts.tolerance, "dL/dx[" + std::to_string(i) + "]");
+  }
+
+  // Parameter gradients.
+  if (!opts.check_params) return;
+  for (Parameter* p : parameters_of(layer)) {
+    for (int64_t i = 0; i < p->numel(); ++i) {
+      const float orig = p->data.at(i);
+      p->data.at(i) = orig + opts.eps;
+      const float lp = loss_at(x);
+      p->data.at(i) = orig - opts.eps;
+      const float lm = loss_at(x);
+      p->data.at(i) = orig;
+      const float numeric = (lp - lm) / (2 * opts.eps);
+      expect_close(p->grad.at(i), numeric, opts.tolerance,
+                   p->name + ".grad[" + std::to_string(i) + "]");
+    }
+  }
+}
+
+}  // namespace shrinkbench::testing

@@ -1,0 +1,248 @@
+// Tests for the extended scoring family: forward hooks, activation
+// statistics, activation-based channel pruning, and the diagonal-Fisher
+// score.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/activation_stats.hpp"
+#include "core/pruner.hpp"
+#include "core/strategy.hpp"
+#include "data/synthetic.hpp"
+#include "metrics/metrics.hpp"
+#include "models/zoo.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+
+namespace shrinkbench {
+namespace {
+
+struct Fixture {
+  DatasetBundle bundle;
+  ModelPtr model;
+
+  explicit Fixture(const char* arch = "resnet-20") {
+    SyntheticSpec spec = synth_cifar(9);
+    spec.train_size = 128;
+    spec.val_size = 64;
+    spec.test_size = 64;
+    bundle = make_synthetic(spec);
+    model = make_model(arch, bundle.train.sample_shape(), 10, 4);
+    Rng rng(3);
+    init_model(*model, rng);
+  }
+};
+
+// ---- forward hooks ----
+
+TEST(ForwardHook, SequentialInvokesPerChild) {
+  Fixture fx("cifar-vgg");
+  int calls = 0;
+  fx.model->set_forward_hook([&](Layer&, const Tensor&) { ++calls; });
+  Tensor x({2, 3, 8, 8});
+  Rng rng(1);
+  rng.fill_normal(x, 0, 1);
+  fx.model->forward(x, false);
+  // Every layer in the tree produces exactly one hooked output.
+  int layer_count = 0;
+  visit_layers(*fx.model, [&](Layer&) { ++layer_count; });
+  // The root container itself is not hooked (it has no parent container),
+  // and nested containers are hooked by their parents.
+  EXPECT_EQ(calls, layer_count - 1);
+
+  // Clearing the hook stops callbacks.
+  fx.model->set_forward_hook(nullptr);
+  calls = 0;
+  fx.model->forward(x, false);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ForwardHook, ResidualBlockPropagates) {
+  Fixture fx("resnet-20");
+  int conv_outputs = 0;
+  fx.model->set_forward_hook([&](Layer& layer, const Tensor&) {
+    conv_outputs += dynamic_cast<Conv2d*>(&layer) != nullptr;
+  });
+  Tensor x({1, 3, 8, 8});
+  Rng rng(2);
+  rng.fill_normal(x, 0, 1);
+  fx.model->forward(x, false);
+  // resnet-20: stem + 3 stages x 3 blocks x 2 convs + 2 projections = 21.
+  EXPECT_EQ(conv_outputs, 21);
+}
+
+// ---- activation stats ----
+
+TEST(ActivationStats, CoversEveryConvAndLinear) {
+  Fixture fx;
+  Rng rng(4);
+  const ChannelActivationStats stats =
+      collect_activation_stats(*fx.model, fx.bundle.train, 2, 32, rng);
+  int convs = 0, linears = 0;
+  visit_layers(*fx.model, [&](Layer& l) {
+    convs += dynamic_cast<Conv2d*>(&l) != nullptr;
+    linears += dynamic_cast<Linear*>(&l) != nullptr;
+  });
+  EXPECT_EQ(stats.mean_abs.size(), static_cast<size_t>(convs + linears));
+  EXPECT_EQ(stats.samples, 64);
+  for (const auto& [name, scores] : stats.mean_abs) {
+    for (double v : scores) {
+      EXPECT_GE(v, 0.0) << name;
+      EXPECT_TRUE(std::isfinite(v)) << name;
+    }
+  }
+  for (const auto& [name, fracs] : stats.positive_fraction) {
+    for (double v : fracs) {
+      EXPECT_GE(v, 0.0) << name;
+      EXPECT_LE(v, 1.0) << name;
+    }
+  }
+}
+
+TEST(ActivationStats, DeterministicInRngSeed) {
+  Fixture fx;
+  Rng r1(8), r2(8);
+  const auto a = collect_activation_stats(*fx.model, fx.bundle.train, 2, 16, r1);
+  const auto b = collect_activation_stats(*fx.model, fx.bundle.train, 2, 16, r2);
+  for (const auto& [name, scores] : a.mean_abs) {
+    const auto& other = b.mean_abs.at(name);
+    for (size_t i = 0; i < scores.size(); ++i) EXPECT_DOUBLE_EQ(scores[i], other[i]) << name;
+  }
+}
+
+// ---- channel scores -> entry scores ----
+
+TEST(ChannelScores, BroadcastAndMaskInteraction) {
+  Parameter p("conv.weight", {3, 2, 2, 2}, true);
+  p.data.fill(1.0f);
+  p.mask.at(0) = 0.0f;  // one already-pruned entry in channel 0
+  const Tensor scores = channel_scores_to_entry_scores(p, {0.5, 1.5, 2.5});
+  EXPECT_TRUE(std::isinf(scores.at(0)));
+  EXPECT_FLOAT_EQ(scores.at(1), 0.5f);
+  EXPECT_FLOAT_EQ(scores.at(8), 1.5f);   // channel 1 start
+  EXPECT_FLOAT_EQ(scores.at(16), 2.5f);  // channel 2 start
+  EXPECT_THROW(channel_scores_to_entry_scores(p, {1.0, 2.0}), std::invalid_argument);
+}
+
+// ---- activation-based pruning end to end ----
+
+TEST(ActivationPruning, PrunesWholeChannelsToTargetFraction) {
+  Fixture fx;
+  Rng rng(5);
+  const double achieved = prune_model(*fx.model, strategy_from_name("layer-activation"), 0.5,
+                                      fx.bundle.train, {}, rng);
+  EXPECT_NEAR(achieved, 0.5, 0.12);  // channel granularity rounds
+  // Masks are channel-structured: each output channel all-0 or all-1.
+  for (const Parameter* p : prunable_params(*fx.model, {})) {
+    const int64_t channels = p->data.size(0);
+    const int64_t unit = p->numel() / channels;
+    for (int64_t c = 0; c < channels; ++c) {
+      const float first = p->mask.at(c * unit);
+      for (int64_t i = 1; i < unit; ++i) {
+        ASSERT_EQ(p->mask.at(c * unit + i), first) << p->name << " channel " << c;
+      }
+    }
+  }
+}
+
+TEST(ActivationPruning, KeepsMostActiveChannels) {
+  // Single conv layer with one channel forced to huge weights: its
+  // activations dominate, so activation pruning must keep it.
+  auto model = std::make_unique<Sequential>("m");
+  model->emplace<Conv2d>("conv", 3, 4, 3, 1, 1, false);
+  model->emplace<Flatten>("flat");
+  const Shape out = model->output_sample_shape({3, 8, 8});
+  model->emplace<Linear>("fc", out[0], 10, true, /*is_classifier=*/true);
+  Rng rng(6);
+  init_model(*model, rng);
+  auto params = parameters_of(*model);
+  Parameter& conv_w = *params[0];
+  for (int64_t i = 0; i < 27; ++i) conv_w.data.at(2 * 27 + i) = 3.0f;  // channel 2 loud
+
+  SyntheticSpec spec = synth_cifar(10);
+  spec.train_size = 64;
+  spec.val_size = 32;
+  spec.test_size = 32;
+  const DatasetBundle bundle = make_synthetic(spec);
+  prune_model(*model, strategy_from_name("layer-activation"), 0.25, bundle.train, {}, rng);
+  // 1 of 4 channels survives and it is channel 2.
+  EXPECT_EQ(conv_w.mask.at(2 * 27), 1.0f);
+  EXPECT_EQ(conv_w.mask.at(0), 0.0f);
+}
+
+// ---- Fisher ----
+
+TEST(Fisher, SnapshotIsMeanSquaredGradient) {
+  Fixture fx;
+  Rng rng(7);
+  PruneOptions opts;
+  opts.fisher_batches = 3;
+  const auto mean_sq = squared_gradient_snapshot(*fx.model, fx.bundle.train, opts, rng);
+  ASSERT_EQ(mean_sq.size(), prunable_params(*fx.model, opts).size());
+  double total = 0.0;
+  for (const Tensor& t : mean_sq) {
+    for (float v : t.flat()) {
+      ASSERT_GE(v, 0.0f);  // squared quantities
+      total += v;
+    }
+  }
+  EXPECT_GT(total, 0.0);
+  EXPECT_THROW(
+      {
+        PruneOptions bad;
+        bad.fisher_batches = 0;
+        squared_gradient_snapshot(*fx.model, fx.bundle.train, bad, rng);
+      },
+      std::invalid_argument);
+}
+
+TEST(Fisher, PruneModelReachesTargetFraction) {
+  Fixture fx;
+  Rng rng(8);
+  const double achieved = prune_model(*fx.model, strategy_from_name("global-fisher"), 0.25,
+                                      fx.bundle.train, {}, rng);
+  EXPECT_NEAR(achieved, 0.25, 1e-3);
+}
+
+TEST(Fisher, LessSeedSensitiveThanSingleBatchGradient) {
+  // Averaging several batches should reduce (or at least not inflate) the
+  // mask disagreement across seeds relative to the single-batch gradient
+  // score. This is a statistical property; the margin is generous.
+  const auto mask_disagreement = [](const std::string& strategy) {
+    Fixture f1, f2;
+    PruneOptions opts;
+    opts.grad_batch_size = 16;
+    Rng r1(101), r2(202);
+    prune_model(*f1.model, strategy_from_name(strategy), 0.3, f1.bundle.train, opts, r1);
+    prune_model(*f2.model, strategy_from_name(strategy), 0.3, f2.bundle.train, opts, r2);
+    int64_t differing = 0, total = 0;
+    const auto p1 = prunable_params(*f1.model, opts), p2 = prunable_params(*f2.model, opts);
+    for (size_t i = 0; i < p1.size(); ++i) {
+      for (int64_t j = 0; j < p1[i]->numel(); ++j) {
+        differing += p1[i]->mask.at(j) != p2[i]->mask.at(j);
+        ++total;
+      }
+    }
+    return static_cast<double>(differing) / static_cast<double>(total);
+  };
+  const double fisher = mask_disagreement("global-fisher");
+  const double gradient = mask_disagreement("global-gradient");
+  EXPECT_LT(fisher, gradient * 1.5 + 0.02);
+}
+
+TEST(Strategy, NewEntriesResolve) {
+  for (const char* name :
+       {"global-fisher", "layer-fisher", "global-activation", "layer-activation"}) {
+    const PruningStrategy s = strategy_from_name(name);
+    EXPECT_EQ(s.name, name);
+    EXPECT_FALSE(display_name(name).empty());
+  }
+  EXPECT_TRUE(needs_activations(ScoreKind::ChannelActivation));
+  EXPECT_TRUE(needs_gradients(ScoreKind::Fisher));
+  EXPECT_FALSE(needs_activations(ScoreKind::Fisher));
+}
+
+}  // namespace
+}  // namespace shrinkbench

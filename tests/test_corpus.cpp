@@ -1,0 +1,352 @@
+// Corpus tests: every aggregate statistic the paper reports must hold on
+// the reconstructed corpus, and the analysis functions must compute the
+// figures' inputs correctly.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/analysis.hpp"
+#include "corpus/corpus.hpp"
+#include "corpus/families.hpp"
+#include "corpus/units.hpp"
+
+namespace shrinkbench::corpus {
+namespace {
+
+const Corpus& C() { return pruning_corpus(); }
+
+TEST(Corpus, Has81Papers) { EXPECT_EQ(C().papers.size(), 81u); }
+
+TEST(Corpus, TwoClassicsSeventyNineModern) {
+  int classics = 0, modern = 0;
+  for (const auto& p : C().papers) {
+    (p.year < 2010 ? classics : modern)++;
+  }
+  EXPECT_EQ(classics, 2);  // LeCun 1990, Hassibi 1993
+  EXPECT_EQ(modern, 79);
+  EXPECT_NE(C().find("LeCun 1990"), nullptr);
+  EXPECT_NE(C().find("Hassibi 1993"), nullptr);
+}
+
+TEST(Corpus, DatasetArchPairTotalsMatchPaper) {
+  // §4.2: 49 datasets, 132 architectures, 195 (dataset, arch) pairs.
+  const CorpusSummary s = summarize(C());
+  EXPECT_EQ(s.datasets, 49);
+  EXPECT_EQ(s.architectures, 132);
+  EXPECT_EQ(s.pairs, 195);
+}
+
+TEST(Corpus, Table1CountsExact) {
+  const auto counts = pair_counts(C(), 4);
+  ASSERT_EQ(counts.size(), 14u);  // exactly the Table 1 rows
+  const auto expect_row = [&](size_t i, const std::string& ds, const std::string& arch, int n) {
+    EXPECT_EQ(counts[i].dataset, ds) << i;
+    EXPECT_EQ(counts[i].architecture, arch) << i;
+    EXPECT_EQ(counts[i].papers, n) << i;
+  };
+  expect_row(0, "ImageNet", "VGG-16", 22);
+  expect_row(1, "ImageNet", "ResNet-50", 15);
+  // Rows 2-3 are the two 14-count pairs (sorted by name).
+  EXPECT_EQ(counts[2].papers, 14);
+  EXPECT_EQ(counts[3].papers, 14);
+  expect_row(4, "MNIST", "LeNet-300-100", 12);
+  expect_row(5, "MNIST", "LeNet-5", 11);
+  expect_row(6, "ImageNet", "CaffeNet", 10);
+  // Two 8s, then 6/6, 5, 4/4.
+  EXPECT_EQ(counts[7].papers, 8);
+  EXPECT_EQ(counts[8].papers, 8);
+  EXPECT_EQ(counts[9].papers, 6);
+  EXPECT_EQ(counts[10].papers, 6);
+  EXPECT_EQ(counts[11].papers, 5);
+  EXPECT_EQ(counts[12].papers, 4);
+  EXPECT_EQ(counts[13].papers, 4);
+}
+
+TEST(Corpus, ComparisonClaimsHold) {
+  // §4.1: "more than a fourth ... does not compare to any previously
+  // proposed pruning method, and another fourth compares to only one.
+  // Nearly all papers compare to three or fewer."
+  const CorpusSummary s = summarize(C());
+  EXPECT_GE(s.compare_to_none, 21);
+  EXPECT_GE(s.compare_to_at_most_one, 40);   // half of 81
+  EXPECT_GE(s.compare_to_at_most_three, 70); // nearly all
+  // "dozens of modern papers ... never been compared to by any later study"
+  EXPECT_GE(s.never_compared_to, 24);
+}
+
+TEST(Corpus, ComparisonsPointBackwardInTime) {
+  for (const auto& p : C().papers) {
+    for (int target : p.compares_to) {
+      const auto& q = C().papers[static_cast<size_t>(target)];
+      EXPECT_LE(q.year, p.year) << p.label << " -> " << q.label;
+    }
+  }
+}
+
+TEST(Corpus, ComparisonTargetsAreDistinctAndInCorpus) {
+  for (const auto& p : C().papers) {
+    std::set<int> targets(p.compares_to.begin(), p.compares_to.end());
+    EXPECT_EQ(targets.size(), p.compares_to.size()) << p.label;
+    for (int t : p.compares_to) {
+      ASSERT_GE(t, 0);
+      ASSERT_LT(t, 81);
+      EXPECT_NE(t, p.id);
+    }
+  }
+}
+
+TEST(Corpus, HanIsMostComparedTo) {
+  // Magnitude pruning (Han 2015) is the canonical baseline (§7.2).
+  std::map<int, int> in_degree;
+  for (const auto& p : C().papers) {
+    for (int t : p.compares_to) in_degree[t]++;
+  }
+  const PaperRecord* han = C().find("Han 2015");
+  ASSERT_NE(han, nullptr);
+  for (const auto& [id, deg] : in_degree) {
+    EXPECT_LE(deg, in_degree[han->id]) << C().papers[static_cast<size_t>(id)].label;
+  }
+  EXPECT_GE(in_degree[han->id], 10);
+}
+
+TEST(Corpus, Exactly37PapersOnCommonConfigs) {
+  // Figure 3's caption: "only 37 out of the 81 papers in our corpus report
+  // any results using any of these configurations."
+  EXPECT_EQ(summarize(C()).papers_on_common_configs, 37);
+}
+
+TEST(Corpus, EveryPaperHasAtLeastOnePair) {
+  for (const auto& p : C().papers) EXPECT_FALSE(p.pairs.empty()) << p.label;
+}
+
+TEST(Corpus, CurvesBelongToDeclaredPairs) {
+  for (const auto& p : C().papers) {
+    for (const auto& c : p.curves) {
+      const std::pair<std::string, std::string> pair{c.dataset, c.architecture};
+      EXPECT_NE(std::find(p.pairs.begin(), p.pairs.end(), pair), p.pairs.end())
+          << p.label << " curve on undeclared pair " << c.dataset << "/" << c.architecture;
+    }
+  }
+}
+
+TEST(Corpus, CurvePointsHaveAtLeastOneMetricPair) {
+  for (const auto& p : C().papers) {
+    for (const auto& c : p.curves) {
+      EXPECT_FALSE(c.points.empty()) << c.method_label;
+      for (const auto& pt : c.points) {
+        EXPECT_TRUE(pt.compression || pt.speedup) << c.method_label;
+        EXPECT_TRUE(pt.delta_top1 || pt.delta_top5) << c.method_label;
+        if (pt.compression) {
+          EXPECT_GE(*pt.compression, 1.0);
+        }
+        if (pt.speedup) {
+          EXPECT_GE(*pt.speedup, 1.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(Corpus, OnlyHeYang2018ReportsStddev) {
+  // Figure 3's caption: the only result with any measure of central
+  // tendency is He 2018 on CIFAR-10.
+  int with_stddev = 0;
+  for (const auto& p : C().papers) {
+    for (const auto& c : p.curves) {
+      if (c.reports_stddev) {
+        ++with_stddev;
+        EXPECT_EQ(p.label, "He, Yang 2018");
+        EXPECT_EQ(c.dataset, "CIFAR-10");
+      }
+    }
+  }
+  EXPECT_GT(with_stddev, 0);
+}
+
+TEST(Corpus, DeterministicSingleton) {
+  const Corpus& a = pruning_corpus();
+  const Corpus& b = pruning_corpus();
+  EXPECT_EQ(&a, &b);
+}
+
+// ---- analysis ----
+
+TEST(Analysis, HistogramsCountAllPapers) {
+  const SplitHistogram out = compares_to_histogram(C());
+  int total = 0;
+  for (const auto& [k, v] : out.peer_reviewed) total += v;
+  for (const auto& [k, v] : out.other) total += v;
+  EXPECT_EQ(total, 81);
+
+  const SplitHistogram in = compared_to_histogram(C());
+  total = 0;
+  for (const auto& [k, v] : in.peer_reviewed) total += v;
+  for (const auto& [k, v] : in.other) total += v;
+  EXPECT_EQ(total, 81);
+}
+
+TEST(Analysis, InAndOutDegreeTotalsAgree) {
+  // Sum over k of k * count must equal the number of edges in both views.
+  const auto weighted_sum = [](const SplitHistogram& h) {
+    int s = 0;
+    for (const auto& [k, v] : h.peer_reviewed) s += k * v;
+    for (const auto& [k, v] : h.other) s += k * v;
+    return s;
+  };
+  EXPECT_EQ(weighted_sum(compares_to_histogram(C())), weighted_sum(compared_to_histogram(C())));
+}
+
+TEST(Analysis, CommonConfigsMatchFigure3) {
+  const auto configs = common_configs();
+  ASSERT_EQ(configs.size(), 4u);
+  EXPECT_EQ(configs[0].display, "VGG-16 on ImageNet");
+  EXPECT_EQ(configs[1].architectures.size(), 2u);  // AlexNet + CaffeNet merged
+  for (const auto& config : configs) {
+    EXPECT_NE(config.dataset, "MNIST");  // excluded per the paper
+    EXPECT_FALSE(curves_for_config(C(), config).empty()) << config.display;
+  }
+}
+
+TEST(Analysis, PairsPerPaperHistogramIsBottomHeavy) {
+  const SplitHistogram h = pairs_per_paper_histogram(C(), /*exclude_mnist=*/true);
+  int at_most_three = 0, total = 0;
+  for (int k = 0; k <= h.max_key(); ++k) {
+    const int n = h.total(k);
+    total += n;
+    if (k <= 3) at_most_three += n;
+  }
+  // Figure 4 (top): most papers use three or fewer pairs.
+  EXPECT_GT(at_most_three, total / 2);
+}
+
+TEST(Analysis, PointsPerCurveMostlyFewPoints) {
+  const SplitHistogram h = points_per_curve_histogram(C());
+  int at_most_three = 0, total = 0;
+  for (int k = 0; k <= h.max_key(); ++k) {
+    total += h.total(k);
+    if (k <= 3) at_most_three += h.total(k);
+  }
+  EXPECT_GT(total, 40);  // dozens of curves on the common configs
+  // Figure 4 (bottom): most curves use at most three points.
+  EXPECT_GT(at_most_three, total * 6 / 10);
+}
+
+TEST(Analysis, MedianBaselinesReasonable) {
+  const BaselineMedians vgg = median_baselines(C(), "VGG-16");
+  EXPECT_GT(vgg.reporting_papers, 2);
+  EXPECT_NEAR(vgg.params_millions, 138.0, 10.0);
+  EXPECT_NEAR(vgg.top1, 71.6, 2.0);
+
+  const BaselineMedians r50 = median_baselines(C(), "ResNet-50");
+  EXPECT_NEAR(r50.params_millions, 25.6, 2.0);
+}
+
+TEST(Analysis, NormalizationProducesAbsolutePoints) {
+  const auto points = normalized_pruned_points(C(), "ImageNet", "VGG-16");
+  EXPECT_GT(points.size(), 20u);
+  for (const auto& p : points) {
+    EXPECT_GT(p.params_millions, 1.0);    // pruned VGG still has params
+    EXPECT_LT(p.params_millions, 150.0);  // smaller than the original
+    EXPECT_GT(p.top1, 50.0);
+    EXPECT_LT(p.top1, 80.0);
+  }
+}
+
+TEST(Analysis, Fig5LabelsAllResolve) {
+  for (const auto& label : fig5_magnitude_labels()) {
+    EXPECT_NE(resnet50_curve_by_label(C(), label), nullptr) << label;
+  }
+  for (const auto& label : fig5_other_labels()) {
+    EXPECT_NE(resnet50_curve_by_label(C(), label), nullptr) << label;
+  }
+  EXPECT_EQ(resnet50_curve_by_label(C(), "Nonexistent 2099"), nullptr);
+}
+
+TEST(Analysis, YearProgressIsWeak) {
+  // §4.3: "Methods from later years do not consistently outperform methods
+  // from earlier years" — the year/quality correlation must be weak.
+  const auto configs = common_configs();
+  int comparable_total = 0;
+  for (const auto& config : configs) {
+    const YearProgress yp = year_progress(C(), config, 4.0);
+    EXPECT_GE(yp.correlation, -1.0);
+    EXPECT_LE(yp.correlation, 1.0);
+    EXPECT_LT(std::abs(yp.correlation), 0.8) << config.display;
+    comparable_total += static_cast<int>(yp.per_method.size());
+  }
+  // Only a minority of curves even bracket the reference ratio — the
+  // incomparability the section describes.
+  EXPECT_GT(comparable_total, 5);
+  EXPECT_LT(comparable_total, 60);
+}
+
+TEST(Families, Figure1FamiliesPresent) {
+  const auto& families = architecture_families();
+  ASSERT_EQ(families.size(), 4u);
+  std::set<std::string> names;
+  for (const auto& f : families) {
+    names.insert(f.name);
+    ASSERT_GE(f.members.size(), 4u);
+    // Members ordered by size, accuracy non-decreasing within a family.
+    for (size_t i = 1; i < f.members.size(); ++i) {
+      EXPECT_GT(f.members[i].params_millions, f.members[i - 1].params_millions) << f.name;
+      EXPECT_GE(f.members[i].top1, f.members[i - 1].top1) << f.name;
+    }
+  }
+  EXPECT_TRUE(names.count("EfficientNet"));
+  EXPECT_TRUE(names.count("ResNet"));
+  EXPECT_TRUE(names.count("VGG"));
+  EXPECT_TRUE(names.count("MobileNet-v2"));
+}
+
+// ---- metric conversions (Appendix A / §5.2) ----
+
+TEST(Units, ErrorAccuracyConversion) {
+  EXPECT_DOUBLE_EQ(accuracy_from_error(28.4), 71.6);
+  EXPECT_DOUBLE_EQ(accuracy_from_error(0.0), 100.0);
+  EXPECT_THROW(accuracy_from_error(-1.0), std::invalid_argument);
+  EXPECT_THROW(accuracy_from_error(101.0), std::invalid_argument);
+}
+
+TEST(Units, CompressionConventionsAgree) {
+  // 75% pruned == 25% remaining == "0.75 compression ratio" misuse == 4x.
+  EXPECT_DOUBLE_EQ(compression_from_fraction_pruned(0.75), 4.0);
+  EXPECT_DOUBLE_EQ(compression_from_fraction_remaining(0.25), 4.0);
+  EXPECT_DOUBLE_EQ(compression_from_misused_ratio(0.75), 4.0);
+  EXPECT_THROW(compression_from_fraction_pruned(1.0), std::invalid_argument);
+  EXPECT_THROW(compression_from_fraction_remaining(0.0), std::invalid_argument);
+}
+
+TEST(Units, CompressionRoundTrips) {
+  for (const double ratio : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    EXPECT_DOUBLE_EQ(compression_from_fraction_pruned(fraction_pruned_from_compression(ratio)),
+                     ratio);
+    EXPECT_DOUBLE_EQ(
+        compression_from_fraction_remaining(fraction_remaining_from_compression(ratio)), ratio);
+  }
+  EXPECT_THROW(fraction_pruned_from_compression(0.5), std::invalid_argument);
+}
+
+TEST(Units, SpeedupConversions) {
+  EXPECT_DOUBLE_EQ(speedup_from_flops_remaining(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(speedup_from_flops_reduction_percent(75.0), 4.0);
+  EXPECT_THROW(speedup_from_flops_remaining(0.0), std::invalid_argument);
+  EXPECT_THROW(speedup_from_flops_reduction_percent(100.0), std::invalid_argument);
+}
+
+TEST(Families, EfficientNetDominatesAtEqualSize) {
+  // Figure 1's headline: pruning rarely beats a better architecture.
+  // EfficientNet-B0 (5.3M params) beats even ResNet-152 (60M).
+  const auto& families = architecture_families();
+  const auto find = [&](const std::string& name) -> const ArchitectureFamily& {
+    for (const auto& f : families) {
+      if (f.name == name) return f;
+    }
+    throw std::logic_error("missing family");
+  };
+  EXPECT_GT(find("EfficientNet").members.front().top1, find("ResNet").members.back().top1 - 1.3);
+  EXPECT_GT(find("EfficientNet").members.back().top1, find("VGG").members.back().top1 + 10);
+}
+
+}  // namespace
+}  // namespace shrinkbench::corpus

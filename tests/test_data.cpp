@@ -1,0 +1,236 @@
+// Synthetic dataset + DataLoader tests: determinism, split independence,
+// label noise, and loader iteration semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/loader.hpp"
+#include "data/synthetic.hpp"
+#include "tensor/ops.hpp"
+
+namespace shrinkbench {
+namespace {
+
+TEST(Synthetic, ShapesMatchSpec) {
+  SyntheticSpec spec = synth_cifar();
+  spec.train_size = 100;
+  spec.val_size = 20;
+  spec.test_size = 30;
+  const DatasetBundle b = make_synthetic(spec);
+  EXPECT_EQ(b.train.images.shape(), (Shape{100, 3, 8, 8}));
+  EXPECT_EQ(b.val.size(), 20);
+  EXPECT_EQ(b.test.size(), 30);
+  EXPECT_EQ(b.train.num_classes, 10);
+  EXPECT_EQ(b.train.sample_shape(), (Shape{3, 8, 8}));
+  EXPECT_EQ(b.train.labels.size(), 100u);
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  SyntheticSpec spec = synth_cifar(123);
+  spec.train_size = 50;
+  const DatasetBundle a = make_synthetic(spec);
+  const DatasetBundle b = make_synthetic(spec);
+  EXPECT_TRUE(ops::allclose(a.train.images, b.train.images, 0, 0));
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticSpec s1 = synth_cifar(1), s2 = synth_cifar(2);
+  s1.train_size = s2.train_size = 50;
+  const DatasetBundle a = make_synthetic(s1);
+  const DatasetBundle b = make_synthetic(s2);
+  EXPECT_GT(ops::max_abs_diff(a.train.images, b.train.images), 0.1f);
+}
+
+TEST(Synthetic, LabelsCoverAllClasses) {
+  SyntheticSpec spec = synth_cifar();
+  spec.train_size = 500;
+  const DatasetBundle b = make_synthetic(spec);
+  std::set<int> seen(b.train.labels.begin(), b.train.labels.end());
+  EXPECT_EQ(static_cast<int>(seen.size()), spec.num_classes);
+  for (int label : b.train.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, spec.num_classes);
+  }
+}
+
+TEST(Synthetic, LabelNoiseAffectsOnlyTrainSplit) {
+  // Label noise exists to bound train accuracy; val/test labels stay clean
+  // (they measure generalization) and must not depend on the knob at all.
+  SyntheticSpec clean = synth_cifar(7);
+  clean.train_size = 400;
+  clean.label_noise = 0.0f;
+  SyntheticSpec noisy = clean;
+  noisy.label_noise = 0.5f;
+
+  const DatasetBundle a = make_synthetic(clean);
+  const DatasetBundle b = make_synthetic(noisy);
+  EXPECT_EQ(a.val.labels, b.val.labels);
+  EXPECT_EQ(a.test.labels, b.test.labels);
+  EXPECT_TRUE(ops::allclose(a.val.images, b.val.images, 0, 0));
+
+  // About half the noisy train labels get redrawn (some redraws repeat the
+  // true label, so the differing fraction is a bit under the noise rate).
+  int differing = 0;
+  for (size_t i = 0; i < a.train.labels.size(); ++i) {
+    differing += a.train.labels[i] != b.train.labels[i];
+  }
+  EXPECT_GT(differing, 100);
+  EXPECT_LT(differing, 300);
+}
+
+TEST(Synthetic, PresetsResolve) {
+  EXPECT_EQ(synthetic_preset("synth-cifar10").num_classes, 10);
+  EXPECT_EQ(synthetic_preset("synth-imagenet").num_classes, 20);
+  EXPECT_EQ(synthetic_preset("synth-mnist").channels, 1);
+  EXPECT_EQ(synthetic_preset("synth-cifar10", 99).seed, 99u);
+  EXPECT_THROW(synthetic_preset("cifar10"), std::invalid_argument);
+}
+
+TEST(Synthetic, RejectsDegenerateSpec) {
+  SyntheticSpec spec;
+  spec.num_classes = 1;
+  EXPECT_THROW(make_synthetic(spec), std::invalid_argument);
+}
+
+// ---- DataLoader ----
+
+DatasetBundle small_bundle() {
+  SyntheticSpec spec = synth_cifar(11);
+  spec.train_size = 37;  // deliberately not a multiple of the batch size
+  spec.val_size = 8;
+  spec.test_size = 8;
+  return make_synthetic(spec);
+}
+
+TEST(DataLoader, CoversEverySampleOncePerEpoch) {
+  const DatasetBundle b = small_bundle();
+  DataLoader loader(b.train, 8, /*shuffle=*/true, 5);
+  Batch batch;
+  int64_t total = 0;
+  int batches = 0;
+  while (loader.next(batch)) {
+    total += batch.x.size(0);
+    ++batches;
+    EXPECT_EQ(batch.x.size(0), static_cast<int64_t>(batch.y.size()));
+  }
+  EXPECT_EQ(total, 37);
+  EXPECT_EQ(batches, 5);  // 4 full + 1 remainder of 5
+  EXPECT_EQ(loader.batches_per_epoch(), 5);
+}
+
+TEST(DataLoader, ShuffleIsSeedDeterministic) {
+  const DatasetBundle b = small_bundle();
+  DataLoader l1(b.train, 8, true, 42), l2(b.train, 8, true, 42);
+  Batch b1, b2;
+  ASSERT_TRUE(l1.next(b1));
+  ASSERT_TRUE(l2.next(b2));
+  EXPECT_TRUE(ops::allclose(b1.x, b2.x, 0, 0));
+  EXPECT_EQ(b1.y, b2.y);
+}
+
+TEST(DataLoader, ResetReshuffles) {
+  const DatasetBundle b = small_bundle();
+  DataLoader loader(b.train, 37, true, 1);
+  Batch first, second;
+  ASSERT_TRUE(loader.next(first));
+  loader.reset();
+  ASSERT_TRUE(loader.next(second));
+  // Same multiset of samples, (almost surely) different order.
+  EXPECT_FALSE(ops::allclose(first.x, second.x, 0, 0));
+}
+
+TEST(DataLoader, NoShufflePreservesOrder) {
+  const DatasetBundle b = small_bundle();
+  DataLoader loader(b.train, 4, false, 0);
+  Batch batch;
+  ASSERT_TRUE(loader.next(batch));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(batch.y[static_cast<size_t>(i)], b.train.labels[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(DataLoader, SampleBatchDeterministicInRng) {
+  const DatasetBundle b = small_bundle();
+  DataLoader loader(b.train, 8, false, 0);
+  Rng r1(9), r2(9);
+  const Batch b1 = loader.sample_batch(r1);
+  const Batch b2 = loader.sample_batch(r2);
+  EXPECT_TRUE(ops::allclose(b1.x, b2.x, 0, 0));
+  EXPECT_EQ(b1.y, b2.y);
+}
+
+TEST(DataLoader, RejectsBadBatchSize) {
+  const DatasetBundle b = small_bundle();
+  EXPECT_THROW(DataLoader(b.train, 0, false, 0), std::invalid_argument);
+}
+
+// ---- augmentation ----
+
+TEST(Augmentation, NoOptionsMeansBitIdenticalBatches) {
+  const DatasetBundle b = small_bundle();
+  DataLoader plain(b.train, 8, false, 0);
+  DataLoader augmented(b.train, 8, false, 0, AugmentOptions{});
+  Batch b1, b2;
+  ASSERT_TRUE(plain.next(b1));
+  ASSERT_TRUE(augmented.next(b2));
+  EXPECT_TRUE(ops::allclose(b1.x, b2.x, 0, 0));
+}
+
+TEST(Augmentation, NoisePerturbsWithoutChangingLabels) {
+  const DatasetBundle b = small_bundle();
+  AugmentOptions aug;
+  aug.noise_std = 0.2f;
+  DataLoader plain(b.train, 16, false, 0);
+  DataLoader noisy(b.train, 16, false, 0, aug);
+  Batch b1, b2;
+  ASSERT_TRUE(plain.next(b1));
+  ASSERT_TRUE(noisy.next(b2));
+  EXPECT_EQ(b1.y, b2.y);
+  const float diff = ops::max_abs_diff(b1.x, b2.x);
+  EXPECT_GT(diff, 0.05f);
+  EXPECT_LT(diff, 1.5f);  // ~N(0, 0.2) tails
+}
+
+TEST(Augmentation, ShiftAndFlipPreserveEnergy) {
+  // Toroidal shifts / flips are permutations of pixels: per-image energy
+  // is exactly preserved.
+  const DatasetBundle b = small_bundle();
+  AugmentOptions aug;
+  aug.hflip = true;
+  aug.max_shift = 2;
+  DataLoader plain(b.train, 8, false, 0);
+  DataLoader shifted(b.train, 8, false, 0, aug);
+  Batch b1, b2;
+  ASSERT_TRUE(plain.next(b1));
+  ASSERT_TRUE(shifted.next(b2));
+  const int64_t sample = numel_of(b.train.sample_shape());
+  bool any_changed = false;
+  for (int64_t i = 0; i < b1.x.size(0); ++i) {
+    double e1 = 0, e2 = 0;
+    for (int64_t k = 0; k < sample; ++k) {
+      e1 += static_cast<double>(b1.x.at(i * sample + k)) * b1.x.at(i * sample + k);
+      e2 += static_cast<double>(b2.x.at(i * sample + k)) * b2.x.at(i * sample + k);
+      any_changed |= b1.x.at(i * sample + k) != b2.x.at(i * sample + k);
+    }
+    EXPECT_NEAR(e1, e2, 1e-2 * std::max(1.0, e1));
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+TEST(Augmentation, DeterministicInSeed) {
+  const DatasetBundle b = small_bundle();
+  AugmentOptions aug;
+  aug.hflip = true;
+  aug.max_shift = 1;
+  aug.noise_std = 0.1f;
+  DataLoader l1(b.train, 8, true, 7, aug), l2(b.train, 8, true, 7, aug);
+  Batch b1, b2;
+  ASSERT_TRUE(l1.next(b1));
+  ASSERT_TRUE(l2.next(b2));
+  EXPECT_TRUE(ops::allclose(b1.x, b2.x, 0, 0));
+}
+
+}  // namespace
+}  // namespace shrinkbench

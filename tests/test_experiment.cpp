@@ -1,0 +1,161 @@
+// End-to-end experiment-runner tests: a full prune+fine-tune experiment on
+// a small model, schedule variants, sweep mechanics, pretrained caching,
+// and CSV output.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/experiment.hpp"
+
+namespace shrinkbench {
+namespace {
+
+// Shared tiny config so the whole file runs in seconds.
+ExperimentConfig tiny_config(const std::string& cache_dir) {
+  (void)cache_dir;
+  ExperimentConfig cfg;
+  cfg.dataset = "synth-mnist";
+  cfg.arch = "lenet-300-100";
+  cfg.strategy = "global-weight";
+  cfg.target_compression = 2.0;
+  cfg.pretrain.epochs = 8;
+  cfg.pretrain.batch_size = 64;
+  cfg.pretrain.patience = 0;
+  cfg.finetune.epochs = 3;
+  cfg.finetune.patience = 0;
+  return cfg;
+}
+
+struct RunnerFixture : ::testing::Test {
+  std::string cache_dir;
+  std::unique_ptr<ExperimentRunner> runner;
+
+  void SetUp() override {
+    cache_dir = ::testing::TempDir() + "/sb_exp_cache";
+    std::filesystem::remove_all(cache_dir);
+    runner = std::make_unique<ExperimentRunner>(cache_dir);
+  }
+  void TearDown() override { std::filesystem::remove_all(cache_dir); }
+};
+
+TEST_F(RunnerFixture, EndToEndExperimentProducesSaneMetrics) {
+  const ExperimentConfig cfg = tiny_config(cache_dir);
+  const ExperimentResult r = runner->run(cfg);
+
+  EXPECT_GT(r.pre_top1, 0.5);                       // pretrained model learned
+  EXPECT_NEAR(r.compression, 2.0, 0.1);             // hit the target ratio
+  EXPECT_GT(r.speedup, 1.0);
+  EXPECT_GT(r.params_total, r.params_nonzero);
+  EXPECT_GT(r.flops_dense, r.flops_effective);
+  EXPECT_GT(r.finetune_epochs, 0);
+  EXPECT_GT(r.seconds, 0.0);
+  // Magnitude pruning to 2x on an easy task barely hurts.
+  EXPECT_GT(r.post_top1, r.pre_top1 - 0.1);
+}
+
+TEST_F(RunnerFixture, PretrainedCacheHitsOnSecondRun) {
+  const ExperimentConfig cfg = tiny_config(cache_dir);
+  runner->run(cfg);
+  size_t checkpoints = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(cache_dir)) {
+    checkpoints += entry.path().extension() == ".ckpt";
+  }
+  EXPECT_EQ(checkpoints, 1u);
+
+  // Second run must reuse the checkpoint (same pre-accuracy, no new file).
+  const ExperimentResult r2 = runner->run(cfg);
+  size_t checkpoints2 = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(cache_dir)) {
+    checkpoints2 += entry.path().extension() == ".ckpt";
+  }
+  EXPECT_EQ(checkpoints2, 1u);
+  EXPECT_GT(r2.pre_top1, 0.5);
+}
+
+TEST_F(RunnerFixture, SameSeedReproducesExactly) {
+  const ExperimentConfig cfg = tiny_config(cache_dir);
+  const ExperimentResult a = runner->run(cfg);
+  const ExperimentResult b = runner->run(cfg);
+  EXPECT_DOUBLE_EQ(a.post_top1, b.post_top1);
+  EXPECT_DOUBLE_EQ(a.compression, b.compression);
+}
+
+TEST_F(RunnerFixture, IterativeScheduleRuns) {
+  ExperimentConfig cfg = tiny_config(cache_dir);
+  cfg.schedule = ScheduleKind::Iterative;
+  cfg.schedule_steps = 2;
+  cfg.target_compression = 4.0;
+  cfg.finetune.epochs = 2;
+  const ExperimentResult r = runner->run(cfg);
+  EXPECT_NEAR(r.compression, 4.0, 0.2);
+  EXPECT_GE(r.finetune_epochs, 2);  // fine-tuned after each step
+}
+
+TEST_F(RunnerFixture, RandomStrategySeedsDiffer) {
+  ExperimentConfig cfg = tiny_config(cache_dir);
+  cfg.strategy = "random";
+  cfg.target_compression = 8.0;
+  cfg.finetune.epochs = 1;
+  cfg.run_seed = 1;
+  const ExperimentResult a = runner->run(cfg);
+  cfg.run_seed = 2;
+  const ExperimentResult b = runner->run(cfg);
+  // Different random masks almost surely land at different accuracy.
+  EXPECT_NE(a.post_top1, b.post_top1);
+}
+
+TEST_F(RunnerFixture, SweepEnumeratesFullGrid) {
+  ExperimentConfig base = tiny_config(cache_dir);
+  base.finetune.epochs = 1;
+  const auto results =
+      run_sweep(*runner, base, {"global-weight", "random"}, {2.0, 4.0}, {1, 2});
+  ASSERT_EQ(results.size(), 8u);
+  // Grid covers every combination exactly once.
+  std::set<std::tuple<std::string, double, uint64_t>> seen;
+  for (const auto& r : results) {
+    seen.insert({r.config.strategy, r.config.target_compression, r.config.run_seed});
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST_F(RunnerFixture, CsvRoundTrip) {
+  ExperimentConfig cfg = tiny_config(cache_dir);
+  cfg.finetune.epochs = 1;
+  const ExperimentResult r = runner->run(cfg);
+  const std::string path = cache_dir + "/results.csv";
+  write_experiment_csv(path, {r});
+
+  std::ifstream is(path);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(is, header));
+  ASSERT_TRUE(std::getline(is, row));
+  EXPECT_EQ(header, experiment_csv_header());
+  EXPECT_NE(row.find("lenet-300-100"), std::string::npos);
+  EXPECT_NE(row.find("global-weight"), std::string::npos);
+  // Column counts agree.
+  const auto count_commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(count_commas(header), count_commas(row));
+}
+
+TEST_F(RunnerFixture, DatasetCacheReturnsSameObject) {
+  const DatasetBundle& a = runner->dataset("synth-mnist", 0);
+  const DatasetBundle& b = runner->dataset("synth-mnist", 0);
+  EXPECT_EQ(&a, &b);
+  const DatasetBundle& c = runner->dataset("synth-mnist", 9);
+  EXPECT_NE(&a, &c);
+}
+
+TEST(ExperimentConfig, DefaultsMatchPaperSetup) {
+  const ExperimentConfig cfg;
+  EXPECT_EQ(cfg.strategy, "global-weight");
+  EXPECT_EQ(cfg.schedule, ScheduleKind::OneShot);
+  EXPECT_FALSE(cfg.prune.include_classifier);  // Appendix C.1
+}
+
+}  // namespace
+}  // namespace shrinkbench

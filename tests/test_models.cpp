@@ -1,0 +1,124 @@
+// Model-zoo tests: every registered architecture builds, propagates shapes,
+// reports sensible FLOP/param counts, and flags its classifier correctly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "metrics/metrics.hpp"
+#include "models/zoo.hpp"
+#include "nn/init.hpp"
+#include "tensor/rng.hpp"
+
+namespace shrinkbench {
+namespace {
+
+const Shape kCifarSample{3, 8, 8};
+constexpr int kClasses = 10;
+
+class AllModels : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllModels, BuildsAndForwards) {
+  auto model = make_model(GetParam(), kCifarSample, kClasses);
+  Rng rng(1);
+  init_model(*model, rng);
+  Tensor x({4, 3, 8, 8});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  const Tensor y = model->forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{4, kClasses}));
+  for (float v : y.flat()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST_P(AllModels, OutputSampleShapeAgreesWithForward) {
+  auto model = make_model(GetParam(), kCifarSample, kClasses);
+  EXPECT_EQ(model->output_sample_shape(kCifarSample), (Shape{kClasses}));
+}
+
+TEST_P(AllModels, HasExactlyOneClassifierParam) {
+  auto model = make_model(GetParam(), kCifarSample, kClasses);
+  int classifiers = 0;
+  for (const Parameter* p : parameters_of(*model)) classifiers += p->is_classifier;
+  EXPECT_EQ(classifiers, 1);
+}
+
+TEST_P(AllModels, FlopsPositiveAndEffectiveMatchesDenseUnpruned) {
+  auto model = make_model(GetParam(), kCifarSample, kClasses);
+  const FlopCounts f = count_flops(*model, kCifarSample);
+  EXPECT_GT(f.dense, 0);
+  EXPECT_EQ(f.dense, f.effective);
+}
+
+TEST_P(AllModels, ParamNamesAreUnique) {
+  auto model = make_model(GetParam(), kCifarSample, kClasses);
+  std::set<std::string> names;
+  for (const Parameter* p : parameters_of(*model)) {
+    EXPECT_TRUE(names.insert(p->name).second) << "duplicate " << p->name;
+  }
+}
+
+TEST_P(AllModels, TrainBackwardRuns) {
+  auto model = make_model(GetParam(), kCifarSample, kClasses);
+  Rng rng(2);
+  init_model(*model, rng);
+  Tensor x({2, 3, 8, 8});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  const Tensor y = model->forward(x, true);
+  Tensor dy(y.shape());
+  rng.fill_normal(dy, 0.0f, 1.0f);
+  const Tensor dx = model->backward(dy);
+  EXPECT_EQ(dx.shape(), x.shape());
+  // Some gradient must be nonzero.
+  double total = 0;
+  for (const Parameter* p : parameters_of(*model)) total += ops::sum_sq(p->grad);
+  EXPECT_GT(total, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, AllModels, ::testing::ValuesIn(model_names()));
+
+TEST(ResNet, DepthFormula) {
+  auto r20 = resnet_cifar(20, kCifarSample, 10, 4);
+  auto r56 = resnet_cifar(56, kCifarSample, 10, 4);
+  // 56-depth network has (56-2)/6 = 9 blocks/stage vs 3 for depth 20.
+  const int64_t p20 = count_params(*r20).total;
+  const int64_t p56 = count_params(*r56).total;
+  EXPECT_GT(p56, 2 * p20);
+  EXPECT_THROW(resnet_cifar(21, kCifarSample, 10), std::invalid_argument);
+  EXPECT_THROW(resnet_cifar(2, kCifarSample, 10), std::invalid_argument);
+}
+
+TEST(ResNet, WidthScalesParamsQuadratically) {
+  const int64_t p8 = count_params(*resnet_cifar(20, kCifarSample, 10, 8)).total;
+  const int64_t p16 = count_params(*resnet_cifar(20, kCifarSample, 10, 16)).total;
+  EXPECT_GT(p16, 3 * p8);
+  EXPECT_LT(p16, 5 * p8);
+}
+
+TEST(Zoo, ConvParamsDominateResNets) {
+  // Pruning only touches conv/linear weights; for the compression ratios
+  // the benches sweep (up to 32x), prunable weights must dominate.
+  auto model = resnet_cifar(56, kCifarSample, 10, 8);
+  const ParamCounts c = count_params(*model);
+  EXPECT_GT(static_cast<double>(c.prunable) / c.total, 0.9);
+}
+
+TEST(Zoo, UnknownArchThrows) {
+  EXPECT_THROW(make_model("resnet-57", kCifarSample, 10), std::invalid_argument);
+}
+
+TEST(Zoo, LenetRejectsNonImageInput) {
+  EXPECT_THROW(lenet5({32}, 10), std::invalid_argument);
+  EXPECT_NO_THROW(lenet_300_100({32}, 10));  // MLP flattens anything
+}
+
+TEST(Zoo, ImagenetStyleResNet18OnLargerInput) {
+  const Shape sample{3, 12, 12};
+  auto model = resnet18(sample, 20);
+  Rng rng(4);
+  init_model(*model, rng);
+  Tensor x({2, 3, 12, 12});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  EXPECT_EQ(model->forward(x, false).shape(), (Shape{2, 20}));
+}
+
+}  // namespace
+}  // namespace shrinkbench

@@ -1,0 +1,399 @@
+// Layer-level tests: output shapes, FLOP accounting, and — most
+// importantly — numerical gradient checks for every layer type, including
+// composed containers (Sequential, ResidualBlock).
+#include <gtest/gtest.h>
+
+#include "gradcheck.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dropout.hpp"
+#include "nn/flatten.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+#include "nn/residual.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/ops.hpp"
+
+namespace shrinkbench {
+namespace {
+
+using testing::gradcheck;
+
+Tensor random_input(Shape shape, uint64_t seed = 1) {
+  Rng rng(seed);
+  Tensor x(std::move(shape));
+  rng.fill_normal(x, 0.0f, 1.0f);
+  return x;
+}
+
+// ---- Linear ----
+
+TEST(Linear, ForwardMatchesManual) {
+  Linear fc("fc", 2, 2, true);
+  fc.weight().data = Tensor({2, 2}, {1, 2, 3, 4});
+  fc.bias()->data = Tensor({2}, {0.5f, -0.5f});
+  const Tensor x({1, 2}, {1, 1});
+  const Tensor y = fc.forward(x, false);
+  EXPECT_FLOAT_EQ(y(0, 0), 3.5f);   // 1*1 + 2*1 + 0.5
+  EXPECT_FLOAT_EQ(y(0, 1), 6.5f);   // 3 + 4 - 0.5
+}
+
+TEST(Linear, GradCheck) {
+  Linear fc("fc", 4, 3, true);
+  Rng rng(2);
+  kaiming_normal(fc.weight().data, rng);
+  gradcheck(fc, random_input({5, 4}));
+}
+
+TEST(Linear, GradCheckNoBias) {
+  Linear fc("fc", 3, 2, false);
+  Rng rng(3);
+  kaiming_normal(fc.weight().data, rng);
+  EXPECT_EQ(fc.bias(), nullptr);
+  gradcheck(fc, random_input({2, 3}));
+}
+
+TEST(Linear, RejectsBadInput) {
+  Linear fc("fc", 4, 3);
+  EXPECT_THROW(fc.forward(Tensor({2, 5}), false), std::invalid_argument);
+  EXPECT_THROW(fc.backward(Tensor({2, 3})), std::logic_error);
+}
+
+TEST(Linear, FlopsAndClassifierFlag) {
+  Linear fc("fc", 10, 4, true, /*is_classifier=*/true);
+  EXPECT_EQ(fc.flops({10}), 40);
+  EXPECT_TRUE(fc.weight().is_classifier);
+  EXPECT_TRUE(fc.weight().prunable);
+  EXPECT_FALSE(parameters_of(fc)[1]->prunable);  // bias
+  fc.weight().mask.zero();
+  EXPECT_EQ(fc.effective_flops({10}), 0);
+}
+
+// ---- Conv2d ----
+
+TEST(Conv2d, ForwardIdentityKernel) {
+  Conv2d conv("c", 1, 1, 1, 1, 0, false);
+  conv.weight().data = Tensor({1, 1, 1, 1}, {2.0f});
+  const Tensor x = random_input({1, 1, 4, 4});
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), x.shape());
+  EXPECT_TRUE(ops::allclose(y, ops::scale(x, 2.0f)));
+}
+
+TEST(Conv2d, OutputShapeStridePad) {
+  Conv2d conv("c", 3, 8, 3, 2, 1, false);
+  EXPECT_EQ(conv.output_sample_shape({3, 8, 8}), (Shape{8, 4, 4}));
+  const Tensor y = conv.forward(random_input({2, 3, 8, 8}), false);
+  EXPECT_EQ(y.shape(), (Shape{2, 8, 4, 4}));
+}
+
+TEST(Conv2d, GradCheckWithBias) {
+  Conv2d conv("c", 2, 3, 3, 1, 1, true);
+  Rng rng(4);
+  kaiming_normal(conv.weight().data, rng);
+  gradcheck(conv, random_input({2, 2, 4, 4}));
+}
+
+TEST(Conv2d, GradCheckStride2NoBias) {
+  Conv2d conv("c", 2, 2, 3, 2, 1, false);
+  Rng rng(5);
+  kaiming_normal(conv.weight().data, rng);
+  gradcheck(conv, random_input({2, 2, 5, 5}));
+}
+
+TEST(Conv2d, GradCheck1x1) {
+  Conv2d conv("c", 3, 2, 1, 1, 0, false);
+  Rng rng(6);
+  kaiming_normal(conv.weight().data, rng);
+  gradcheck(conv, random_input({2, 3, 3, 3}));
+}
+
+TEST(Conv2d, FlopsCountsSpatialPositions) {
+  Conv2d conv("c", 2, 4, 3, 1, 1, false);
+  // 8x8 output positions x (4*2*3*3) weights
+  EXPECT_EQ(conv.flops({2, 8, 8}), 64 * 72);
+  // Masking half the weights halves effective FLOPs.
+  for (int64_t i = 0; i < conv.weight().mask.numel() / 2; ++i) conv.weight().mask.at(i) = 0.0f;
+  EXPECT_EQ(conv.effective_flops({2, 8, 8}), 64 * 36);
+}
+
+TEST(Conv2d, RejectsWrongChannels) {
+  Conv2d conv("c", 3, 4, 3, 1, 1);
+  EXPECT_THROW(conv.forward(Tensor({1, 2, 8, 8}), false), std::invalid_argument);
+}
+
+// ---- BatchNorm ----
+
+TEST(BatchNorm, NormalizesBatchInTraining) {
+  BatchNorm2d bn("bn", 3);
+  const Tensor x = random_input({4, 3, 5, 5}, 7);
+  const Tensor y = bn.forward(x, true);
+  // Per-channel mean ~0, var ~1.
+  for (int64_t c = 0; c < 3; ++c) {
+    double s = 0, s2 = 0;
+    for (int64_t n = 0; n < 4; ++n) {
+      for (int64_t i = 0; i < 25; ++i) {
+        const float v = y.data()[(n * 3 + c) * 25 + i];
+        s += v;
+        s2 += static_cast<double>(v) * v;
+      }
+    }
+    EXPECT_NEAR(s / 100.0, 0.0, 1e-4);
+    EXPECT_NEAR(s2 / 100.0, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  BatchNorm2d bn("bn", 2);
+  // Train a few times to populate running stats.
+  for (int i = 0; i < 20; ++i) bn.forward(random_input({8, 2, 4, 4}, 100 + i), true);
+  const Tensor x = random_input({4, 2, 4, 4}, 55);
+  const Tensor y1 = bn.forward(x, false);
+  const Tensor y2 = bn.forward(x, false);
+  EXPECT_TRUE(ops::allclose(y1, y2));  // eval mode is deterministic/stateless
+}
+
+TEST(BatchNorm, GradCheck) {
+  BatchNorm2d bn("bn", 2);
+  Rng rng(8);
+  rng.fill_uniform(parameters_of(bn)[0]->data, 0.5f, 1.5f);  // gamma
+  rng.fill_uniform(parameters_of(bn)[1]->data, -0.5f, 0.5f); // beta
+  testing::GradCheckOptions opts;
+  opts.tolerance = 4e-2f;  // batch statistics amplify finite-difference noise
+  gradcheck(bn, random_input({3, 2, 3, 3}, 9), opts);
+}
+
+TEST(BatchNorm, ParamsNotPrunable) {
+  BatchNorm2d bn("bn", 4);
+  for (Parameter* p : parameters_of(bn)) EXPECT_FALSE(p->prunable);
+}
+
+// ---- Activations / pooling / flatten ----
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU relu("r");
+  const Tensor y = relu.forward(Tensor::of({-1, 0, 2}), false);
+  EXPECT_EQ(y.at(0), 0.0f);
+  EXPECT_EQ(y.at(1), 0.0f);
+  EXPECT_EQ(y.at(2), 2.0f);
+}
+
+TEST(ReLU, GradCheck) {
+  ReLU relu("r");
+  gradcheck(relu, random_input({3, 7}, 10));
+}
+
+TEST(MaxPool, ForwardPicksMaxima) {
+  MaxPool2d pool("p", 2, 2);
+  Tensor x({1, 1, 2, 2}, {1, 4, 3, 2});
+  EXPECT_EQ(pool.forward(x, false).at(0), 4.0f);
+  EXPECT_EQ(pool.output_sample_shape({3, 8, 8}), (Shape{3, 4, 4}));
+}
+
+TEST(MaxPool, GradCheck) {
+  MaxPool2d pool("p", 2, 2);
+  gradcheck(pool, random_input({2, 2, 4, 4}, 11));
+}
+
+TEST(AvgPool, ForwardAverages) {
+  AvgPool2d pool("p", 2, 2);
+  Tensor x({1, 1, 2, 2}, {1, 2, 3, 6});
+  EXPECT_FLOAT_EQ(pool.forward(x, false).at(0), 3.0f);
+}
+
+TEST(AvgPool, GradCheck) {
+  AvgPool2d pool("p", 2, 2);
+  gradcheck(pool, random_input({2, 2, 4, 4}, 12));
+}
+
+TEST(GlobalAvgPool, ForwardShapeAndGradCheck) {
+  GlobalAvgPool gap("g");
+  EXPECT_EQ(gap.output_sample_shape({5, 3, 3}), (Shape{5}));
+  gradcheck(gap, random_input({2, 3, 3, 3}, 13));
+}
+
+TEST(Flatten, RoundTripsShape) {
+  Flatten flat("f");
+  const Tensor x = random_input({2, 3, 4, 4}, 14);
+  const Tensor y = flat.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 48}));
+  const Tensor dx = flat.backward(y);
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+// ---- Containers ----
+
+std::unique_ptr<Sequential> small_convnet() {
+  auto net = std::make_unique<Sequential>("net");
+  net->emplace<Conv2d>("c1", 2, 3, 3, 1, 1, false);
+  net->emplace<BatchNorm2d>("b1", 3);
+  net->emplace<ReLU>("r1");
+  net->emplace<MaxPool2d>("p1", 2, 2);
+  net->emplace<Flatten>("f");
+  net->emplace<Linear>("fc", 12, 2, true);
+  Rng rng(15);
+  init_model(*net, rng);
+  return net;
+}
+
+TEST(Sequential, ShapePropagation) {
+  auto net = small_convnet();
+  EXPECT_EQ(net->output_sample_shape({2, 4, 4}), (Shape{2}));
+  EXPECT_EQ(net->forward(random_input({3, 2, 4, 4}), false).shape(), (Shape{3, 2}));
+}
+
+TEST(Sequential, GradCheckComposed) {
+  auto net = small_convnet();
+  testing::GradCheckOptions opts;
+  opts.tolerance = 5e-2f;  // composed batchnorm + pooling
+  gradcheck(*net, random_input({3, 2, 4, 4}, 16), opts);
+}
+
+TEST(Sequential, CollectsAllParams) {
+  auto net = small_convnet();
+  const auto params = parameters_of(*net);
+  // conv.w, bn.gamma, bn.beta, fc.w, fc.b
+  ASSERT_EQ(params.size(), 5u);
+  EXPECT_EQ(params[0]->name, "c1.weight");
+  EXPECT_EQ(params[3]->name, "fc.weight");
+}
+
+TEST(Sequential, FlopsSumOverLayers) {
+  auto net = small_convnet();
+  // conv: 16 positions * 54 weights; fc: 24
+  EXPECT_EQ(net->flops({2, 4, 4}), 16 * 54 + 24);
+}
+
+std::unique_ptr<ResidualBlock> make_block(int64_t in_c, int64_t out_c, int64_t stride,
+                                          uint64_t seed) {
+  auto main = std::make_unique<Sequential>("blk.main");
+  main->emplace<Conv2d>("blk.conv1", in_c, out_c, 3, stride, 1, false);
+  main->emplace<BatchNorm2d>("blk.bn1", out_c);
+  main->emplace<ReLU>("blk.relu1");
+  main->emplace<Conv2d>("blk.conv2", out_c, out_c, 3, 1, 1, false);
+  main->emplace<BatchNorm2d>("blk.bn2", out_c);
+  std::unique_ptr<Sequential> shortcut;
+  if (stride != 1 || in_c != out_c) {
+    shortcut = std::make_unique<Sequential>("blk.sc");
+    shortcut->emplace<Conv2d>("blk.proj", in_c, out_c, 1, stride, 0, false);
+    shortcut->emplace<BatchNorm2d>("blk.proj_bn", out_c);
+  }
+  auto block = std::make_unique<ResidualBlock>("blk", std::move(main), std::move(shortcut));
+  Rng rng(seed);
+  init_model(*block, rng);
+  return block;
+}
+
+TEST(ResidualBlock, IdentityShortcutShape) {
+  auto block = make_block(3, 3, 1, 17);
+  EXPECT_EQ(block->output_sample_shape({3, 4, 4}), (Shape{3, 4, 4}));
+  EXPECT_EQ(block->forward(random_input({2, 3, 4, 4}), false).shape(), (Shape{2, 3, 4, 4}));
+}
+
+TEST(ResidualBlock, ProjectionShortcutShape) {
+  auto block = make_block(2, 4, 2, 18);
+  EXPECT_EQ(block->output_sample_shape({2, 4, 4}), (Shape{4, 2, 2}));
+}
+
+TEST(ResidualBlock, GradCheckIdentity) {
+  auto block = make_block(2, 2, 1, 19);
+  testing::GradCheckOptions opts;
+  opts.tolerance = 5e-2f;
+  gradcheck(*block, random_input({3, 2, 3, 3}, 20), opts);
+}
+
+TEST(ResidualBlock, GradCheckProjection) {
+  auto block = make_block(2, 3, 2, 21);
+  testing::GradCheckOptions opts;
+  opts.tolerance = 5e-2f;
+  gradcheck(*block, random_input({3, 2, 4, 4}, 22), opts);
+}
+
+TEST(ResidualBlock, FlopsIncludeShortcut) {
+  auto block = make_block(2, 4, 2, 23);
+  // main: conv1 (2x2 out * 4*2*9) + conv2 (2x2 * 4*4*9); shortcut 1x1: 2x2 * 4*2.
+  const int64_t expected = 4 * 72 + 4 * 144 + 4 * 8;
+  EXPECT_EQ(block->flops({2, 4, 4}), expected);
+}
+
+TEST(Dropout, InferenceIsIdentity) {
+  Dropout drop("d", 0.5f);
+  const Tensor x = random_input({4, 10}, 30);
+  EXPECT_TRUE(ops::allclose(drop.forward(x, false), x, 0, 0));
+}
+
+TEST(Dropout, TrainZeroesAboutPAndRescales) {
+  Dropout drop("d", 0.25f);
+  const Tensor x = Tensor::ones({1, 10000});
+  const Tensor y = drop.forward(x, true);
+  int64_t zeros = 0;
+  for (float v : y.flat()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.0f / 0.75f, 1e-5f);  // inverted scaling
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.25, 0.02);
+  // Expectation preserved.
+  EXPECT_NEAR(ops::mean(y), 1.0f, 0.03f);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Dropout drop("d", 0.5f);
+  const Tensor x = random_input({2, 50}, 31);
+  const Tensor y = drop.forward(x, true);
+  const Tensor dy = Tensor::ones({2, 50});
+  const Tensor dx = drop.backward(dy);
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    if (y.at(i) == 0.0f) {
+      EXPECT_EQ(dx.at(i), 0.0f);
+    } else {
+      EXPECT_NEAR(dx.at(i), 2.0f, 1e-5f);  // 1/(1-p)
+    }
+  }
+}
+
+TEST(Dropout, RejectsInvalidP) {
+  EXPECT_THROW(Dropout("d", 1.0f), std::invalid_argument);
+  EXPECT_THROW(Dropout("d", -0.1f), std::invalid_argument);
+  EXPECT_NO_THROW(Dropout("d", 0.0f));
+}
+
+TEST(ResidualBlock, PreActVariantOmitsFinalReLU) {
+  // With final_relu=false the block's output can be negative.
+  auto main = std::make_unique<Sequential>("b.main");
+  main->emplace<Conv2d>("b.conv", 2, 2, 1, 1, 0, false);
+  auto& conv = dynamic_cast<Conv2d&>((*main)[0]);
+  conv.weight().data.fill(-1.0f);  // strongly negative mapping
+  ResidualBlock block("b", std::move(main), nullptr, /*final_relu=*/false);
+  Tensor x = Tensor::full({1, 2, 2, 2}, 1.0f);
+  const Tensor y = block.forward(x, false);
+  EXPECT_LT(ops::min(y), 0.0f);
+}
+
+TEST(ResidualBlock, PreActGradCheck) {
+  auto main = std::make_unique<Sequential>("b.main");
+  main->emplace<BatchNorm2d>("b.bn1", 2);
+  main->emplace<ReLU>("b.relu1");
+  main->emplace<Conv2d>("b.conv1", 2, 2, 3, 1, 1, false);
+  auto block = std::make_unique<ResidualBlock>("b", std::move(main), nullptr,
+                                               /*final_relu=*/false);
+  Rng rng(32);
+  init_model(*block, rng);
+  testing::GradCheckOptions opts;
+  opts.tolerance = 5e-2f;
+  gradcheck(*block, random_input({3, 2, 3, 3}, 33), opts);
+}
+
+TEST(VisitLayers, ReachesEveryLayer) {
+  auto net = small_convnet();
+  int count = 0;
+  visit_layers(*net, [&](Layer&) { ++count; });
+  EXPECT_EQ(count, 7);  // container + 6 children
+}
+
+}  // namespace
+}  // namespace shrinkbench

@@ -1,0 +1,271 @@
+// Training-stack tests: loss gradients, optimizer behaviour, the
+// mask-enforcement invariant, checkpoint/state-dict round trips, and a
+// small end-to-end learning integration test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/activations.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace shrinkbench {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  const Tensor logits({2, 4});  // all zeros -> uniform softmax
+  const float l = loss.forward(logits, {0, 3});
+  EXPECT_NEAR(l, std::log(4.0f), 1e-5f);
+  for (int64_t i = 0; i < 8; ++i) EXPECT_NEAR(loss.probs().at(i), 0.25f, 1e-6f);
+}
+
+TEST(SoftmaxCrossEntropy, PerfectPredictionNearZeroLoss) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3});
+  logits(0, 1) = 30.0f;
+  EXPECT_LT(loss.forward(logits, {1}), 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesFiniteDifference) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(1);
+  Tensor logits({3, 5});
+  rng.fill_normal(logits, 0.0f, 2.0f);
+  const std::vector<int> labels = {1, 4, 0};
+  loss.forward(logits, labels);
+  const Tensor grad = loss.backward();
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    const float orig = logits.at(i);
+    logits.at(i) = orig + eps;
+    const float lp = loss.forward(logits, labels);
+    logits.at(i) = orig - eps;
+    const float lm = loss.forward(logits, labels);
+    logits.at(i) = orig;
+    EXPECT_NEAR(grad.at(i), (lp - lm) / (2 * eps), 2e-3f);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadInput) {
+  SoftmaxCrossEntropy loss;
+  EXPECT_THROW(loss.forward(Tensor({2, 3}), {0}), std::invalid_argument);
+  EXPECT_THROW(loss.forward(Tensor({1, 3}), {5}), std::invalid_argument);
+  SoftmaxCrossEntropy fresh;
+  EXPECT_THROW(fresh.backward(), std::logic_error);
+}
+
+TEST(SoftmaxCrossEntropy, NumericallyStableAtLargeLogits) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 2}, {1000.0f, 999.0f});
+  const float l = loss.forward(logits, {0});
+  EXPECT_TRUE(std::isfinite(l));
+  EXPECT_NEAR(l, std::log(1.0f + std::exp(-1.0f)), 1e-4f);
+}
+
+// ---- Optimizers on a quadratic: f(w) = 0.5 * ||w - target||^2 ----
+
+struct QuadParam {
+  Parameter p{"w", {4}, true};
+  Tensor target = Tensor::of({1.0f, -2.0f, 3.0f, 0.5f});
+
+  void compute_grad() { p.grad = ops::sub(p.data, target); }
+  float loss() const { return 0.5f * ops::sum_sq(ops::sub(p.data, target)); }
+};
+
+TEST(SGD, ConvergesOnQuadratic) {
+  QuadParam q;
+  SGD opt({&q.p}, {.lr = 0.1f});
+  for (int i = 0; i < 200; ++i) {
+    q.compute_grad();
+    opt.step();
+  }
+  EXPECT_LT(q.loss(), 1e-6f);
+}
+
+TEST(SGD, MomentumAcceleratesEarly) {
+  QuadParam plain, mom;
+  SGD o1({&plain.p}, {.lr = 0.02f});
+  SGD o2({&mom.p}, {.lr = 0.02f, .momentum = 0.9f});
+  for (int i = 0; i < 30; ++i) {
+    plain.compute_grad();
+    o1.step();
+    mom.compute_grad();
+    o2.step();
+  }
+  EXPECT_LT(mom.loss(), plain.loss());
+}
+
+TEST(SGD, NesterovConverges) {
+  QuadParam q;
+  SGD opt({&q.p}, {.lr = 0.05f, .momentum = 0.9f, .nesterov = true});
+  for (int i = 0; i < 300; ++i) {
+    q.compute_grad();
+    opt.step();
+  }
+  EXPECT_LT(q.loss(), 1e-5f);
+}
+
+TEST(SGD, WeightDecayShrinksWeights) {
+  Parameter p("w", {1}, true);
+  p.data.at(0) = 1.0f;
+  SGD opt({&p}, {.lr = 0.1f, .weight_decay = 0.5f});
+  p.zero_grad();
+  opt.step();  // grad = 0 + wd*w = 0.5 -> w -= 0.05
+  EXPECT_NEAR(p.data.at(0), 0.95f, 1e-6f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  QuadParam q;
+  Adam opt({&q.p}, {.lr = 0.05f});
+  for (int i = 0; i < 500; ++i) {
+    q.compute_grad();
+    opt.step();
+  }
+  EXPECT_LT(q.loss(), 1e-4f);
+}
+
+TEST(Optimizers, EnforceMaskAfterStep) {
+  // The core pruning invariant: masked weights stay exactly zero through
+  // any number of optimizer steps, even with momentum/Adam state.
+  for (int which = 0; which < 2; ++which) {
+    QuadParam q;
+    q.p.mask.at(1) = 0.0f;
+    q.p.apply_mask();
+    std::unique_ptr<Optimizer> opt;
+    if (which == 0) {
+      opt = std::make_unique<SGD>(std::vector<Parameter*>{&q.p},
+                                  SgdOptions{.lr = 0.1f, .momentum = 0.9f});
+    } else {
+      opt = std::make_unique<Adam>(std::vector<Parameter*>{&q.p}, AdamOptions{.lr = 0.05f});
+    }
+    for (int i = 0; i < 50; ++i) {
+      q.compute_grad();
+      opt->step();
+      ASSERT_EQ(q.p.data.at(1), 0.0f) << "optimizer " << which << " iteration " << i;
+    }
+    // Unmasked entries still converge toward their targets.
+    EXPECT_NEAR(q.p.data.at(0), 1.0f, 0.2f);
+  }
+}
+
+TEST(Optimizer, ZeroGradClears) {
+  QuadParam q;
+  q.compute_grad();
+  SGD opt({&q.p}, {.lr = 0.1f});
+  opt.zero_grad();
+  EXPECT_EQ(ops::sum_sq(q.p.grad), 0.0f);
+}
+
+// ---- integration: learn a separable 2-class problem ----
+
+TEST(TrainingIntegration, LearnsSeparableProblem) {
+  auto net = std::make_unique<Sequential>("mlp");
+  net->emplace<Linear>("fc1", 2, 16, true);
+  net->emplace<ReLU>("r1");
+  net->emplace<Linear>("fc2", 16, 2, true, true);
+  Rng rng(3);
+  init_model(*net, rng);
+
+  // Two Gaussian blobs.
+  const int n = 256;
+  Tensor x({n, 2});
+  std::vector<int> y(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int label = i % 2;
+    x(i, 0) = static_cast<float>(rng.normal(label == 0 ? -1.5 : 1.5, 0.5));
+    x(i, 1) = static_cast<float>(rng.normal(label == 0 ? 1.0 : -1.0, 0.5));
+    y[static_cast<size_t>(i)] = label;
+  }
+
+  Adam opt(parameters_of(*net), {.lr = 0.01f});
+  SoftmaxCrossEntropy loss;
+  float final_loss = 1e9f;
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    opt.zero_grad();
+    const Tensor logits = net->forward(x, true);
+    final_loss = loss.forward(logits, y);
+    net->backward(loss.backward());
+    opt.step();
+  }
+  EXPECT_LT(final_loss, 0.05f);
+
+  const Tensor logits = net->forward(x, false);
+  int correct = 0;
+  for (int i = 0; i < n; ++i) {
+    correct += (logits(i, 0) < logits(i, 1)) == (y[static_cast<size_t>(i)] == 1);
+  }
+  EXPECT_GT(correct, n * 95 / 100);
+}
+
+// ---- checkpointing ----
+
+std::unique_ptr<Sequential> tiny_net(uint64_t seed) {
+  auto net = std::make_unique<Sequential>("tiny");
+  net->emplace<Linear>("fc1", 3, 4, true);
+  net->emplace<ReLU>("r");
+  net->emplace<Linear>("fc2", 4, 2, true);
+  Rng rng(seed);
+  init_model(*net, rng);
+  return net;
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  auto a = tiny_net(10);
+  parameters_of(*a)[0]->mask.at(0) = 0.0f;  // non-trivial mask must survive
+  const std::string path = ::testing::TempDir() + "/sb_ckpt_test.bin";
+  save_checkpoint(*a, path);
+
+  auto b = tiny_net(11);  // different init
+  load_checkpoint(*b, path);
+  const auto pa = parameters_of(*a), pb = parameters_of(*b);
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(ops::allclose(pa[i]->data, pb[i]->data, 0, 0));
+    EXPECT_TRUE(ops::allclose(pa[i]->mask, pb[i]->mask, 0, 0));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, LoadRejectsWrongArchitecture) {
+  auto a = tiny_net(12);
+  const std::string path = ::testing::TempDir() + "/sb_ckpt_bad.bin";
+  save_checkpoint(*a, path);
+  auto other = std::make_unique<Sequential>("other");
+  other->emplace<Linear>("different", 3, 4, true);
+  EXPECT_THROW(load_checkpoint(*other, path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  auto a = tiny_net(13);
+  EXPECT_THROW(load_checkpoint(*a, "/nonexistent/path.ckpt"), std::runtime_error);
+}
+
+TEST(StateDict, RestoresExactly) {
+  auto net = tiny_net(14);
+  const StateDict snapshot = state_dict(*net);
+  for (Parameter* p : parameters_of(*net)) p->data.fill(123.0f);
+  load_state_dict(*net, snapshot);
+  const StateDict after = state_dict(*net);
+  for (const auto& [key, tensor] : snapshot) {
+    EXPECT_TRUE(ops::allclose(tensor, after.at(key), 0, 0)) << key;
+  }
+}
+
+TEST(StateDict, MissingKeyThrows) {
+  auto net = tiny_net(15);
+  StateDict incomplete = state_dict(*net);
+  incomplete.erase("fc1.weight");
+  EXPECT_THROW(load_state_dict(*net, incomplete), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace shrinkbench

@@ -1,0 +1,86 @@
+// Reporting tests: table alignment, CSV writing, ASCII chart rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "report/chart.hpp"
+#include "report/table.hpp"
+
+namespace shrinkbench::report {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"a-much-longer-name", "23456"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+  // Every line ends with '|'.
+  std::istringstream ss(out);
+  std::string line;
+  while (std::getline(ss, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '|');
+  }
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Table, NumFormatsAndNan) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(std::nan(""), 2), "-");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Csv, WritesQuotedCells) {
+  const std::string path = ::testing::TempDir() + "/sb_report_test.csv";
+  write_csv(path, {{"a", "b"}, {"1", "x,y"}});
+  std::ifstream is(path);
+  std::string l1, l2;
+  std::getline(is, l1);
+  std::getline(is, l2);
+  EXPECT_EQ(l1, "a,b");
+  EXPECT_EQ(l2, "1,\"x,y\"");
+  std::filesystem::remove(path);
+}
+
+TEST(Chart, RendersSeriesAndLegend) {
+  Series s1{"up", {1, 2, 4, 8}, {1, 2, 3, 4}};
+  Series s2{"down", {1, 2, 4, 8}, {4, 3, 2, 1}};
+  ChartOptions opts;
+  opts.log_x = true;
+  opts.x_label = "compression";
+  opts.title = "test chart";
+  const std::string out = render_chart({s1, s2}, opts);
+  EXPECT_NE(out.find("test chart"), std::string::npos);
+  EXPECT_NE(out.find("o = up"), std::string::npos);
+  EXPECT_NE(out.find("x = down"), std::string::npos);
+  EXPECT_NE(out.find("compression"), std::string::npos);
+  EXPECT_NE(out.find("log scale"), std::string::npos);
+  // Corner glyphs land on the plot: both 'o' and 'x' appear inside.
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(Chart, HandlesEmptyAndConstantSeries) {
+  EXPECT_NE(render_chart({}, {}).find("(no data)"), std::string::npos);
+  Series flat{"flat", {1, 2}, {5, 5}};
+  EXPECT_NO_THROW(render_chart({flat}, {}));
+}
+
+TEST(Chart, SingularXRange) {
+  Series point{"pt", {3}, {1}};
+  ChartOptions opts;
+  EXPECT_NO_THROW(render_chart({point}, opts));
+}
+
+}  // namespace
+}  // namespace shrinkbench::report

@@ -1,0 +1,161 @@
+// Schedule tests: one-shot / iterative / polynomial keep-fraction ramps,
+// plus training-loop behaviour (early stopping, best-weight restore).
+#include <gtest/gtest.h>
+
+#include "core/schedule.hpp"
+#include "core/train.hpp"
+#include "data/synthetic.hpp"
+#include "metrics/metrics.hpp"
+#include "models/zoo.hpp"
+#include "nn/init.hpp"
+
+namespace shrinkbench {
+namespace {
+
+TEST(Schedule, NamesRoundTrip) {
+  for (const auto kind :
+       {ScheduleKind::OneShot, ScheduleKind::Iterative, ScheduleKind::Polynomial}) {
+    EXPECT_EQ(schedule_from_name(to_string(kind)), kind);
+  }
+  EXPECT_THROW(schedule_from_name("never"), std::invalid_argument);
+}
+
+TEST(Schedule, OneShotIsSingleStep) {
+  const auto f = schedule_fractions(ScheduleKind::OneShot, 0.25, 5);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_DOUBLE_EQ(f[0], 0.25);
+}
+
+class ScheduleSteps : public ::testing::TestWithParam<std::tuple<ScheduleKind, int, double>> {};
+
+TEST_P(ScheduleSteps, MonotoneAndEndsAtTarget) {
+  const auto [kind, steps, target] = GetParam();
+  const auto f = schedule_fractions(kind, target, steps);
+  ASSERT_EQ(static_cast<int>(f.size()), kind == ScheduleKind::OneShot ? 1 : steps);
+  for (size_t i = 1; i < f.size(); ++i) EXPECT_LE(f[i], f[i - 1] + 1e-12);
+  for (double v : f) {
+    EXPECT_GE(v, target - 1e-12);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(f.back(), target);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScheduleSteps,
+    ::testing::Combine(::testing::Values(ScheduleKind::OneShot, ScheduleKind::Iterative,
+                                         ScheduleKind::Polynomial),
+                       ::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(0.5, 0.125, 0.03125)));
+
+TEST(Schedule, IterativeIsGeometric) {
+  const auto f = schedule_fractions(ScheduleKind::Iterative, 0.25, 2);
+  EXPECT_NEAR(f[0], 0.5, 1e-9);  // sqrt(0.25)
+  EXPECT_NEAR(f[1], 0.25, 1e-9);
+}
+
+TEST(Schedule, PolynomialFrontLoadsPruning) {
+  // Zhu-Gupta cubic: most sparsity appears in early steps.
+  const auto f = schedule_fractions(ScheduleKind::Polynomial, 0.1, 4);
+  const double first_step_pruned = 1.0 - f[0];
+  const double last_step_pruned = f[2] - f[3];
+  EXPECT_GT(first_step_pruned, last_step_pruned);
+}
+
+TEST(Schedule, RejectsBadArguments) {
+  EXPECT_THROW(schedule_fractions(ScheduleKind::Iterative, -0.1, 3), std::invalid_argument);
+  EXPECT_THROW(schedule_fractions(ScheduleKind::Iterative, 1.1, 3), std::invalid_argument);
+  EXPECT_THROW(schedule_fractions(ScheduleKind::Iterative, 0.5, 0), std::invalid_argument);
+}
+
+TEST(Schedule, ZeroTargetHandled) {
+  const auto f = schedule_fractions(ScheduleKind::Iterative, 0.0, 3);
+  EXPECT_DOUBLE_EQ(f.back(), 0.0);
+}
+
+// ---- train_model behaviour ----
+
+struct TrainFixture {
+  DatasetBundle bundle;
+  ModelPtr model;
+
+  TrainFixture() {
+    SyntheticSpec spec = synth_mnist(42);
+    spec.train_size = 256;
+    spec.val_size = 128;
+    spec.test_size = 128;
+    bundle = make_synthetic(spec);
+    model = make_model("lenet-300-100", bundle.train.sample_shape(), 10);
+    Rng rng(1);
+    init_model(*model, rng);
+  }
+};
+
+TEST(TrainModel, LearnsEasySyntheticTask) {
+  TrainFixture fx;
+  TrainOptions opts;
+  opts.epochs = 12;
+  opts.batch_size = 32;
+  opts.lr = 1e-3f;
+  opts.patience = 0;
+  const TrainHistory hist = train_model(*fx.model, fx.bundle, opts);
+  EXPECT_GT(hist.best_val_top1, 0.85);
+  EXPECT_EQ(static_cast<int>(hist.epochs.size()), 12);
+  // Loss decreased.
+  EXPECT_LT(hist.epochs.back().train_loss, hist.epochs.front().train_loss);
+}
+
+TEST(TrainModel, EarlyStoppingCutsEpochs) {
+  TrainFixture fx;
+  TrainOptions opts;
+  opts.epochs = 100;
+  opts.batch_size = 32;
+  opts.lr = 1e-3f;
+  opts.patience = 3;
+  const TrainHistory hist = train_model(*fx.model, fx.bundle, opts);
+  EXPECT_TRUE(hist.stopped_early);
+  EXPECT_LT(static_cast<int>(hist.epochs.size()), 100);
+}
+
+TEST(TrainModel, RestoresBestWeights) {
+  TrainFixture fx;
+  TrainOptions opts;
+  opts.epochs = 10;
+  opts.batch_size = 32;
+  opts.lr = 1e-3f;
+  opts.patience = 0;
+  opts.restore_best = true;
+  const TrainHistory hist = train_model(*fx.model, fx.bundle, opts);
+  const EvalResult val = evaluate(*fx.model, fx.bundle.val, 64);
+  EXPECT_NEAR(val.top1, hist.best_val_top1, 1e-9);
+}
+
+TEST(TrainModel, DeterministicGivenSeeds) {
+  TrainFixture a, b;
+  TrainOptions opts;
+  opts.epochs = 3;
+  opts.batch_size = 32;
+  opts.loader_seed = 77;
+  opts.patience = 0;
+  const TrainHistory h1 = train_model(*a.model, a.bundle, opts);
+  const TrainHistory h2 = train_model(*b.model, b.bundle, opts);
+  ASSERT_EQ(h1.epochs.size(), h2.epochs.size());
+  for (size_t i = 0; i < h1.epochs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(h1.epochs[i].train_loss, h2.epochs[i].train_loss);
+    EXPECT_DOUBLE_EQ(h1.epochs[i].val_top1, h2.epochs[i].val_top1);
+  }
+}
+
+TEST(TrainModel, PresetOptionsMatchAppendixC2) {
+  const TrainOptions cifar = cifar_finetune_options();
+  EXPECT_EQ(cifar.optimizer, OptimizerKind::Adam);
+  EXPECT_FLOAT_EQ(cifar.lr, 3e-4f);
+  EXPECT_EQ(cifar.batch_size, 64);
+
+  const TrainOptions imagenet = imagenet_finetune_options();
+  EXPECT_EQ(imagenet.optimizer, OptimizerKind::SgdNesterov);
+  EXPECT_FLOAT_EQ(imagenet.lr, 1e-3f);
+  EXPECT_FLOAT_EQ(imagenet.momentum, 0.9f);
+}
+
+}  // namespace
+}  // namespace shrinkbench

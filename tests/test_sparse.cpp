@@ -1,0 +1,141 @@
+// Sparse inference tests: CSR construction, sparse matmul correctness,
+// and agreement between dense and sparse execution of pruned layers.
+#include <gtest/gtest.h>
+
+#include "nn/init.hpp"
+#include "nn/sparse.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace shrinkbench {
+namespace {
+
+TEST(Csr, RoundTripsDense) {
+  Rng rng(1);
+  Tensor dense({7, 11});
+  rng.fill_normal(dense, 0, 1);
+  // Zero about half the entries.
+  for (float& v : dense.flat()) {
+    if (rng.bernoulli(0.5)) v = 0.0f;
+  }
+  const CsrMatrix csr = csr_from_dense(dense.data(), 7, 11);
+  EXPECT_EQ(csr.nnz(), ops::count_nonzero(dense));
+  EXPECT_TRUE(ops::allclose(csr_to_dense(csr), dense, 0, 0));
+}
+
+TEST(Csr, EmptyAndFullMatrices) {
+  Tensor zeros({3, 4});
+  const CsrMatrix empty = csr_from_dense(zeros.data(), 3, 4);
+  EXPECT_EQ(empty.nnz(), 0);
+  EXPECT_DOUBLE_EQ(empty.density(), 0.0);
+
+  Tensor ones = Tensor::ones({3, 4});
+  const CsrMatrix full = csr_from_dense(ones.data(), 3, 4);
+  EXPECT_EQ(full.nnz(), 12);
+  EXPECT_DOUBLE_EQ(full.density(), 1.0);
+}
+
+TEST(Csr, FromParameterAppliesMask) {
+  Parameter p("w", {2, 3}, true);
+  p.data.fill(5.0f);
+  p.mask = Tensor({2, 3}, {1, 0, 1, 0, 0, 1});
+  const CsrMatrix csr = csr_from_parameter(p);
+  EXPECT_EQ(csr.nnz(), 3);
+  const Tensor dense = csr_to_dense(csr);
+  EXPECT_EQ(dense(0, 0), 5.0f);
+  EXPECT_EQ(dense(0, 1), 0.0f);
+  EXPECT_EQ(dense(1, 2), 5.0f);
+}
+
+class CsrMatmulSparsity : public ::testing::TestWithParam<double> {};
+
+TEST_P(CsrMatmulSparsity, MatchesDenseGemm) {
+  const double sparsity = GetParam();
+  Rng rng(17);
+  Tensor a({13, 29}), b({29, 9});
+  rng.fill_normal(a, 0, 1);
+  rng.fill_normal(b, 0, 1);
+  for (float& v : a.flat()) {
+    if (rng.uniform() < sparsity) v = 0.0f;
+  }
+  const CsrMatrix csr = csr_from_dense(a.data(), 13, 29);
+  Tensor out({13, 9});
+  csr_matmul(csr, b.data(), 9, out.data());
+  EXPECT_TRUE(ops::allclose(out, matmul(a, b), 1e-4f, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, CsrMatmulSparsity,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.9, 0.99, 1.0));
+
+TEST(SparseConv, MatchesDenseForwardUnderMask) {
+  Conv2d conv("c", 3, 5, 3, 1, 1, true);
+  Rng rng(3);
+  kaiming_normal(conv.weight().data, rng);
+  rng.fill_normal(conv.bias()->data, 0, 0.1f);
+  // Prune 80% of the weights.
+  rng.fill_bernoulli(conv.weight().mask, 0.2);
+  conv.weight().apply_mask();
+
+  Tensor x({4, 3, 6, 6});
+  rng.fill_normal(x, 0, 1);
+  const Tensor dense_out = conv.forward(x, false);
+
+  const SparseConv2dInference sparse(conv);
+  EXPECT_NEAR(sparse.density(), 0.2, 0.07);
+  const Tensor sparse_out = sparse.forward(x);
+  EXPECT_TRUE(ops::allclose(sparse_out, dense_out, 1e-4f, 1e-4f));
+}
+
+TEST(SparseConv, StridedAndPaddedGeometry) {
+  Conv2d conv("c", 2, 4, 3, 2, 1, false);
+  Rng rng(5);
+  kaiming_normal(conv.weight().data, rng);
+  Tensor x({2, 2, 7, 7});
+  rng.fill_normal(x, 0, 1);
+  const SparseConv2dInference sparse(conv);
+  EXPECT_TRUE(ops::allclose(sparse.forward(x), conv.forward(x, false), 1e-4f, 1e-4f));
+}
+
+TEST(SparseConv, RejectsWrongInput) {
+  Conv2d conv("c", 3, 4, 3, 1, 1, false);
+  const SparseConv2dInference sparse(conv);
+  EXPECT_THROW(sparse.forward(Tensor({1, 2, 6, 6})), std::invalid_argument);
+}
+
+TEST(SparseLinear, MatchesDenseForwardUnderMask) {
+  Linear fc("fc", 10, 6, true);
+  Rng rng(7);
+  kaiming_normal(fc.weight().data, rng);
+  rng.fill_normal(fc.bias()->data, 0, 0.1f);
+  rng.fill_bernoulli(fc.weight().mask, 0.3);
+  fc.weight().apply_mask();
+
+  Tensor x({5, 10});
+  rng.fill_normal(x, 0, 1);
+  const SparseLinearInference sparse(fc);
+  EXPECT_TRUE(ops::allclose(sparse.forward(x), fc.forward(x, false), 1e-4f, 1e-4f));
+}
+
+TEST(SparseLinear, FullyPrunedYieldsBiasOnly) {
+  Linear fc("fc", 4, 3, true);
+  Rng rng(9);
+  kaiming_normal(fc.weight().data, rng);
+  fc.bias()->data = Tensor::of({1.0f, 2.0f, 3.0f});
+  fc.weight().mask.zero();
+  fc.weight().apply_mask();
+  const SparseLinearInference sparse(fc);
+  Tensor x({2, 4});
+  rng.fill_normal(x, 0, 1);
+  const Tensor y = sparse.forward(x);
+  EXPECT_FLOAT_EQ(y(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(y(1, 2), 3.0f);
+}
+
+TEST(Csr, RejectsRankOneParameter) {
+  Parameter bias("b", {4}, false);
+  EXPECT_THROW(csr_from_parameter(bias), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shrinkbench
