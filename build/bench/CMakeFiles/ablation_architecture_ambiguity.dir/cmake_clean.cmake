@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_architecture_ambiguity.dir/ablation_architecture_ambiguity.cpp.o"
+  "CMakeFiles/ablation_architecture_ambiguity.dir/ablation_architecture_ambiguity.cpp.o.d"
+  "ablation_architecture_ambiguity"
+  "ablation_architecture_ambiguity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_architecture_ambiguity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_confounders.dir/ablation_confounders.cpp.o"
+  "CMakeFiles/ablation_confounders.dir/ablation_confounders.cpp.o.d"
+  "ablation_confounders"
+  "ablation_confounders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_confounders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

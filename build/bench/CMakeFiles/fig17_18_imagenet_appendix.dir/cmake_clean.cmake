@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_18_imagenet_appendix.dir/fig17_18_imagenet_appendix.cpp.o"
+  "CMakeFiles/fig17_18_imagenet_appendix.dir/fig17_18_imagenet_appendix.cpp.o.d"
+  "fig17_18_imagenet_appendix"
+  "fig17_18_imagenet_appendix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_18_imagenet_appendix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_tradeoffs.dir/fig1_tradeoffs.cpp.o"
+  "CMakeFiles/fig1_tradeoffs.dir/fig1_tradeoffs.cpp.o.d"
+  "fig1_tradeoffs"
+  "fig1_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

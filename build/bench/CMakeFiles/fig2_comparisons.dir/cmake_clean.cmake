@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_comparisons.dir/fig2_comparisons.cpp.o"
+  "CMakeFiles/fig2_comparisons.dir/fig2_comparisons.cpp.o.d"
+  "fig2_comparisons"
+  "fig2_comparisons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_comparisons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_fragmentation.dir/fig3_fragmentation.cpp.o"
+  "CMakeFiles/fig3_fragmentation.dir/fig3_fragmentation.cpp.o.d"
+  "fig3_fragmentation"
+  "fig3_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_metrics_not_interchangeable.dir/fig6_metrics_not_interchangeable.cpp.o"
+  "CMakeFiles/fig6_metrics_not_interchangeable.dir/fig6_metrics_not_interchangeable.cpp.o.d"
+  "fig6_metrics_not_interchangeable"
+  "fig6_metrics_not_interchangeable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_metrics_not_interchangeable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

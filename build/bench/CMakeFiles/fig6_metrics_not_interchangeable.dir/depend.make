@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_metrics_not_interchangeable.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_across_models.dir/fig7_across_models.cpp.o"
+  "CMakeFiles/fig7_across_models.dir/fig7_across_models.cpp.o.d"
+  "fig7_across_models"
+  "fig7_across_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_across_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_initial_model.dir/fig8_initial_model.cpp.o"
+  "CMakeFiles/fig8_initial_model.dir/fig8_initial_model.cpp.o.d"
+  "fig8_initial_model"
+  "fig8_initial_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_initial_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

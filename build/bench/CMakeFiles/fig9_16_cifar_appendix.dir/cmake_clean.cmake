@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_16_cifar_appendix.dir/fig9_16_cifar_appendix.cpp.o"
+  "CMakeFiles/fig9_16_cifar_appendix.dir/fig9_16_cifar_appendix.cpp.o.d"
+  "fig9_16_cifar_appendix"
+  "fig9_16_cifar_appendix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_16_cifar_appendix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_16_cifar_appendix.
+# This may be replaced when dependencies are built.

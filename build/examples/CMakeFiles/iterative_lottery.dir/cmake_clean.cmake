@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_lottery.dir/iterative_lottery.cpp.o"
+  "CMakeFiles/iterative_lottery.dir/iterative_lottery.cpp.o.d"
+  "iterative_lottery"
+  "iterative_lottery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_lottery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

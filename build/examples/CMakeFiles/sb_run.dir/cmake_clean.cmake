@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_run.dir/sb_run.cpp.o"
+  "CMakeFiles/sb_run.dir/sb_run.cpp.o.d"
+  "sb_run"
+  "sb_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/structured_vs_unstructured.cpp" "examples/CMakeFiles/structured_vs_unstructured.dir/structured_vs_unstructured.cpp.o" "gcc" "examples/CMakeFiles/structured_vs_unstructured.dir/structured_vs_unstructured.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/sb_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/sb_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/sb_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sb_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structured_vs_unstructured.dir/structured_vs_unstructured.cpp.o"
+  "CMakeFiles/structured_vs_unstructured.dir/structured_vs_unstructured.cpp.o.d"
+  "structured_vs_unstructured"
+  "structured_vs_unstructured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structured_vs_unstructured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/activation_stats.cpp" "src/core/CMakeFiles/sb_core.dir/activation_stats.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/activation_stats.cpp.o.d"
+  "/root/repo/src/core/allocation.cpp" "src/core/CMakeFiles/sb_core.dir/allocation.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/allocation.cpp.o.d"
+  "/root/repo/src/core/checklist.cpp" "src/core/CMakeFiles/sb_core.dir/checklist.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/checklist.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/sb_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/pretrained.cpp" "src/core/CMakeFiles/sb_core.dir/pretrained.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/pretrained.cpp.o.d"
+  "/root/repo/src/core/pruner.cpp" "src/core/CMakeFiles/sb_core.dir/pruner.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/pruner.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/sb_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/scoring.cpp" "src/core/CMakeFiles/sb_core.dir/scoring.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/scoring.cpp.o.d"
+  "/root/repo/src/core/strategy.cpp" "src/core/CMakeFiles/sb_core.dir/strategy.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/strategy.cpp.o.d"
+  "/root/repo/src/core/train.cpp" "src/core/CMakeFiles/sb_core.dir/train.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/train.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/sb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/sb_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sb_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

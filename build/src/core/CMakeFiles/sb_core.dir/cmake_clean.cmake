@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_core.dir/activation_stats.cpp.o"
+  "CMakeFiles/sb_core.dir/activation_stats.cpp.o.d"
+  "CMakeFiles/sb_core.dir/allocation.cpp.o"
+  "CMakeFiles/sb_core.dir/allocation.cpp.o.d"
+  "CMakeFiles/sb_core.dir/checklist.cpp.o"
+  "CMakeFiles/sb_core.dir/checklist.cpp.o.d"
+  "CMakeFiles/sb_core.dir/experiment.cpp.o"
+  "CMakeFiles/sb_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/sb_core.dir/pretrained.cpp.o"
+  "CMakeFiles/sb_core.dir/pretrained.cpp.o.d"
+  "CMakeFiles/sb_core.dir/pruner.cpp.o"
+  "CMakeFiles/sb_core.dir/pruner.cpp.o.d"
+  "CMakeFiles/sb_core.dir/schedule.cpp.o"
+  "CMakeFiles/sb_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/sb_core.dir/scoring.cpp.o"
+  "CMakeFiles/sb_core.dir/scoring.cpp.o.d"
+  "CMakeFiles/sb_core.dir/strategy.cpp.o"
+  "CMakeFiles/sb_core.dir/strategy.cpp.o.d"
+  "CMakeFiles/sb_core.dir/train.cpp.o"
+  "CMakeFiles/sb_core.dir/train.cpp.o.d"
+  "libsb_core.a"
+  "libsb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_corpus.dir/analysis.cpp.o"
+  "CMakeFiles/sb_corpus.dir/analysis.cpp.o.d"
+  "CMakeFiles/sb_corpus.dir/corpus.cpp.o"
+  "CMakeFiles/sb_corpus.dir/corpus.cpp.o.d"
+  "CMakeFiles/sb_corpus.dir/families.cpp.o"
+  "CMakeFiles/sb_corpus.dir/families.cpp.o.d"
+  "CMakeFiles/sb_corpus.dir/units.cpp.o"
+  "CMakeFiles/sb_corpus.dir/units.cpp.o.d"
+  "libsb_corpus.a"
+  "libsb_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

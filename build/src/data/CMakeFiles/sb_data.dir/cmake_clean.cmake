@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_data.dir/loader.cpp.o"
+  "CMakeFiles/sb_data.dir/loader.cpp.o.d"
+  "CMakeFiles/sb_data.dir/synthetic.cpp.o"
+  "CMakeFiles/sb_data.dir/synthetic.cpp.o.d"
+  "libsb_data.a"
+  "libsb_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

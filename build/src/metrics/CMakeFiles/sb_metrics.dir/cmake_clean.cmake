@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/sb_metrics.dir/metrics.cpp.o.d"
+  "CMakeFiles/sb_metrics.dir/storage.cpp.o"
+  "CMakeFiles/sb_metrics.dir/storage.cpp.o.d"
+  "CMakeFiles/sb_metrics.dir/summary.cpp.o"
+  "CMakeFiles/sb_metrics.dir/summary.cpp.o.d"
+  "libsb_metrics.a"
+  "libsb_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

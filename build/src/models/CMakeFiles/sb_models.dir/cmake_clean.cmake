@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_models.dir/zoo.cpp.o"
+  "CMakeFiles/sb_models.dir/zoo.cpp.o.d"
+  "libsb_models.a"
+  "libsb_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

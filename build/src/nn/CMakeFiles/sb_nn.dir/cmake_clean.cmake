@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_nn.dir/activations.cpp.o"
+  "CMakeFiles/sb_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/sb_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/sb_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/sb_nn.dir/checkpoint.cpp.o"
+  "CMakeFiles/sb_nn.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/sb_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/sb_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/sb_nn.dir/dropout.cpp.o"
+  "CMakeFiles/sb_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/sb_nn.dir/init.cpp.o"
+  "CMakeFiles/sb_nn.dir/init.cpp.o.d"
+  "CMakeFiles/sb_nn.dir/layer.cpp.o"
+  "CMakeFiles/sb_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/sb_nn.dir/linear.cpp.o"
+  "CMakeFiles/sb_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/sb_nn.dir/loss.cpp.o"
+  "CMakeFiles/sb_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/sb_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/sb_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/sb_nn.dir/pool.cpp.o"
+  "CMakeFiles/sb_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/sb_nn.dir/residual.cpp.o"
+  "CMakeFiles/sb_nn.dir/residual.cpp.o.d"
+  "CMakeFiles/sb_nn.dir/sparse.cpp.o"
+  "CMakeFiles/sb_nn.dir/sparse.cpp.o.d"
+  "libsb_nn.a"
+  "libsb_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

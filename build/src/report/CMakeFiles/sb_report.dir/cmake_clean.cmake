@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_report.dir/chart.cpp.o"
+  "CMakeFiles/sb_report.dir/chart.cpp.o.d"
+  "CMakeFiles/sb_report.dir/table.cpp.o"
+  "CMakeFiles/sb_report.dir/table.cpp.o.d"
+  "libsb_report.a"
+  "libsb_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

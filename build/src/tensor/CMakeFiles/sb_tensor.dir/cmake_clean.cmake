@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/sb_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/sb_tensor.dir/im2col.cpp.o"
+  "CMakeFiles/sb_tensor.dir/im2col.cpp.o.d"
+  "CMakeFiles/sb_tensor.dir/ops.cpp.o"
+  "CMakeFiles/sb_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/sb_tensor.dir/rng.cpp.o"
+  "CMakeFiles/sb_tensor.dir/rng.cpp.o.d"
+  "CMakeFiles/sb_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/sb_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/sb_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/sb_tensor.dir/tensor.cpp.o.d"
+  "libsb_tensor.a"
+  "libsb_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phenomenology.dir/test_phenomenology.cpp.o"
+  "CMakeFiles/test_phenomenology.dir/test_phenomenology.cpp.o.d"
+  "test_phenomenology"
+  "test_phenomenology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phenomenology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
