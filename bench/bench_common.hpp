@@ -162,7 +162,12 @@ inline void save_results(const BenchArgs& args, const std::string& name,
                          const std::vector<ExperimentResult>& results) {
   const std::string path = args.out_dir + "/" + name + ".csv";
   write_experiment_csv(path, results);
-  std::printf("wrote %s (%zu rows)\n\n", path.c_str(), results.size());
+  // Every CSV ships with a run manifest: config fingerprints, git
+  // revision, per-phase timings, and the profiler counter snapshot.
+  const std::string manifest_path = args.out_dir + "/" + name + ".manifest.json";
+  write_run_manifest(manifest_path, name, results);
+  std::printf("wrote %s (%zu rows) + %s\n\n", path.c_str(), results.size(),
+              manifest_path.c_str());
 }
 
 }  // namespace shrinkbench::bench

@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include <chrono>
+#include <ctime>
 #include <filesystem>
 #include <cstdio>
 #include <fstream>
@@ -8,16 +9,45 @@
 #include <stdexcept>
 
 #include "metrics/metrics.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/manifest.hpp"
+#include "obs/profile.hpp"
 
 namespace shrinkbench {
+
+namespace {
+
+/// Accumulates elapsed wall time into a PhaseTimings field. Independent
+/// of the profiler: phase timings flow into results/CSV even with every
+/// SB_* switch off.
+class PhaseClock {
+  using clock = std::chrono::steady_clock;
+
+ public:
+  explicit PhaseClock(double& acc) : acc_(acc), start_(clock::now()) {}
+  ~PhaseClock() { acc_ += std::chrono::duration<double>(clock::now() - start_).count(); }
+  PhaseClock(const PhaseClock&) = delete;
+  PhaseClock& operator=(const PhaseClock&) = delete;
+
+ private:
+  double& acc_;
+  clock::time_point start_;
+};
+
+}  // namespace
 
 ExperimentRunner::ExperimentRunner(std::string cache_dir) : store_(std::move(cache_dir)) {}
 
 const DatasetBundle& ExperimentRunner::dataset(const std::string& name, uint64_t data_seed) {
   const std::string key = name + "/" + std::to_string(data_seed);
   for (const auto& [k, bundle] : datasets_) {
-    if (k == key) return bundle;
+    if (k == key) {
+      obs::count("cache.dataset.hit");
+      return bundle;
+    }
   }
+  obs::count("cache.dataset.miss");
   datasets_.emplace_back(key, make_synthetic(synthetic_preset(name, data_seed)));
   return datasets_.back().second;
 }
@@ -80,7 +110,9 @@ void write_cached_result(const std::filesystem::path& path, const ExperimentConf
      << r.pre_top1 << ' ' << r.pre_top5 << ' ' << r.pre_loss << ' ' << r.post_top1 << ' '
      << r.post_top5 << ' ' << r.post_loss << ' ' << r.compression << ' ' << r.speedup << ' '
      << r.params_total << ' ' << r.params_nonzero << ' ' << r.flops_dense << ' '
-     << r.flops_effective << ' ' << r.finetune_epochs << ' ' << r.seconds << '\n';
+     << r.flops_effective << ' ' << r.finetune_epochs << ' ' << r.seconds << ' '
+     << r.phases.pretrain << ' ' << r.phases.prune << ' ' << r.phases.finetune << ' '
+     << r.phases.eval << '\n';
 }
 
 bool read_cached_result(const std::filesystem::path& path, const ExperimentConfig& config,
@@ -92,7 +124,10 @@ bool read_cached_result(const std::filesystem::path& path, const ExperimentConfi
   r.config = config;
   is >> r.pre_top1 >> r.pre_top5 >> r.pre_loss >> r.post_top1 >> r.post_top5 >> r.post_loss >>
       r.compression >> r.speedup >> r.params_total >> r.params_nonzero >> r.flops_dense >>
-      r.flops_effective >> r.finetune_epochs >> r.seconds;
+      r.flops_effective >> r.finetune_epochs >> r.seconds >> r.phases.pretrain >>
+      r.phases.prune >> r.phases.finetune >> r.phases.eval;
+  // Phase-less files from before the manifest era fail here and are
+  // simply recomputed: the fingerprint line makes them a cache miss.
   return static_cast<bool>(is);
 }
 
@@ -100,20 +135,36 @@ bool read_cached_result(const std::filesystem::path& path, const ExperimentConfi
 
 ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) {
   const auto cache_path = result_cache_path(store_.cache_dir(), config);
-  if (ExperimentResult cached; read_cached_result(cache_path, config, cached)) return cached;
+  if (ExperimentResult cached; read_cached_result(cache_path, config, cached)) {
+    obs::count("cache.result.hit");
+    return cached;
+  }
+  obs::count("cache.result.miss");
 
+  SB_PROFILE_SCOPE("experiment.run");
   const auto start = std::chrono::steady_clock::now();
-  const DatasetBundle& bundle = dataset(config.dataset, config.data_seed);
-  ModelPtr model = pretrained(config);
-  const Shape sample = bundle.train.sample_shape();
-
   ExperimentResult result;
   result.config = config;
 
-  const EvalResult pre = evaluate(*model, bundle.test, config.finetune.batch_size);
-  result.pre_top1 = pre.top1;
-  result.pre_top5 = pre.top5;
-  result.pre_loss = pre.loss;
+  const DatasetBundle* bundle_ptr = nullptr;
+  ModelPtr model;
+  {
+    obs::ScopedTimer span("pretrain");
+    PhaseClock phase(result.phases.pretrain);
+    bundle_ptr = &dataset(config.dataset, config.data_seed);
+    model = pretrained(config);
+  }
+  const DatasetBundle& bundle = *bundle_ptr;
+  const Shape sample = bundle.train.sample_shape();
+
+  {
+    obs::ScopedTimer span("eval");
+    PhaseClock phase(result.phases.eval);
+    const EvalResult pre = evaluate(*model, bundle.test, config.finetune.batch_size);
+    result.pre_top1 = pre.top1;
+    result.pre_top5 = pre.top5;
+    result.pre_loss = pre.loss;
+  }
 
   const PruningStrategy strategy = strategy_from_name(config.strategy);
   const double final_fraction =
@@ -130,17 +181,27 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) {
   // be reported).
   const bool no_op_control = fractions.size() == 1 && final_fraction >= 1.0;
   for (const double fraction : fractions) {
-    prune_model(*model, strategy, fraction, bundle.train, config.prune, rng);
+    {
+      obs::ScopedTimer span("prune");
+      PhaseClock phase(result.phases.prune);
+      prune_model(*model, strategy, fraction, bundle.train, config.prune, rng);
+    }
     if (no_op_control) break;
+    obs::ScopedTimer span("finetune");
+    PhaseClock phase(result.phases.finetune);
     const TrainHistory hist = train_model(*model, bundle, ft);
     result.finetune_epochs += static_cast<int>(hist.epochs.size());
     ft.loader_seed = rng.next_u64();  // fresh shuffling for later rounds
   }
 
-  const EvalResult post = evaluate(*model, bundle.test, config.finetune.batch_size);
-  result.post_top1 = post.top1;
-  result.post_top5 = post.top5;
-  result.post_loss = post.loss;
+  {
+    obs::ScopedTimer span("eval");
+    PhaseClock phase(result.phases.eval);
+    const EvalResult post = evaluate(*model, bundle.test, config.finetune.batch_size);
+    result.post_top1 = post.top1;
+    result.post_top5 = post.top5;
+    result.post_loss = post.loss;
+  }
 
   const ParamCounts counts = count_params(*model);
   result.params_total = counts.total;
@@ -164,6 +225,8 @@ std::vector<ExperimentResult> run_sweep(ExperimentRunner& runner, const Experime
   std::vector<ExperimentResult> results;
   const size_t total = strategies.size() * compressions.size() * run_seeds.size();
   size_t done = 0;
+  const auto sweep_start = std::chrono::steady_clock::now();
+  SB_PROFILE_SCOPE("sweep");
   for (const std::string& strategy : strategies) {
     for (const double ratio : compressions) {
       for (const uint64_t seed : run_seeds) {
@@ -173,10 +236,17 @@ std::vector<ExperimentResult> run_sweep(ExperimentRunner& runner, const Experime
         config.run_seed = seed;
         results.push_back(runner.run(config));
         ++done;
-        std::fprintf(stderr, "[sweep] %zu/%zu %s %s x%.0f seed=%llu -> top1 %.4f (c=%.2f)\n",
-                     done, total, base.arch.c_str(), strategy.c_str(), ratio,
-                     static_cast<unsigned long long>(seed), results.back().post_top1,
-                     results.back().compression);
+        // ETA from mean cost so far; cache hits pull it down, so the
+        // estimate self-corrects as the sweep reuses results.
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
+                .count();
+        const double eta = elapsed / static_cast<double>(done) * static_cast<double>(total - done);
+        SB_LOG_INFO("sweep", "%zu/%zu %s %s x%.0f seed=%llu -> top1 %.4f (c=%.2f) "
+                    "[elapsed %.1fs, eta %.1fs]",
+                    done, total, base.arch.c_str(), strategy.c_str(), ratio,
+                    static_cast<unsigned long long>(seed), results.back().post_top1,
+                    results.back().compression, elapsed, eta);
       }
     }
   }
@@ -186,7 +256,8 @@ std::vector<ExperimentResult> run_sweep(ExperimentRunner& runner, const Experime
 std::string experiment_csv_header() {
   return "dataset,arch,width,strategy,schedule,target_compression,run_seed,init_seed,"
          "pretrain_tag,pre_top1,pre_top5,post_top1,post_top5,compression,speedup,"
-         "params_total,params_nonzero,flops_dense,flops_effective,finetune_epochs,seconds";
+         "params_total,params_nonzero,flops_dense,flops_effective,finetune_epochs,seconds,"
+         "pretrain_s,prune_s,finetune_s,eval_s";
 }
 
 std::string experiment_csv_row(const ExperimentResult& r) {
@@ -197,7 +268,9 @@ std::string experiment_csv_row(const ExperimentResult& r) {
      << c.init_seed << ',' << c.pretrain_tag << ',' << r.pre_top1 << ',' << r.pre_top5 << ','
      << r.post_top1 << ',' << r.post_top5 << ',' << r.compression << ',' << r.speedup << ','
      << r.params_total << ',' << r.params_nonzero << ',' << r.flops_dense << ','
-     << r.flops_effective << ',' << r.finetune_epochs << ',' << r.seconds;
+     << r.flops_effective << ',' << r.finetune_epochs << ',' << r.seconds << ','
+     << r.phases.pretrain << ',' << r.phases.prune << ',' << r.phases.finetune << ','
+     << r.phases.eval;
   return ss.str();
 }
 
@@ -206,6 +279,49 @@ void write_experiment_csv(const std::string& path, const std::vector<ExperimentR
   if (!os) throw std::runtime_error("write_experiment_csv: cannot open " + path);
   os << experiment_csv_header() << '\n';
   for (const auto& r : results) os << experiment_csv_row(r) << '\n';
+}
+
+void write_run_manifest(const std::string& path, const std::string& bench_name,
+                        const std::vector<ExperimentResult>& results) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_run_manifest: cannot open " + path);
+
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t t = std::chrono::system_clock::to_time_t(now);
+  char stamp[32] = "unknown";
+  if (std::tm tm_utc{}; gmtime_r(&t, &tm_utc) != nullptr) {
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  }
+
+  os << "{\n"
+     << "  \"schema\": \"shrinkbench.run_manifest/v1\",\n"
+     << "  \"bench\": " << obs::json_str(bench_name) << ",\n"
+     << "  \"git\": " << obs::json_str(obs::git_describe()) << ",\n"
+     << "  \"created_utc\": " << obs::json_str(stamp) << ",\n"
+     << "  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    const ExperimentConfig& c = r.config;
+    os << "    {\"fingerprint\": " << obs::json_str(config_fingerprint(c))
+       << ", \"dataset\": " << obs::json_str(c.dataset) << ", \"arch\": " << obs::json_str(c.arch)
+       << ", \"strategy\": " << obs::json_str(c.strategy)
+       << ", \"target_compression\": " << obs::json_num(c.target_compression)
+       << ", \"run_seed\": " << c.run_seed
+       << ", \"post_top1\": " << obs::json_num(r.post_top1)
+       << ", \"compression\": " << obs::json_num(r.compression)
+       << ", \"finetune_epochs\": " << r.finetune_epochs
+       << ", \"phases\": {\"pretrain\": " << obs::json_num(r.phases.pretrain)
+       << ", \"prune\": " << obs::json_num(r.phases.prune)
+       << ", \"finetune\": " << obs::json_num(r.phases.finetune)
+       << ", \"eval\": " << obs::json_num(r.phases.eval)
+       << ", \"total\": " << obs::json_num(r.phases.total())
+       << "}, \"seconds\": " << obs::json_num(r.seconds) << "}"
+       << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n"
+     << "  \"metrics\": " << obs::metrics_json(obs::snapshot_if_enabled()) << "\n"
+     << "}\n";
+  if (!os) throw std::runtime_error("write_run_manifest: write failed for " + path);
 }
 
 }  // namespace shrinkbench

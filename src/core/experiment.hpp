@@ -43,6 +43,17 @@ struct ExperimentConfig {
   TrainOptions finetune = cifar_finetune_options();
 };
 
+/// Wall-clock cost of each phase of Algorithm 1 — the per-phase budget
+/// breakdown the paper's §6 checklist asks experiments to report (and
+/// that a single opaque `seconds` cannot provide).
+struct PhaseTimings {
+  double pretrain = 0.0;  // dataset synthesis + pretrained-model load/train
+  double prune = 0.0;     // scoring + mask allocation, all schedule steps
+  double finetune = 0.0;  // all fine-tuning rounds
+  double eval = 0.0;      // pre- and post-pruning test evaluation
+  double total() const { return pretrain + prune + finetune + eval; }
+};
+
 struct ExperimentResult {
   ExperimentConfig config;
   // Control metrics for the unpruned model (paper: "also report these
@@ -55,6 +66,9 @@ struct ExperimentResult {
   int64_t params_total = 0, params_nonzero = 0;
   int64_t flops_dense = 0, flops_effective = 0;
   int finetune_epochs = 0;
+  /// Per-phase wall-clock breakdown; phases.total() is the work time,
+  /// `seconds` the end-to-end wall time (phases + metric accounting).
+  PhaseTimings phases;
   double seconds = 0.0;
 };
 
@@ -94,5 +108,12 @@ std::vector<ExperimentResult> run_sweep(ExperimentRunner& runner, const Experime
 std::string experiment_csv_header();
 std::string experiment_csv_row(const ExperimentResult& result);
 void write_experiment_csv(const std::string& path, const std::vector<ExperimentResult>& results);
+
+/// Writes the per-run JSON manifest that accompanies each bench CSV:
+/// git revision, per-result config fingerprints + phase timings, and a
+/// snapshot of the profiler's counters/gauges/histograms/spans (empty
+/// when profiling is off). Schema: "shrinkbench.run_manifest/v1".
+void write_run_manifest(const std::string& path, const std::string& bench_name,
+                        const std::vector<ExperimentResult>& results);
 
 }  // namespace shrinkbench

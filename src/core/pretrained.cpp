@@ -1,11 +1,12 @@
 #include "core/pretrained.hpp"
 
-#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 
 #include "nn/checkpoint.hpp"
 #include "nn/init.hpp"
+#include "obs/log.hpp"
+#include "obs/profile.hpp"
 
 namespace shrinkbench {
 
@@ -47,18 +48,20 @@ ModelPtr PretrainedStore::get(const DatasetBundle& bundle, const std::string& ar
   const std::filesystem::path path = std::filesystem::path(cache_dir_) / file;
 
   if (std::filesystem::exists(path)) {
+    obs::count("cache.pretrained.hit");
     load_checkpoint(*model, path.string());
     return model;
   }
+  obs::count("cache.pretrained.miss");
 
   Rng rng(init_seed);
   init_model(*model, rng);
   TrainOptions opts = train_opts;
   opts.loader_seed = init_seed ^ 0x9e3779b97f4a7c15ULL;
-  std::printf("[pretrain] %s w=%lld on %s (tag=%s)...\n", arch.c_str(),
+  SB_LOG_INFO("pretrain", "%s w=%lld on %s (tag=%s)...", arch.c_str(),
               static_cast<long long>(width), bundle.spec.name.c_str(), tag.c_str());
   const TrainHistory hist = train_model(*model, bundle, opts);
-  std::printf("[pretrain] done: best val top1 %.4f (epoch %d)\n", hist.best_val_top1,
+  SB_LOG_INFO("pretrain", "done: best val top1 %.4f (epoch %d)", hist.best_val_top1,
               hist.best_epoch);
   save_checkpoint(*model, path.string());
   return model;

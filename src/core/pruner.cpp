@@ -4,6 +4,7 @@
 
 #include "core/activation_stats.hpp"
 #include "nn/loss.hpp"
+#include "obs/profile.hpp"
 
 namespace shrinkbench {
 
@@ -65,11 +66,14 @@ std::vector<Tensor> squared_gradient_snapshot(Model& model, const Dataset& datas
 
 double prune_model(Model& model, const PruningStrategy& strategy, double fraction_to_keep,
                    const Dataset& dataset, const PruneOptions& opts, Rng& rng) {
+  SB_PROFILE_SCOPE("prune");
   auto params = prunable_params(model, opts);
   if (params.empty()) throw std::logic_error("prune_model: no prunable parameters");
+  obs::count("prune.calls");
 
   std::vector<Tensor> grads;
   if (needs_gradients(strategy.score)) {
+    SB_PROFILE_SCOPE("gradients");
     grads = strategy.score == ScoreKind::Fisher
                 ? squared_gradient_snapshot(model, dataset, opts, rng)
                 : gradient_snapshot(model, dataset, opts, rng);
@@ -78,10 +82,12 @@ double prune_model(Model& model, const PruningStrategy& strategy, double fractio
   std::vector<ScoredParam> scored;
   scored.reserve(params.size());
   if (needs_activations(strategy.score)) {
+    SB_PROFILE_SCOPE("score");
     ChannelActivationStats stats =
         collect_activation_stats(model, dataset, opts.activation_batches,
                                  opts.grad_batch_size, rng);
     for (Parameter* p : params) {
+      obs::ScopedTimer layer_span(p->name);
       // Conv/linear weights are named "<layer>.weight"; their output
       // channels are the layer's output channels.
       const std::string layer_name = p->name.substr(0, p->name.rfind('.'));
@@ -91,16 +97,21 @@ double prune_model(Model& model, const PruningStrategy& strategy, double fractio
                                "'");
       }
       scored.push_back(ScoredParam{p, channel_scores_to_entry_scores(*p, it->second)});
+      obs::count("prune.params_scored", p->numel());
     }
   } else {
+    SB_PROFILE_SCOPE("score");
     const Tensor empty;
     for (size_t i = 0; i < params.size(); ++i) {
+      obs::ScopedTimer layer_span(params[i]->name);
       const Tensor& grad = grads.empty() ? empty : grads[i];
       scored.push_back(
           ScoredParam{params[i], score_parameter(strategy.score, *params[i], grad, rng)});
+      obs::count("prune.params_scored", params[i]->numel());
     }
   }
 
+  obs::ScopedTimer mask_span("mask");
   const int64_t kept = allocate_masks(scored, strategy.scope, strategy.structure, fraction_to_keep);
   apply_masks(model);
 

@@ -1,12 +1,13 @@
 #include "core/train.hpp"
 
 #include <cmath>
-#include <cstdio>
 #include <memory>
 
 #include "metrics/metrics.hpp"
 #include "nn/checkpoint.hpp"
 #include "nn/loss.hpp"
+#include "obs/log.hpp"
+#include "obs/profile.hpp"
 
 namespace shrinkbench {
 
@@ -81,6 +82,7 @@ float lr_at_epoch(const TrainOptions& opts, int epoch) {
 }
 
 TrainHistory train_model(Model& model, const DatasetBundle& bundle, const TrainOptions& opts) {
+  SB_PROFILE_SCOPE("train");
   auto optimizer = make_optimizer(model, opts);
   DataLoader loader(bundle.train, opts.batch_size, /*shuffle=*/true, opts.loader_seed,
                     opts.augment);
@@ -91,6 +93,7 @@ TrainHistory train_model(Model& model, const DatasetBundle& bundle, const TrainO
   int epochs_since_best = 0;
 
   for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    obs::ScopedTimer epoch_span("epoch");
     optimizer->set_lr(lr_at_epoch(opts, epoch));
     loader.reset();
     double loss_sum = 0.0;
@@ -105,6 +108,8 @@ TrainHistory train_model(Model& model, const DatasetBundle& bundle, const TrainO
       loss_sum += static_cast<double>(loss) * static_cast<double>(batch.x.size(0));
       samples += batch.x.size(0);
     }
+    obs::count("train.epochs");
+    obs::count("train.samples", samples);
 
     const EvalResult val = evaluate(model, bundle.val, opts.batch_size);
     EpochRecord rec;
@@ -113,10 +118,14 @@ TrainHistory train_model(Model& model, const DatasetBundle& bundle, const TrainO
     rec.val_top1 = val.top1;
     rec.val_loss = val.loss;
     history.epochs.push_back(rec);
-    if (opts.verbose) {
-      std::printf("  epoch %2d  train_loss %.4f  val_top1 %.4f\n", epoch, rec.train_loss,
-                  rec.val_top1);
+    if (obs::profiling_enabled()) {
+      obs::observe("train.epoch_seconds", epoch_span.seconds());
+      obs::set_gauge("train.last_train_loss", rec.train_loss);
+      obs::set_gauge("train.last_val_top1", rec.val_top1);
     }
+    SB_LOG_AT(opts.verbose ? obs::LogLevel::Info : obs::LogLevel::Debug, "train",
+              "epoch %2d  train_loss %.4f  val_top1 %.4f  lr %.2e", epoch, rec.train_loss,
+              rec.val_top1, static_cast<double>(lr_at_epoch(opts, epoch)));
 
     if (val.top1 > history.best_val_top1 || history.best_epoch < 0) {
       history.best_val_top1 = val.top1;

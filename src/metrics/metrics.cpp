@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/profile.hpp"
 #include "tensor/ops.hpp"
 
 namespace shrinkbench {
@@ -52,6 +53,8 @@ double topk_accuracy(const Tensor& logits, const std::vector<int>& labels, int64
 }
 
 EvalResult evaluate(Model& model, const Dataset& dataset, int64_t batch_size) {
+  SB_PROFILE_SCOPE("evaluate");
+  obs::count("eval.calls");
   DataLoader loader(dataset, batch_size, /*shuffle=*/false, /*seed=*/0);
   SoftmaxCrossEntropy loss_fn;
   EvalResult result;

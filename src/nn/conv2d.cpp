@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/profile.hpp"
 #include "tensor/gemm.hpp"
 
 namespace shrinkbench {
@@ -49,6 +50,8 @@ void scatter_channel_major(const float* cm, int64_t n, int64_t c, int64_t spatia
 }  // namespace
 
 Tensor Conv2d::forward(const Tensor& x, bool train) {
+  SB_PROFILE_SCOPE("conv2d.fwd");
+  obs::count("conv2d.fwd.calls");
   if (x.dim() != 4 || x.size(1) != in_c_) {
     throw std::invalid_argument(name() + ": expected [N, " + std::to_string(in_c_) +
                                 ", H, W], got " + to_string(x.shape()));
@@ -90,6 +93,8 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
+  SB_PROFILE_SCOPE("conv2d.bwd");
+  obs::count("conv2d.bwd.calls");
   if (cached_input_.empty()) throw std::logic_error(name() + ": backward before forward");
   const Tensor& x = cached_input_;
   const int64_t n = x.size(0), h = x.size(2), w = x.size(3);

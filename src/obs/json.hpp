@@ -1,0 +1,43 @@
+// Minimal JSON emission helpers shared by the trace exporter and the run
+// manifest writer. Writing only — the library never parses JSON.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace shrinkbench::obs {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string json_str(const std::string& s) { return "\"" + json_escape(s) + "\""; }
+
+/// Doubles formatted round-trippably; NaN/inf (invalid JSON) become null.
+inline std::string json_num(double v) {
+  if (!(v == v) || v > 1.7e308 || v < -1.7e308) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace shrinkbench::obs

@@ -1,0 +1,108 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <vector>
+
+namespace shrinkbench::obs {
+
+namespace {
+
+struct LogState {
+  std::mutex mu;
+  LogLevel level;
+  std::ofstream file;
+
+  LogState() {
+    const char* env = std::getenv("SB_LOG_LEVEL");
+    level = env ? parse_log_level(env) : LogLevel::Info;
+    if (const char* path = std::getenv("SB_LOG_FILE")) {
+      file.open(path, std::ios::app);
+    }
+  }
+};
+
+LogState& state() {
+  static LogState s;
+  return s;
+}
+
+double elapsed_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(const std::string& text, LogLevel fallback) {
+  std::string t;
+  for (char c : text) t.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (t == "trace") return LogLevel::Trace;
+  if (t == "debug") return LogLevel::Debug;
+  if (t == "info") return LogLevel::Info;
+  if (t == "warn" || t == "warning") return LogLevel::Warn;
+  if (t == "error") return LogLevel::Error;
+  if (t == "off" || t == "none" || t == "quiet") return LogLevel::Off;
+  return fallback;
+}
+
+LogLevel log_level() { return state().level; }
+
+void set_log_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(state().mu);
+  state().level = level;
+}
+
+void set_log_file(const std::string& path) {
+  LogState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.file.is_open()) s.file.close();
+  if (!path.empty()) s.file.open(path, std::ios::app);
+}
+
+void log_message(LogLevel level, const char* tag, const std::string& message) {
+  if (!log_enabled(level)) return;
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[%9.3f] %-5s %s: ", elapsed_seconds(), to_string(level),
+                tag);
+  LogState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  // The one console sink in the library: everything user-visible flows
+  // through this std::cerr write.
+  std::cerr << prefix << message << '\n';
+  if (s.file.is_open()) s.file << prefix << message << '\n' << std::flush;
+}
+
+void logf(LogLevel level, const char* tag, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string buf(n > 0 ? static_cast<size_t>(n) : 0, '\0');
+  if (n > 0) std::vsnprintf(buf.data(), buf.size() + 1, fmt, args);
+  va_end(args);
+  log_message(level, tag, buf);
+}
+
+}  // namespace shrinkbench::obs

@@ -1,0 +1,62 @@
+// Leveled structured logging — the single console-output path for the
+// whole library. Everything in src/ that used to printf/fprintf to the
+// terminal now goes through here, so one environment variable controls
+// verbosity for every binary:
+//
+//   SB_LOG_LEVEL = trace | debug | info | warn | error | off   (default info)
+//   SB_LOG_FILE  = path       (mirror every emitted line to a file sink)
+//
+// There is exactly one formatting path (log_message); the printf-style
+// logf() and the SB_LOG_* macros all funnel into it. The macros evaluate
+// their arguments only when the level is enabled, so a disabled debug
+// line costs one branch.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace shrinkbench::obs {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+const char* to_string(LogLevel level);
+
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive);
+/// unrecognized strings fall back to `fallback`.
+LogLevel parse_log_level(const std::string& text, LogLevel fallback = LogLevel::Info);
+
+/// Current threshold: SB_LOG_LEVEL on first call, until overridden.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Mirrors every emitted line to `path` in addition to stderr (the file
+/// sink from SB_LOG_FILE is installed automatically). Empty path closes
+/// the file sink.
+void set_log_file(const std::string& path);
+
+inline bool log_enabled(LogLevel level) { return level >= log_level(); }
+
+/// The one formatting/emission path: "[elapsed] LEVEL tag: message".
+void log_message(LogLevel level, const char* tag, const std::string& message);
+
+/// printf-style front end; formats and forwards to log_message.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 3, 4)))
+#endif
+void logf(LogLevel level, const char* tag, const char* fmt, ...);
+
+}  // namespace shrinkbench::obs
+
+// Level-specific macros: arguments are not evaluated when filtered out.
+#define SB_LOG_AT(level, tag, ...)                                            \
+  do {                                                                        \
+    if (::shrinkbench::obs::log_enabled(level)) {                             \
+      ::shrinkbench::obs::logf(level, tag, __VA_ARGS__);                      \
+    }                                                                         \
+  } while (0)
+
+#define SB_LOG_TRACE(tag, ...) SB_LOG_AT(::shrinkbench::obs::LogLevel::Trace, tag, __VA_ARGS__)
+#define SB_LOG_DEBUG(tag, ...) SB_LOG_AT(::shrinkbench::obs::LogLevel::Debug, tag, __VA_ARGS__)
+#define SB_LOG_INFO(tag, ...) SB_LOG_AT(::shrinkbench::obs::LogLevel::Info, tag, __VA_ARGS__)
+#define SB_LOG_WARN(tag, ...) SB_LOG_AT(::shrinkbench::obs::LogLevel::Warn, tag, __VA_ARGS__)
+#define SB_LOG_ERROR(tag, ...) SB_LOG_AT(::shrinkbench::obs::LogLevel::Error, tag, __VA_ARGS__)

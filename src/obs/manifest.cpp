@@ -1,0 +1,74 @@
+#include "obs/manifest.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace shrinkbench::obs {
+
+namespace {
+
+std::string run_git_describe() {
+#if defined(_WIN32)
+  return "unknown";
+#else
+  FILE* pipe = ::popen("git describe --always --dirty --tags 2>/dev/null", "r");
+  if (!pipe) return "unknown";
+  char buf[256];
+  std::string out;
+  while (std::fgets(buf, sizeof(buf), pipe)) out += buf;
+  const int status = ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
+  if (status != 0 || out.empty()) return "unknown";
+  return out;
+#endif
+}
+
+}  // namespace
+
+const std::string& git_describe() {
+  static const std::string described = run_git_describe();
+  return described;
+}
+
+std::string metrics_json(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) os << ',';
+    first = false;
+    os << json_str(name) << ':' << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) os << ',';
+    first = false;
+    os << json_str(name) << ':' << json_num(value);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) os << ',';
+    first = false;
+    os << json_str(name) << ":{\"count\":" << h.count << ",\"sum\":" << json_num(h.sum)
+       << ",\"min\":" << json_num(h.min) << ",\"max\":" << json_num(h.max)
+       << ",\"mean\":" << json_num(h.mean()) << '}';
+  }
+  os << "},\"spans\":{";
+  first = true;
+  for (const auto& [path, s] : snap.spans) {
+    if (!first) os << ',';
+    first = false;
+    os << json_str(path) << ":{\"count\":" << s.count
+       << ",\"total_seconds\":" << json_num(s.total_seconds)
+       << ",\"child_seconds\":" << json_num(s.child_seconds)
+       << ",\"self_seconds\":" << json_num(s.self_seconds()) << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace shrinkbench::obs

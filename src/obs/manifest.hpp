@@ -1,0 +1,25 @@
+// Run-manifest building blocks. A manifest is the per-run JSON file
+// written next to every bench CSV: enough provenance (git revision,
+// config fingerprints, per-phase timings, counter snapshot) to answer
+// "what actually ran?" — the reporting gap the source paper complains
+// about. The experiment-specific composition lives in core/experiment;
+// this layer provides the provenance + metrics serialization.
+#pragma once
+
+#include <string>
+
+#include "obs/profile.hpp"
+
+namespace shrinkbench::obs {
+
+/// `git describe --always --dirty` of the working directory, cached for
+/// the process; "unknown" when git or the repo is unavailable.
+const std::string& git_describe();
+
+/// Serializes a snapshot as a JSON object:
+///   {"counters":{...},"gauges":{...},
+///    "histograms":{name:{count,sum,min,max,mean}},
+///    "spans":{path:{count,total_seconds,child_seconds,self_seconds}}}
+std::string metrics_json(const MetricsSnapshot& snapshot);
+
+}  // namespace shrinkbench::obs

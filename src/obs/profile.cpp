@@ -1,0 +1,220 @@
+#include "obs/profile.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+
+namespace shrinkbench::obs {
+
+namespace {
+
+// -1 = not yet resolved from the environment, 0 = off, 1 = on.
+std::atomic<int> g_enabled{-1};
+std::atomic<bool> g_constructed{false};
+
+std::mutex& trace_path_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::string& trace_path_storage() {
+  static std::string path;
+  return path;
+}
+
+bool env_truthy(const char* value) {
+  if (!value || !*value) return false;
+  return std::string(value) != "0" && std::string(value) != "false";
+}
+
+void resolve_from_env() {
+  const char* prof = std::getenv("SB_PROF");
+  const char* trace = std::getenv("SB_TRACE");
+  bool enabled = env_truthy(prof);
+  if (trace && *trace) {
+    enabled = true;  // tracing implies profiling
+    std::lock_guard<std::mutex> lock(trace_path_mutex());
+    if (trace_path_storage().empty()) trace_path_storage() = trace;
+  }
+  int expected = -1;
+  g_enabled.compare_exchange_strong(expected, enabled ? 1 : 0);
+}
+
+// Innermost live span on this thread (nesting / parent attribution).
+thread_local ScopedTimer* t_current_span = nullptr;
+
+void write_trace_at_exit() {
+  if (!Profiler::constructed()) return;
+  const std::string path = trace_path();
+  if (path.empty()) return;
+  if (!Profiler::instance().write_trace(path)) {
+    SB_LOG_ERROR("obs", "failed to write trace file %s", path.c_str());
+  }
+}
+
+}  // namespace
+
+bool profiling_enabled() {
+  int state = g_enabled.load(std::memory_order_relaxed);
+  if (state < 0) {
+    resolve_from_env();
+    state = g_enabled.load(std::memory_order_relaxed);
+  }
+  return state == 1;
+}
+
+void set_profiling_enabled(bool enabled) { g_enabled.store(enabled ? 1 : 0); }
+
+std::string trace_path() {
+  profiling_enabled();  // make sure SB_TRACE has been consulted
+  std::lock_guard<std::mutex> lock(trace_path_mutex());
+  return trace_path_storage();
+}
+
+void set_trace_path(const std::string& path) {
+  std::lock_guard<std::mutex> lock(trace_path_mutex());
+  trace_path_storage() = path;
+}
+
+Profiler::Profiler() : epoch_(std::chrono::steady_clock::now()) {
+  // Trace files must appear even when the program never flushes
+  // explicitly — bench binaries just run to completion.
+  std::atexit(write_trace_at_exit);
+}
+
+Profiler& Profiler::instance() {
+  static Profiler* p = [] {
+    g_constructed.store(true);
+    return new Profiler();  // leaked deliberately: usable during atexit
+  }();
+  return *p;
+}
+
+bool Profiler::constructed() { return g_constructed.load(); }
+
+double Profiler::now_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+}
+
+void Profiler::add_counter(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void Profiler::set_gauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+void Profiler::observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramStats& h = histograms_[name];
+  if (h.count == 0 || value < h.min) h.min = value;
+  if (h.count == 0 || value > h.max) h.max = value;
+  h.sum += value;
+  ++h.count;
+}
+
+void Profiler::record_span(const std::string& path, const std::string& name, double start_seconds,
+                           double duration_seconds, double child_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanStats& s = spans_[path];
+  ++s.count;
+  s.total_seconds += duration_seconds;
+  s.child_seconds += child_seconds;
+  {
+    // Trace events only when a destination is configured; aggregated
+    // stats above are bounded, the event list is not.
+    std::lock_guard<std::mutex> tlock(trace_path_mutex());
+    if (trace_path_storage().empty()) return;
+  }
+  events_.push_back(TraceEvent{name, start_seconds, duration_seconds});
+}
+
+MetricsSnapshot Profiler::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters = counters_;
+  snap.gauges = gauges_;
+  snap.histograms = histograms_;
+  snap.spans = spans_;
+  return snap;
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  spans_.clear();
+  events_.clear();
+}
+
+std::string Profiler::trace_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) os << ',';
+    first = false;
+    // Complete ("X") events, timestamps in microseconds since profiler
+    // construction — the format chrome://tracing and Perfetto load.
+    os << "{\"name\":" << json_str(e.name) << ",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":"
+       << json_num(e.start_seconds * 1e6) << ",\"dur\":" << json_num(e.duration_seconds * 1e6)
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool Profiler::write_trace(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << trace_json() << '\n';
+  return static_cast<bool>(os);
+}
+
+MetricsSnapshot snapshot_if_enabled() {
+  if (!Profiler::constructed()) return MetricsSnapshot{};
+  return Profiler::instance().snapshot();
+}
+
+ScopedTimer::ScopedTimer(const char* name) { begin(name, std::char_traits<char>::length(name)); }
+
+ScopedTimer::ScopedTimer(const std::string& name) { begin(name.c_str(), name.size()); }
+
+void ScopedTimer::begin(const char* name, size_t name_len) {
+  if (!profiling_enabled()) return;
+  active_ = true;
+  name_.assign(name, name_len);
+  parent_ = t_current_span;
+  if (parent_) {
+    path_.reserve(parent_->path_.size() + 1 + name_len);
+    path_ = parent_->path_;
+    path_ += '/';
+    path_ += name_;
+  } else {
+    path_ = name_;
+  }
+  t_current_span = this;
+  start_seconds_ = Profiler::instance().now_seconds();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!active_) return;
+  const double duration = Profiler::instance().now_seconds() - start_seconds_;
+  t_current_span = parent_;
+  if (parent_) parent_->child_seconds_ += duration;
+  Profiler::instance().record_span(path_, name_, start_seconds_, duration, child_seconds_);
+}
+
+double ScopedTimer::seconds() const {
+  if (!active_) return 0.0;
+  return Profiler::instance().now_seconds() - start_seconds_;
+}
+
+}  // namespace shrinkbench::obs

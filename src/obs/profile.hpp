@@ -1,0 +1,169 @@
+// Scoped hierarchical profiler + metric registry.
+//
+// Environment contract:
+//
+//   SB_PROF=1            enable profiling (span stats + counters)
+//   SB_TRACE=trace.json  also record every span as a Chrome-trace event
+//                        and write the file at process exit (implies
+//                        SB_PROF; open in chrome://tracing or Perfetto)
+//
+// With both unset this whole subsystem is a no-op: every entry point is
+// a single branch on a cached flag and the Profiler singleton is never
+// constructed (tests assert this). When enabled:
+//
+//   * ScopedTimer spans nest via a thread-local stack. Aggregated stats
+//     are keyed by the span *path* ("experiment.run/finetune/epoch"), so
+//     a child's time is attributed to the parent chain it actually ran
+//     under, and each entry tracks how much of its total was spent in
+//     children (self time = total - child).
+//   * count()/set_gauge()/observe() feed a registry of named counters,
+//     gauges, and histograms; snapshot() serializes it for run manifests.
+//
+// Programmatic control (set_profiling_enabled / set_trace_path) exists so
+// tests and tools can drive the profiler without environment variables.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace shrinkbench::obs {
+
+/// True when SB_PROF/SB_TRACE enables profiling (cached on first call)
+/// or set_profiling_enabled(true) was called. The fast path for every
+/// instrumentation hook.
+bool profiling_enabled();
+void set_profiling_enabled(bool enabled);
+
+/// Trace-event recording destination; empty = tracing off. Reading the
+/// SB_TRACE env happens on first profiling_enabled() call.
+std::string trace_path();
+void set_trace_path(const std::string& path);
+
+struct SpanStats {
+  int64_t count = 0;
+  double total_seconds = 0.0;  // inclusive of children
+  double child_seconds = 0.0;  // time spent in nested spans
+  double self_seconds() const { return total_seconds - child_seconds; }
+};
+
+struct HistogramStats {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStats> histograms;
+  std::map<std::string, SpanStats> spans;  // keyed by span path
+};
+
+class Profiler {
+ public:
+  /// Lazily constructs the singleton (sets constructed()). Callers must
+  /// check profiling_enabled() first; the no-op path never gets here.
+  static Profiler& instance();
+  /// Whether instance() has ever been called in this process — the
+  /// zero-overhead guarantee tests assert this stays false when all
+  /// SB_* switches are off.
+  static bool constructed();
+
+  void add_counter(const std::string& name, int64_t delta);
+  void set_gauge(const std::string& name, double value);
+  void observe(const std::string& name, double value);  // histogram sample
+
+  /// Span bookkeeping used by ScopedTimer; `path` is the full
+  /// slash-joined ancestry. Trace events are recorded only when a trace
+  /// path is set.
+  void record_span(const std::string& path, const std::string& name, double start_seconds,
+                   double duration_seconds, double child_seconds);
+
+  MetricsSnapshot snapshot() const;
+  /// Drops all recorded metrics and trace events (tests).
+  void reset();
+
+  /// Serializes the Chrome trace (traceEvents JSON) collected so far.
+  std::string trace_json() const;
+  /// Writes trace_json() to `path`; returns false on I/O failure.
+  bool write_trace(const std::string& path) const;
+
+  /// Seconds since profiler construction — the trace timebase.
+  double now_seconds() const;
+
+ private:
+  Profiler();
+
+  struct TraceEvent {
+    std::string name;
+    double start_seconds;
+    double duration_seconds;
+  };
+
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, HistogramStats> histograms_;
+  std::map<std::string, SpanStats> spans_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span. Constructing is a no-op unless profiling is enabled at
+/// that moment; the destructor pops the thread-local span stack and
+/// folds the duration into the aggregate stats (and the trace, when on).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name);
+  explicit ScopedTimer(const std::string& name);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Elapsed seconds since construction (0 when inactive).
+  double seconds() const;
+
+ private:
+  void begin(const char* name, size_t name_len);
+
+  bool active_ = false;
+  double start_seconds_ = 0.0;
+  double child_seconds_ = 0.0;  // accumulated by finishing children
+  ScopedTimer* parent_ = nullptr;
+  std::string path_;
+  std::string name_;
+};
+
+// ---- free-function fast paths (single branch when disabled) ----
+
+inline void count(const char* name, int64_t delta = 1) {
+  if (profiling_enabled()) Profiler::instance().add_counter(name, delta);
+}
+
+inline void set_gauge(const char* name, double value) {
+  if (profiling_enabled()) Profiler::instance().set_gauge(name, value);
+}
+
+inline void observe(const char* name, double value) {
+  if (profiling_enabled()) Profiler::instance().observe(name, value);
+}
+
+/// Counter snapshot for manifests: empty snapshot when the profiler was
+/// never constructed (does not construct it).
+MetricsSnapshot snapshot_if_enabled();
+
+}  // namespace shrinkbench::obs
+
+#define SB_OBS_CONCAT_INNER(a, b) a##b
+#define SB_OBS_CONCAT(a, b) SB_OBS_CONCAT_INNER(a, b)
+/// Profiles the enclosing scope under `name`.
+#define SB_PROFILE_SCOPE(name) \
+  ::shrinkbench::obs::ScopedTimer SB_OBS_CONCAT(sb_scoped_timer_, __LINE__)(name)

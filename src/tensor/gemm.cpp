@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/profile.hpp"
+
 namespace shrinkbench {
 
 namespace {
@@ -61,6 +63,11 @@ void block_kernel(int64_t mb, int64_t nb, int64_t kb, const float* a, int64_t ld
 void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha, const float* a,
           int64_t lda, const float* b, int64_t ldb, float beta, float* c, int64_t ldc) {
   if (m < 0 || n < 0 || k < 0) throw std::invalid_argument("gemm: negative dimension");
+  if (obs::profiling_enabled()) {
+    obs::count("gemm.calls");
+    obs::count("gemm.elements", m * n);
+    obs::count("gemm.flops", 2 * m * n * k);  // one multiply-add per (i,j,p)
+  }
 
   // Scale / clear C first: C = beta * C.
   for (int64_t i = 0; i < m; ++i) {

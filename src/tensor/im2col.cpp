@@ -2,9 +2,15 @@
 
 #include <algorithm>
 
+#include "obs/profile.hpp"
+
 namespace shrinkbench {
 
 void im2col_ld(const ConvGeometry& g, const float* image, float* cols, int64_t ld) {
+  if (obs::profiling_enabled()) {
+    obs::count("im2col.calls");
+    obs::count("im2col.elements", g.col_rows() * g.col_cols());
+  }
   const int64_t oh = g.out_h(), ow = g.out_w();
   int64_t row = 0;
   for (int64_t c = 0; c < g.in_c; ++c) {
@@ -41,6 +47,10 @@ void im2col(const ConvGeometry& g, const float* image, float* cols) {
 }
 
 void col2im_ld(const ConvGeometry& g, const float* cols, int64_t ld, float* image) {
+  if (obs::profiling_enabled()) {
+    obs::count("col2im.calls");
+    obs::count("col2im.elements", g.col_rows() * g.col_cols());
+  }
   const int64_t oh = g.out_h(), ow = g.out_w();
   int64_t row = 0;
   for (int64_t c = 0; c < g.in_c; ++c) {

@@ -52,6 +52,12 @@ TEST_F(RunnerFixture, EndToEndExperimentProducesSaneMetrics) {
   EXPECT_GT(r.flops_dense, r.flops_effective);
   EXPECT_GT(r.finetune_epochs, 0);
   EXPECT_GT(r.seconds, 0.0);
+  // Phase breakdown is populated and consistent with the wall total.
+  EXPECT_GT(r.phases.pretrain, 0.0);
+  EXPECT_GT(r.phases.prune, 0.0);
+  EXPECT_GT(r.phases.finetune, 0.0);
+  EXPECT_GT(r.phases.eval, 0.0);
+  EXPECT_LE(r.phases.total(), r.seconds);
   // Magnitude pruning to 2x on an easy task barely hurts.
   EXPECT_GT(r.post_top1, r.pre_top1 - 0.1);
 }
@@ -81,6 +87,10 @@ TEST_F(RunnerFixture, SameSeedReproducesExactly) {
   const ExperimentResult b = runner->run(cfg);
   EXPECT_DOUBLE_EQ(a.post_top1, b.post_top1);
   EXPECT_DOUBLE_EQ(a.compression, b.compression);
+  // The second run is a result-cache hit; phase timings round-trip
+  // bit-exactly through the on-disk cache.
+  EXPECT_DOUBLE_EQ(a.phases.pretrain, b.phases.pretrain);
+  EXPECT_DOUBLE_EQ(a.phases.finetune, b.phases.finetune);
 }
 
 TEST_F(RunnerFixture, IterativeScheduleRuns) {

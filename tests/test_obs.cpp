@@ -1,0 +1,495 @@
+// Observability subsystem tests: log-level filtering through the file
+// sink, scoped-timer nesting and parent attribution, counter / gauge /
+// histogram accumulation, Chrome-trace well-formedness (the emitted JSON
+// is actually parsed), and the run-manifest round trip.
+//
+// Ordering matters: the first test asserts the zero-overhead contract —
+// with every SB_* switch off, the Profiler singleton is never
+// constructed. It must run before any test that enables profiling, so it
+// lives in the first-registered suite of this binary (gtest runs suites
+// in registration order).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "obs/log.hpp"
+#include "obs/manifest.hpp"
+#include "obs/profile.hpp"
+
+namespace shrinkbench {
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal strict JSON parser — enough to verify that the files we emit
+// are genuinely well-formed, not just grep-matchable.
+// ---------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+  const JsonValue& at(const std::string& key) const { return object.at(key); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("json parse error at " + std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      default: return number();
+    }
+  }
+
+  static JsonValue make_bool(bool b) {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Bool;
+    v.boolean = b;
+    return v;
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue key = string_value();
+      skip_ws();
+      expect(':');
+      v.object[key.string] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::String;
+    expect('"');
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("bad escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': v.string += '"'; break;
+          case '\\': v.string += '\\'; break;
+          case '/': v.string += '/'; break;
+          case 'n': v.string += '\n'; break;
+          case 'r': v.string += '\r'; break;
+          case 't': v.string += '\t'; break;
+          case 'b': v.string += '\b'; break;
+          case 'f': v.string += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+            v.string += '?';  // presence is all these tests care about
+            pos_ += 4;
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        v.string += c;
+      }
+    }
+  }
+
+  JsonValue number() {
+    const size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() && (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                                s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.number = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+JsonValue parse_json_file(const std::string& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(static_cast<bool>(is)) << "cannot open " << path;
+  std::stringstream buf;
+  buf << is.rdbuf();
+  return JsonParser(buf.str()).parse();
+}
+
+void spin_for_at_least(double seconds) {
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count() <
+         seconds) {
+  }
+}
+
+// ---------------------------------------------------------------------
+// A_ZeroOverhead — must stay the first-registered suite (see header).
+// ---------------------------------------------------------------------
+
+TEST(A_ZeroOverhead, ProfilerNeverConstructedWhenDisabled) {
+  if (std::getenv("SB_PROF") || std::getenv("SB_TRACE")) {
+    GTEST_SKIP() << "SB_PROF/SB_TRACE set in the environment";
+  }
+  // Exercise every no-op entry point the hot paths use.
+  EXPECT_FALSE(obs::profiling_enabled());
+  obs::count("nop.counter", 42);
+  obs::set_gauge("nop.gauge", 1.0);
+  obs::observe("nop.histogram", 1.0);
+  {
+    obs::ScopedTimer t("nop.span");
+    EXPECT_EQ(t.seconds(), 0.0);
+  }
+  const obs::MetricsSnapshot snap = obs::snapshot_if_enabled();
+  EXPECT_TRUE(snap.counters.empty());
+  // The actual zero-overhead guarantee: nothing above touched the
+  // singleton.
+  EXPECT_FALSE(obs::Profiler::constructed());
+}
+
+// ---------------------------------------------------------------------
+// Logging
+// ---------------------------------------------------------------------
+
+struct LogFixture : ::testing::Test {
+  std::string path;
+  void SetUp() override {
+    path = ::testing::TempDir() + "/sb_obs_log.txt";
+    std::filesystem::remove(path);
+    obs::set_log_file(path);
+  }
+  void TearDown() override {
+    obs::set_log_file("");
+    obs::set_log_level(obs::LogLevel::Info);
+    std::filesystem::remove(path);
+  }
+  std::string slurp() {
+    obs::set_log_file("");  // flush + close
+    std::ifstream is(path);
+    std::stringstream buf;
+    buf << is.rdbuf();
+    return buf.str();
+  }
+};
+
+TEST_F(LogFixture, LevelFilteringDropsBelowThreshold) {
+  obs::set_log_level(obs::LogLevel::Warn);
+  SB_LOG_TRACE("t", "trace line %d", 1);
+  SB_LOG_DEBUG("t", "debug line");
+  SB_LOG_INFO("t", "info line");
+  SB_LOG_WARN("t", "warn line");
+  SB_LOG_ERROR("t", "error line %s", "with arg");
+
+  const std::string text = slurp();
+  EXPECT_EQ(text.find("trace line"), std::string::npos);
+  EXPECT_EQ(text.find("debug line"), std::string::npos);
+  EXPECT_EQ(text.find("info line"), std::string::npos);
+  EXPECT_NE(text.find("WARN  t: warn line"), std::string::npos);
+  EXPECT_NE(text.find("ERROR t: error line with arg"), std::string::npos);
+}
+
+TEST_F(LogFixture, OffSilencesEverything) {
+  obs::set_log_level(obs::LogLevel::Off);
+  SB_LOG_ERROR("t", "should not appear");
+  EXPECT_EQ(slurp(), "");
+}
+
+TEST(LogLevelParsing, RecognizesNamesCaseInsensitively) {
+  EXPECT_EQ(obs::parse_log_level("trace"), obs::LogLevel::Trace);
+  EXPECT_EQ(obs::parse_log_level("DEBUG"), obs::LogLevel::Debug);
+  EXPECT_EQ(obs::parse_log_level("Info"), obs::LogLevel::Info);
+  EXPECT_EQ(obs::parse_log_level("warning"), obs::LogLevel::Warn);
+  EXPECT_EQ(obs::parse_log_level("error"), obs::LogLevel::Error);
+  EXPECT_EQ(obs::parse_log_level("off"), obs::LogLevel::Off);
+  EXPECT_EQ(obs::parse_log_level("bogus", obs::LogLevel::Warn), obs::LogLevel::Warn);
+}
+
+// ---------------------------------------------------------------------
+// Profiler: spans, counters, histograms, trace. Everything below runs
+// after A_ZeroOverhead and may construct the singleton.
+// ---------------------------------------------------------------------
+
+struct ProfilerFixture : ::testing::Test {
+  void SetUp() override {
+    obs::set_profiling_enabled(true);
+    obs::Profiler::instance().reset();
+  }
+  void TearDown() override {
+    obs::set_trace_path("");
+    obs::Profiler::instance().reset();
+    obs::set_profiling_enabled(false);
+  }
+};
+
+TEST_F(ProfilerFixture, TimerNestingAttributesChildTimeToParent) {
+  {
+    obs::ScopedTimer outer("outer");
+    spin_for_at_least(0.002);
+    {
+      obs::ScopedTimer inner("inner");
+      spin_for_at_least(0.002);
+    }
+    {
+      obs::ScopedTimer inner("inner");
+      spin_for_at_least(0.002);
+    }
+  }
+  const auto snap = obs::Profiler::instance().snapshot();
+  ASSERT_TRUE(snap.spans.count("outer")) << "missing root span";
+  ASSERT_TRUE(snap.spans.count("outer/inner")) << "child not keyed by parent path";
+
+  const obs::SpanStats& outer = snap.spans.at("outer");
+  const obs::SpanStats& inner = snap.spans.at("outer/inner");
+  EXPECT_EQ(outer.count, 1);
+  EXPECT_EQ(inner.count, 2);
+  // Parent attribution: outer's child time is exactly the inner spans'
+  // total, its self time covers the rest.
+  EXPECT_NEAR(outer.child_seconds, inner.total_seconds, 1e-9);
+  EXPECT_GE(outer.total_seconds, inner.total_seconds);
+  EXPECT_GT(outer.self_seconds(), 0.0);
+}
+
+TEST_F(ProfilerFixture, SiblingSpansGetDistinctPaths) {
+  {
+    obs::ScopedTimer a("phase_a");
+    spin_for_at_least(0.001);
+  }
+  {
+    obs::ScopedTimer b("phase_b");
+    obs::ScopedTimer leaf("leaf");
+    spin_for_at_least(0.001);
+  }
+  const auto snap = obs::Profiler::instance().snapshot();
+  EXPECT_TRUE(snap.spans.count("phase_a"));
+  EXPECT_TRUE(snap.spans.count("phase_b"));
+  EXPECT_TRUE(snap.spans.count("phase_b/leaf"));
+  EXPECT_FALSE(snap.spans.count("phase_a/leaf"));
+}
+
+TEST_F(ProfilerFixture, CountersGaugesHistogramsAccumulate) {
+  obs::count("c.calls");
+  obs::count("c.calls");
+  obs::count("c.calls", 3);
+  obs::set_gauge("g.last", 1.5);
+  obs::set_gauge("g.last", 2.5);  // gauges overwrite
+  obs::observe("h.ms", 1.0);
+  obs::observe("h.ms", 3.0);
+  obs::observe("h.ms", 2.0);
+
+  const auto snap = obs::Profiler::instance().snapshot();
+  EXPECT_EQ(snap.counters.at("c.calls"), 5);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g.last"), 2.5);
+  const obs::HistogramStats& h = snap.histograms.at("h.ms");
+  EXPECT_EQ(h.count, 3);
+  EXPECT_DOUBLE_EQ(h.sum, 6.0);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 3.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST_F(ProfilerFixture, TraceJsonIsWellFormedAndContainsSpans) {
+  const std::string path = ::testing::TempDir() + "/sb_obs_trace.json";
+  obs::set_trace_path(path);
+  {
+    obs::ScopedTimer outer("trace_outer");
+    obs::ScopedTimer inner("trace_inner \"quoted\"");
+    spin_for_at_least(0.001);
+  }
+  ASSERT_TRUE(obs::Profiler::instance().write_trace(path));
+
+  const JsonValue root = parse_json_file(path);  // throws if malformed
+  ASSERT_EQ(root.kind, JsonValue::Kind::Object);
+  ASSERT_TRUE(root.has("traceEvents"));
+  const JsonValue& events = root.at("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::Kind::Array);
+  ASSERT_GE(events.array.size(), 2u);
+
+  bool saw_outer = false, saw_inner = false;
+  for (const JsonValue& e : events.array) {
+    ASSERT_EQ(e.kind, JsonValue::Kind::Object);
+    ASSERT_TRUE(e.has("name") && e.has("ph") && e.has("ts") && e.has("dur"));
+    EXPECT_EQ(e.at("ph").string, "X");
+    EXPECT_GE(e.at("dur").number, 0.0);
+    saw_outer |= e.at("name").string == "trace_outer";
+    saw_inner |= e.at("name").string.find("trace_inner") == 0;
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+  std::filesystem::remove(path);
+}
+
+TEST_F(ProfilerFixture, MetricsJsonIsWellFormed) {
+  obs::count("mj.counter", 7);
+  obs::observe("mj.hist", 4.0);
+  {
+    obs::ScopedTimer t("mj_span");
+  }
+  const std::string json = obs::metrics_json(obs::Profiler::instance().snapshot());
+  const JsonValue root = JsonParser(json).parse();
+  EXPECT_DOUBLE_EQ(root.at("counters").at("mj.counter").number, 7.0);
+  EXPECT_DOUBLE_EQ(root.at("histograms").at("mj.hist").at("count").number, 1.0);
+  EXPECT_TRUE(root.at("spans").has("mj_span"));
+}
+
+// ---------------------------------------------------------------------
+// Run manifest
+// ---------------------------------------------------------------------
+
+TEST_F(ProfilerFixture, ManifestRoundTrip) {
+  obs::count("manifest.counter", 11);
+
+  ExperimentResult r;
+  r.config.dataset = "synth-mnist";
+  r.config.arch = "lenet-300-100";
+  r.config.strategy = "global-weight";
+  r.config.target_compression = 4.0;
+  r.config.run_seed = 7;
+  r.post_top1 = 0.91;
+  r.compression = 3.98;
+  r.finetune_epochs = 3;
+  r.phases.pretrain = 1.25;
+  r.phases.prune = 0.03125;
+  r.phases.finetune = 2.5;
+  r.phases.eval = 0.5;
+  r.seconds = 4.5;
+
+  const std::string path = ::testing::TempDir() + "/sb_obs_manifest.json";
+  write_run_manifest(path, "unit_test_bench", {r});
+
+  const JsonValue root = parse_json_file(path);
+  EXPECT_EQ(root.at("schema").string, "shrinkbench.run_manifest/v1");
+  EXPECT_EQ(root.at("bench").string, "unit_test_bench");
+  EXPECT_FALSE(root.at("git").string.empty());
+
+  ASSERT_EQ(root.at("results").array.size(), 1u);
+  const JsonValue& entry = root.at("results").array[0];
+  EXPECT_EQ(entry.at("fingerprint").string, config_fingerprint(r.config));
+  EXPECT_EQ(entry.at("arch").string, "lenet-300-100");
+  EXPECT_DOUBLE_EQ(entry.at("run_seed").number, 7.0);
+  // Powers of two round-trip exactly through %.17g.
+  EXPECT_DOUBLE_EQ(entry.at("phases").at("pretrain").number, 1.25);
+  EXPECT_DOUBLE_EQ(entry.at("phases").at("prune").number, 0.03125);
+  EXPECT_DOUBLE_EQ(entry.at("phases").at("finetune").number, 2.5);
+  EXPECT_DOUBLE_EQ(entry.at("phases").at("eval").number, 0.5);
+  EXPECT_DOUBLE_EQ(entry.at("phases").at("total").number, r.phases.total());
+
+  // The counter snapshot taken while profiling was on rides along.
+  EXPECT_DOUBLE_EQ(root.at("metrics").at("counters").at("manifest.counter").number, 11.0);
+  std::filesystem::remove(path);
+}
+
+TEST(ManifestWithoutProfiling, EmitsEmptyMetrics) {
+  obs::set_profiling_enabled(false);
+  ExperimentResult r;
+  const std::string path = ::testing::TempDir() + "/sb_obs_manifest_off.json";
+  write_run_manifest(path, "off_bench", {r});
+  const JsonValue root = parse_json_file(path);
+  EXPECT_EQ(root.at("schema").string, "shrinkbench.run_manifest/v1");
+  EXPECT_EQ(root.at("results").array.size(), 1u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace shrinkbench
