@@ -35,7 +35,9 @@ int main(int argc, char** argv) {
       {"\"ResNet-56\": v1 vs pre-activation v2", {"resnet-56", "preresnet-56"}},
   };
 
+  BenchStatus status;
   std::vector<ExperimentResult> all;
+  bool first_sweep = true;
   for (const Group& group : groups) {
     std::printf("%s\n", group.what);
     report::Table table({"architecture", "params", "pre top1", "target", "compression",
@@ -48,7 +50,19 @@ int main(int argc, char** argv) {
       base.strategy = "global-weight";
       base.pretrain = bench_pretrain(args.full);
       base.finetune = bench_cifar_finetune(args.full);
-      const auto results = run_sweep(runner, base, {"global-weight"}, ratios, seeds);
+      // All five per-arch sweeps stream into the one combined CSV; only
+      // the first sweep truncates it.
+      SweepSummary summary;
+      const auto results = run_sweep(
+          runner, base, {"global-weight"}, ratios, seeds,
+          sweep_options(args, "ablation_architecture_ambiguity", !first_sweep), &summary);
+      first_sweep = false;
+      status.add(summary);
+      if (summary.interrupted) {
+        for (const auto& r : results) all.push_back(r);
+        save_results(args, "ablation_architecture_ambiguity", all);
+        return status.finish();
+      }
       for (const auto& r : results) {
         table.add_row({arch, std::to_string(r.params_total),
                        report::Table::num(r.pre_top1, 4),
@@ -65,5 +79,5 @@ int main(int argc, char** argv) {
   std::printf("Reading: identical pruning on same-named architectures lands at different\n"
               "parameter counts and accuracies. A paper saying it pruned \"VGG-16\" or\n"
               "\"ResNet-56\" without citing the exact variant is not reproducible (§5.1).\n");
-  return 0;
+  return status.finish();
 }

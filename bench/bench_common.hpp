@@ -48,6 +48,41 @@ inline BenchArgs parse_args(int argc, char** argv) {
   return args;
 }
 
+/// Incremental-output options for run_sweep: rows stream into the bench's
+/// final CSV path as they complete, so a crash or Ctrl-C loses nothing.
+/// save_results later rewrites the same path atomically in canonical form.
+inline SweepOptions sweep_options(const BenchArgs& args, const std::string& name,
+                                  bool append = false) {
+  SweepOptions options;
+  options.csv_path = args.out_dir + "/" + name + ".csv";
+  options.append = append;
+  return options;
+}
+
+/// Accumulates sweep outcomes across a bench's sweeps and turns them into
+/// the process exit code: 0 clean, 1 if any experiment failed permanently,
+/// 130 if a SIGINT drained the run.
+struct BenchStatus {
+  size_t failures = 0;
+  bool interrupted = false;
+
+  void add(const SweepSummary& summary) {
+    failures += summary.failures;
+    interrupted = interrupted || summary.interrupted;
+  }
+  int exit_code() const { return interrupted ? 130 : failures > 0 ? 1 : 0; }
+
+  /// Standard end-of-main report; returns the exit code.
+  int finish() const {
+    if (interrupted) {
+      std::printf("interrupted: partial results were flushed; rerun to resume from cache\n");
+    } else if (failures > 0) {
+      std::printf("completed with %zu failed experiment(s) — see failed CSV rows\n", failures);
+    }
+    return exit_code();
+  }
+};
+
 /// Fine-tuning presets sized to the bench budget. `quick` fine-tunes for
 /// fewer epochs than the paper's 30/20 but uses the same optimizers and
 /// learning rates (Appendix C.2).

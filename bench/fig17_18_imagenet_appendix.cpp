@@ -27,7 +27,15 @@ int main(int argc, char** argv) {
   const std::vector<uint64_t> seeds = args.full ? std::vector<uint64_t>{1, 2, 3}
                                                 : std::vector<uint64_t>{1};
 
-  const auto results = run_sweep(runner, base, strategies, ratios, seeds);
+  BenchStatus status;
+  SweepSummary summary;
+  const auto results = run_sweep(runner, base, strategies, ratios, seeds,
+                                 sweep_options(args, "fig17_18_resnet18"), &summary);
+  status.add(summary);
+  if (summary.interrupted) {
+    save_results(args, "fig17_18_resnet18", results);
+    return status.finish();
+  }
   const auto agg = aggregate_by_strategy(results);
   print_tradeoff_table(agg, "ResNet-18 on synth-imagenet:");
   std::printf("%s\n", tradeoff_chart(agg, XAxis::Compression,
@@ -47,5 +55,5 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("Top-5 accuracy (same sweep):\n%s\n", top5.render().c_str());
-  return 0;
+  return status.finish();
 }

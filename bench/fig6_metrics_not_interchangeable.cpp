@@ -31,7 +31,15 @@ int main(int argc, char** argv) {
   const std::vector<uint64_t> seeds = args.full ? std::vector<uint64_t>{1, 2, 3}
                                                 : std::vector<uint64_t>{1};
 
-  const auto results = run_sweep(runner, base, strategies, ratios, seeds);
+  BenchStatus status;
+  SweepSummary summary;
+  const auto results = run_sweep(runner, base, strategies, ratios, seeds,
+                                 sweep_options(args, "fig6_resnet18_imagenet"), &summary);
+  status.add(summary);
+  if (summary.interrupted) {
+    save_results(args, "fig6_resnet18_imagenet", results);
+    return status.finish();
+  }
   const auto agg = aggregate_by_strategy(results);
 
   print_tradeoff_table(agg, "ResNet-18 on synth-imagenet (Top-1 vs compression & speedup):");
@@ -66,5 +74,5 @@ int main(int argc, char** argv) {
   std::printf("  speedup:   global-weight %.2fx vs layer-weight %.2fx (expect layer higher —\n"
               "             the axis swap that makes the metrics non-interchangeable)\n",
               global_speedup / n, layer_speedup / n);
-  return 0;
+  return status.finish();
 }

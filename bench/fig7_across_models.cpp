@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const std::vector<double> ratios = {1, 2, 4, 8, 16, 32};
   const std::vector<uint64_t> seeds = {1, 2, 3};  // error bars are the point
 
+  BenchStatus status;
   std::map<std::string, std::map<std::string, std::vector<AggregatePoint>>> per_model;
   for (const std::string arch : {std::string("cifar-vgg"), std::string("resnet-56")}) {
     ExperimentConfig base;
@@ -31,14 +32,18 @@ int main(int argc, char** argv) {
     base.pretrain = bench_pretrain(args.full);
     base.finetune = bench_cifar_finetune(args.full);
 
-    const auto results = run_sweep(runner, base, strategies, ratios, seeds);
+    SweepSummary summary;
+    const auto results = run_sweep(runner, base, strategies, ratios, seeds,
+                                   sweep_options(args, "fig7_" + arch), &summary);
+    status.add(summary);
+    save_results(args, "fig7_" + arch, results);
+    if (summary.interrupted) return status.finish();
     const auto agg = aggregate_by_strategy(results);
     per_model[arch] = agg;
     print_tradeoff_table(agg, arch + " on synth-cifar10 (3 seeds, mean +/- std):");
     std::printf("%s\n",
                 tradeoff_chart(agg, XAxis::Compression, arch + " — accuracy vs compression")
                     .c_str());
-    save_results(args, "fig7_" + arch, results);
   }
 
   // Shape checks from the figure's caption.
@@ -82,5 +87,5 @@ int main(int argc, char** argv) {
   std::printf("  largest seed stddev: %.4f at %s x%.0f (paper: gradient methods near the\n"
               "  drop-off point are minibatch-sensitive)\n",
               max_std, max_std_strategy.c_str(), max_std_ratio);
-  return 0;
+  return status.finish();
 }

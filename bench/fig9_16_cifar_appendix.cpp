@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
        args.full ? std::vector<double>{} : std::vector<double>{1, 2, 8, 32}},
   };
 
+  BenchStatus status;
   for (const ModelPlan& plan : plans) {
     ExperimentConfig base;
     base.dataset = "synth-cifar10";
@@ -47,7 +48,15 @@ int main(int argc, char** argv) {
     base.finetune = bench_cifar_finetune(args.full);
 
     const auto& plan_ratios = plan.ratio_override.empty() ? ratios : plan.ratio_override;
-    const auto results = run_sweep(runner, base, strategies, plan_ratios, plan.seeds);
+    SweepSummary summary;
+    const auto results =
+        run_sweep(runner, base, strategies, plan_ratios, plan.seeds,
+                  sweep_options(args, std::string("fig9_16_") + plan.arch), &summary);
+    status.add(summary);
+    if (summary.interrupted) {
+      save_results(args, std::string("fig9_16_") + plan.arch, results);
+      return status.finish();
+    }
     const auto agg = aggregate_by_strategy(results);
     print_tradeoff_table(agg, std::string(plan.arch) + " on synth-cifar10:");
     std::printf("%s\n", tradeoff_chart(agg, XAxis::Compression,
@@ -64,5 +73,5 @@ int main(int argc, char** argv) {
   std::printf("Shape expectations (paper Appendix D): magnitude methods degrade gracefully to\n"
               "16-32x; random pruning falls off a cliff much earlier; global allocation is\n"
               "at least as good as layerwise at matched compression on most models.\n");
-  return 0;
+  return status.finish();
 }

@@ -1,14 +1,17 @@
 #include "core/experiment.hpp"
 
 #include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <filesystem>
-#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 #include "metrics/metrics.hpp"
+#include "obs/io.hpp"
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/manifest.hpp"
@@ -101,10 +104,17 @@ std::filesystem::path result_cache_path(const std::string& cache_dir,
   return std::filesystem::path(cache_dir) / "results" / (std::string(hex) + ".result");
 }
 
+// Cache entry layout (v2, checksummed):
+//   line 1  config fingerprint
+//   line 2  space-separated metrics
+//   line 3  "#crc <16-hex fnv1a64 of lines 1-2 incl. newlines>"
+// The checksum turns torn or bit-rotted files into detected corruption
+// (quarantined + recomputed) instead of mis-parsed result rows.
+constexpr const char* kCacheCrcPrefix = "#crc ";
+
 void write_cached_result(const std::filesystem::path& path, const ExperimentConfig& config,
                          const ExperimentResult& r) {
-  std::filesystem::create_directories(path.parent_path());
-  std::ofstream os(path);
+  std::ostringstream os;
   os.precision(17);  // cached doubles must round-trip bit-exactly
   os << config_fingerprint(config) << '\n'
      << r.pre_top1 << ' ' << r.pre_top5 << ' ' << r.pre_loss << ' ' << r.post_top1 << ' '
@@ -113,22 +123,57 @@ void write_cached_result(const std::filesystem::path& path, const ExperimentConf
      << r.flops_effective << ' ' << r.finetune_epochs << ' ' << r.seconds << ' '
      << r.phases.pretrain << ' ' << r.phases.prune << ' ' << r.phases.finetune << ' '
      << r.phases.eval << '\n';
+  std::string body = os.str();
+  const std::string crc = obs::checksum_hex(body);  // before injection: mismatch is the point
+  if (obs::fault_point("cache.corrupt") && !body.empty()) body[body.size() / 2] ^= 0x20;
+  // A failed write (full disk, unwritable dir) leaves no file at all —
+  // the experiment result is still returned, only the cache is skipped.
+  if (!obs::atomic_write_file(path, body + kCacheCrcPrefix + crc + '\n')) {
+    obs::count("cache.result.write_failed");
+    SB_LOG_WARN("cache", "could not persist result cache entry %s", path.string().c_str());
+  }
+}
+
+void quarantine_cache_entry(const std::filesystem::path& path) {
+  std::filesystem::path corrupt = path;
+  corrupt += ".corrupt";
+  std::error_code ec;
+  std::filesystem::rename(path, corrupt, ec);
+  if (ec) std::filesystem::remove(path, ec);
+  obs::count("cache.result.corrupt");
+  SB_LOG_WARN("cache", "corrupt result cache entry quarantined to %s — recomputing",
+              corrupt.string().c_str());
 }
 
 bool read_cached_result(const std::filesystem::path& path, const ExperimentConfig& config,
                         ExperimentResult& r) {
-  std::ifstream is(path);
+  std::ifstream is(path, std::ios::binary);
   if (!is) return false;
-  std::string fingerprint;
-  if (!std::getline(is, fingerprint) || fingerprint != config_fingerprint(config)) return false;
+  std::string fingerprint, data, crc_line;
+  const bool shaped = static_cast<bool>(std::getline(is, fingerprint)) &&
+                      static_cast<bool>(std::getline(is, data)) &&
+                      static_cast<bool>(std::getline(is, crc_line));
+  // Entries from before the checksum era (or truncated past the crc
+  // line) are a silent stale miss: recomputed and overwritten.
+  if (!shaped || crc_line.rfind(kCacheCrcPrefix, 0) != 0) return false;
+  const std::string body = fingerprint + '\n' + data + '\n';
+  if (crc_line.substr(std::char_traits<char>::length(kCacheCrcPrefix)) !=
+      obs::checksum_hex(body)) {
+    quarantine_cache_entry(path);
+    return false;
+  }
+  if (fingerprint != config_fingerprint(config)) return false;  // hash collision: plain miss
   r.config = config;
-  is >> r.pre_top1 >> r.pre_top5 >> r.pre_loss >> r.post_top1 >> r.post_top5 >> r.post_loss >>
-      r.compression >> r.speedup >> r.params_total >> r.params_nonzero >> r.flops_dense >>
-      r.flops_effective >> r.finetune_epochs >> r.seconds >> r.phases.pretrain >>
-      r.phases.prune >> r.phases.finetune >> r.phases.eval;
-  // Phase-less files from before the manifest era fail here and are
-  // simply recomputed: the fingerprint line makes them a cache miss.
-  return static_cast<bool>(is);
+  std::istringstream fields(data);
+  fields >> r.pre_top1 >> r.pre_top5 >> r.pre_loss >> r.post_top1 >> r.post_top5 >>
+      r.post_loss >> r.compression >> r.speedup >> r.params_total >> r.params_nonzero >>
+      r.flops_dense >> r.flops_effective >> r.finetune_epochs >> r.seconds >>
+      r.phases.pretrain >> r.phases.prune >> r.phases.finetune >> r.phases.eval;
+  if (!fields) {  // checksum ok but fields unparseable: treat as corrupt
+    quarantine_cache_entry(path);
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -137,9 +182,13 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) {
   const auto cache_path = result_cache_path(store_.cache_dir(), config);
   if (ExperimentResult cached; read_cached_result(cache_path, config, cached)) {
     obs::count("cache.result.hit");
+    cached.from_cache = true;
     return cached;
   }
   obs::count("cache.result.miss");
+  if (obs::fault_point("experiment.throw")) {
+    throw std::runtime_error("injected experiment fault (SB_FAULT=experiment.throw)");
+  }
 
   SB_PROFILE_SCOPE("experiment.run");
   const auto start = std::chrono::steady_clock::now();
@@ -218,34 +267,177 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) {
   return result;
 }
 
+namespace {
+
+// SIGINT drains the sweep cleanly: the handler only sets a flag that
+// run_sweep checks between experiments. SA_RESETHAND restores the
+// default disposition, so a second Ctrl-C kills the process immediately.
+volatile std::sig_atomic_t g_sweep_interrupt = 0;
+
+extern "C" void sweep_sigint_handler(int) { g_sweep_interrupt = 1; }
+
+void install_sigint_handler() {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+#if !defined(_WIN32)
+  struct sigaction sa{};
+  sa.sa_handler = sweep_sigint_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESETHAND;
+  sigaction(SIGINT, &sa, nullptr);
+#else
+  std::signal(SIGINT, sweep_sigint_handler);
+#endif
+}
+
+int sweep_retries(const SweepOptions& options) {
+  if (options.retries >= 0) return options.retries;
+  if (const char* env = std::getenv("SB_RETRIES")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 0) return static_cast<int>(parsed);
+  }
+  return 1;
+}
+
+/// Appends finished rows to the sweep CSV as they complete, one flushed
+/// line per row, so a crash or kill -9 loses nothing already computed.
+class IncrementalCsv {
+ public:
+  IncrementalCsv(const std::string& path, bool append) {
+    if (path.empty()) return;
+    std::error_code ec;
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path(), ec);
+    const bool resume = append && std::filesystem::exists(p, ec) &&
+                        std::filesystem::file_size(p, ec) > 0 && !ec;
+    os_.open(path, resume ? std::ios::app : std::ios::trunc);
+    if (!os_) {
+      SB_LOG_WARN("sweep", "cannot open incremental CSV %s — rows will not be streamed",
+                  path.c_str());
+      return;
+    }
+    if (!resume) write_line(experiment_csv_header());
+  }
+
+  void write_line(const std::string& line) {
+    if (!os_.is_open() || failed_) return;
+    os_ << line << '\n' << std::flush;
+    if (!os_) {
+      failed_ = true;  // warn once; the final atomic rewrite is authoritative
+      obs::count("io.write_failed");
+      SB_LOG_WARN("sweep", "incremental CSV append failed — disabling streaming output");
+    }
+  }
+
+ private:
+  std::ofstream os_;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+bool sweep_interrupt_requested() { return g_sweep_interrupt != 0; }
+void request_sweep_interrupt() { g_sweep_interrupt = 1; }
+void clear_sweep_interrupt() { g_sweep_interrupt = 0; }
+
 std::vector<ExperimentResult> run_sweep(ExperimentRunner& runner, const ExperimentConfig& base,
                                         const std::vector<std::string>& strategies,
                                         const std::vector<double>& compressions,
-                                        const std::vector<uint64_t>& run_seeds) {
+                                        const std::vector<uint64_t>& run_seeds,
+                                        const SweepOptions& options, SweepSummary* summary) {
+  install_sigint_handler();
   std::vector<ExperimentResult> results;
-  const size_t total = strategies.size() * compressions.size() * run_seeds.size();
-  size_t done = 0;
+  SweepSummary local;
+  SweepSummary& sum = summary ? *summary : local;
+  sum = SweepSummary{};
+  sum.total = strategies.size() * compressions.size() * run_seeds.size();
+  const int retries = sweep_retries(options);
+  IncrementalCsv csv(options.csv_path, options.append);
+
   const auto sweep_start = std::chrono::steady_clock::now();
+  // ETA bookkeeping: only cache-miss (actually computed) experiments
+  // count, otherwise a mostly-cached sweep predicts an absurdly
+  // optimistic finish for the remaining cold runs.
+  double miss_seconds = 0.0;
+  size_t misses = 0;
   SB_PROFILE_SCOPE("sweep");
   for (const std::string& strategy : strategies) {
     for (const double ratio : compressions) {
       for (const uint64_t seed : run_seeds) {
+        if (obs::fault_point("sweep.interrupt")) request_sweep_interrupt();
+        if (sweep_interrupt_requested()) {
+          sum.interrupted = true;
+          SB_LOG_WARN("sweep", "interrupted after %zu/%zu experiments — flushed state is "
+                      "complete; rerun to resume from the result cache",
+                      sum.completed, sum.total);
+          return results;
+        }
+        if (obs::fault_point("sweep.abort")) {
+          throw std::runtime_error("injected sweep abort (SB_FAULT=sweep.abort)");
+        }
         ExperimentConfig config = base;
         config.strategy = strategy;
         config.target_compression = ratio;
         config.run_seed = seed;
-        results.push_back(runner.run(config));
-        ++done;
-        // ETA from mean cost so far; cache hits pull it down, so the
-        // estimate self-corrects as the sweep reuses results.
+
+        ExperimentResult result;
+        const auto exp_start = std::chrono::steady_clock::now();
+        for (int attempt = 0; ; ++attempt) {
+          try {
+            result = runner.run(config);
+            break;
+          } catch (const std::exception& e) {
+            obs::count("sweep.attempt_failures");
+            if (attempt < retries) {
+              obs::count("sweep.retries");
+              SB_LOG_WARN("sweep", "experiment %s x%.0f seed=%llu failed (attempt %d/%d): "
+                          "%s — retrying",
+                          strategy.c_str(), ratio, static_cast<unsigned long long>(seed),
+                          attempt + 1, retries + 1, e.what());
+              continue;
+            }
+            obs::count("sweep.failures");
+            SB_LOG_ERROR("sweep", "experiment %s x%.0f seed=%llu failed permanently after "
+                         "%d attempt(s): %s",
+                         strategy.c_str(), ratio, static_cast<unsigned long long>(seed),
+                         attempt + 1, e.what());
+            result = ExperimentResult{};
+            result.config = config;
+            result.failed = true;
+            result.error = e.what();
+            ++sum.failures;
+            break;
+          }
+        }
+        if (result.from_cache) {
+          ++sum.cache_hits;
+        } else if (!result.failed) {
+          miss_seconds +=
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - exp_start)
+                  .count();
+          ++misses;
+        }
+        results.push_back(std::move(result));
+        ++sum.completed;
+        csv.write_line(experiment_csv_row(results.back()));
+
         const double elapsed =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
                 .count();
-        const double eta = elapsed / static_cast<double>(done) * static_cast<double>(total - done);
-        SB_LOG_INFO("sweep", "%zu/%zu %s %s x%.0f seed=%llu -> top1 %.4f (c=%.2f) "
+        const double eta = misses > 0 ? miss_seconds / static_cast<double>(misses) *
+                                            static_cast<double>(sum.total - sum.completed)
+                                      : 0.0;
+        char outcome[48];
+        if (results.back().failed) {
+          std::snprintf(outcome, sizeof(outcome), "FAILED");
+        } else {
+          std::snprintf(outcome, sizeof(outcome), "top1 %.4f", results.back().post_top1);
+        }
+        SB_LOG_INFO("sweep", "%zu/%zu %s %s x%.0f seed=%llu -> %s (c=%.2f) "
                     "[elapsed %.1fs, eta %.1fs]",
-                    done, total, base.arch.c_str(), strategy.c_str(), ratio,
-                    static_cast<unsigned long long>(seed), results.back().post_top1,
+                    sum.completed, sum.total, base.arch.c_str(), strategy.c_str(), ratio,
+                    static_cast<unsigned long long>(seed), outcome,
                     results.back().compression, elapsed, eta);
       }
     }
@@ -257,8 +449,30 @@ std::string experiment_csv_header() {
   return "dataset,arch,width,strategy,schedule,target_compression,run_seed,init_seed,"
          "pretrain_tag,pre_top1,pre_top5,post_top1,post_top5,compression,speedup,"
          "params_total,params_nonzero,flops_dense,flops_effective,finetune_epochs,seconds,"
-         "pretrain_s,prune_s,finetune_s,eval_s";
+         "pretrain_s,prune_s,finetune_s,eval_s,status,error";
 }
+
+namespace {
+
+/// RFC-4180 escaping for the error column (exception text can contain
+/// anything); newlines become spaces so one row stays one line.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') {
+      out += "\"\"";
+    } else if (c == '\n' || c == '\r') {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
 
 std::string experiment_csv_row(const ExperimentResult& r) {
   std::ostringstream ss;
@@ -270,21 +484,22 @@ std::string experiment_csv_row(const ExperimentResult& r) {
      << r.params_total << ',' << r.params_nonzero << ',' << r.flops_dense << ','
      << r.flops_effective << ',' << r.finetune_epochs << ',' << r.seconds << ','
      << r.phases.pretrain << ',' << r.phases.prune << ',' << r.phases.finetune << ','
-     << r.phases.eval;
+     << r.phases.eval << ',' << (r.failed ? "failed" : "ok") << ',' << csv_field(r.error);
   return ss.str();
 }
 
 void write_experiment_csv(const std::string& path, const std::vector<ExperimentResult>& results) {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("write_experiment_csv: cannot open " + path);
+  std::ostringstream os;
   os << experiment_csv_header() << '\n';
   for (const auto& r : results) os << experiment_csv_row(r) << '\n';
+  if (!obs::atomic_write_file(path, os.str())) {
+    throw std::runtime_error("write_experiment_csv: cannot write " + path);
+  }
 }
 
 void write_run_manifest(const std::string& path, const std::string& bench_name,
                         const std::vector<ExperimentResult>& results) {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("write_run_manifest: cannot open " + path);
+  std::ostringstream os;
 
   const auto now = std::chrono::system_clock::now();
   const std::time_t t = std::chrono::system_clock::to_time_t(now);
@@ -307,6 +522,8 @@ void write_run_manifest(const std::string& path, const std::string& bench_name,
        << ", \"strategy\": " << obs::json_str(c.strategy)
        << ", \"target_compression\": " << obs::json_num(c.target_compression)
        << ", \"run_seed\": " << c.run_seed
+       << ", \"status\": " << obs::json_str(r.failed ? "failed" : "ok")
+       << (r.failed ? ", \"error\": " + obs::json_str(r.error) : std::string())
        << ", \"post_top1\": " << obs::json_num(r.post_top1)
        << ", \"compression\": " << obs::json_num(r.compression)
        << ", \"finetune_epochs\": " << r.finetune_epochs
@@ -321,7 +538,9 @@ void write_run_manifest(const std::string& path, const std::string& bench_name,
   os << "  ],\n"
      << "  \"metrics\": " << obs::metrics_json(obs::snapshot_if_enabled()) << "\n"
      << "}\n";
-  if (!os) throw std::runtime_error("write_run_manifest: write failed for " + path);
+  if (!obs::atomic_write_file(path, os.str())) {
+    throw std::runtime_error("write_run_manifest: write failed for " + path);
+  }
 }
 
 }  // namespace shrinkbench

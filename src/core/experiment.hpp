@@ -70,6 +70,13 @@ struct ExperimentResult {
   /// `seconds` the end-to-end wall time (phases + metric accounting).
   PhaseTimings phases;
   double seconds = 0.0;
+  /// Set when the experiment threw on every attempt: the row records the
+  /// config and the exception text instead of metrics, so a sweep's CSV
+  /// accounts for every grid point even under failures.
+  bool failed = false;
+  std::string error;
+  /// Served from the on-disk result cache (in-memory only, not persisted).
+  bool from_cache = false;
 };
 
 /// Stable fingerprint of everything that affects an experiment's outcome;
@@ -97,12 +104,55 @@ class ExperimentRunner {
   std::vector<std::pair<std::string, DatasetBundle>> datasets_;  // keyed by "name/seed"
 };
 
+/// Knobs for run_sweep's fault tolerance and incremental output.
+struct SweepOptions {
+  /// Non-empty: every finished result row is appended (and flushed) to
+  /// this CSV as it completes, header first, so an interrupted bench
+  /// loses nothing already computed. Benches rewrite the same path
+  /// atomically at the end, making the final file canonical.
+  std::string csv_path;
+  /// Append to an existing csv_path instead of truncating it — for
+  /// benches that pour several sweeps into one CSV.
+  bool append = false;
+  /// Extra attempts for an experiment that throws; -1 reads SB_RETRIES
+  /// from the environment (default 1).
+  int retries = -1;
+};
+
+/// What actually happened during a sweep — benches fold this into their
+/// process exit code (failures -> 1, interrupted -> 130).
+struct SweepSummary {
+  size_t total = 0;       // grid points in the sweep
+  size_t completed = 0;   // rows produced (including failed rows)
+  size_t failures = 0;    // rows that failed after all retries
+  size_t cache_hits = 0;  // rows served from the on-disk result cache
+  bool interrupted = false;  // SIGINT (or injected interrupt) stopped the sweep
+  int exit_code() const { return interrupted ? 130 : failures > 0 ? 1 : 0; }
+};
+
 /// Cartesian sweep over strategies x compression ratios x seeds, reporting
 /// progress on stderr. This is the workhorse behind Figures 6-18.
+///
+/// Fault tolerance: an experiment that throws is retried (SB_RETRIES,
+/// default 1) and then recorded as a failed row carrying the error string
+/// — it never kills the sweep. SIGINT triggers a clean flush-and-exit
+/// after the in-flight experiment; completed configs short-circuit
+/// through the result cache on the next run, so a killed sweep resumes
+/// with zero recomputation.
 std::vector<ExperimentResult> run_sweep(ExperimentRunner& runner, const ExperimentConfig& base,
                                         const std::vector<std::string>& strategies,
                                         const std::vector<double>& compressions,
-                                        const std::vector<uint64_t>& run_seeds);
+                                        const std::vector<uint64_t>& run_seeds,
+                                        const SweepOptions& options = {},
+                                        SweepSummary* summary = nullptr);
+
+/// SIGINT sets a flag that run_sweep checks between experiments (first
+/// Ctrl-C drains cleanly; the handler resets itself so a second one kills
+/// the process). request/clear exist so tests and embedding code can
+/// drive the same path without signals.
+bool sweep_interrupt_requested();
+void request_sweep_interrupt();
+void clear_sweep_interrupt();
 
 /// CSV serialization for downstream analysis/plotting.
 std::string experiment_csv_header();

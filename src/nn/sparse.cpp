@@ -1,13 +1,20 @@
 #include "nn/sparse.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "tensor/im2col.hpp"
 
 namespace shrinkbench {
 
 CsrMatrix csr_from_dense(const float* dense, int64_t rows, int64_t cols, float tol) {
+  // col_idx is int32_t; wider matrices would silently wrap the indices.
+  if (cols > std::numeric_limits<int32_t>::max()) {
+    throw std::invalid_argument("csr_from_dense: cols " + std::to_string(cols) +
+                                " exceeds int32 column-index range");
+  }
   CsrMatrix csr;
   csr.rows = rows;
   csr.cols = cols;

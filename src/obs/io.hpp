@@ -1,0 +1,60 @@
+// Durable file I/O + deterministic fault injection.
+//
+// Every persistent artifact in the system — result-cache entries, CSVs,
+// run manifests, Chrome traces — goes through atomic_write_file: the
+// content is written to `<path>.tmp.<pid>`, flushed and fsync'd, the
+// stream state is checked, and only then is the temp file renamed over
+// the destination. A crash, kill -9, or full disk at any point leaves
+// either the old file or no file — never a torn one.
+//
+// Fault injection (tests only):
+//
+//   SB_FAULT=<site>:<nth>[,<site>:<nth>...]   (1-based; `*` = every call)
+//
+// fault_point("site") returns true on the nth call to that site (or on
+// every call for `*`), letting tests deterministically inject throws,
+// short writes, and corrupt cache bytes to prove each recovery path.
+// With SB_FAULT unset and set_fault_spec never called, fault_point is a
+// single branch on a cached flag.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace shrinkbench::obs {
+
+/// Atomically replaces `path` with `content` (temp file + flush + fsync
+/// + rename). Creates parent directories. Returns false — leaving no
+/// partial file behind — if any step fails; failures bump the
+/// "io.write_failed" counter and log a warning.
+bool atomic_write_file(const std::filesystem::path& path, std::string_view content);
+
+/// Callback flavor: `fill` streams into a buffer which is then written
+/// atomically. Convenient for existing `operator<<` serialization code.
+bool atomic_write_file(const std::filesystem::path& path,
+                       const std::function<void(std::ostream&)>& fill);
+
+/// FNV-1a 64-bit checksum — guards result-cache entries against torn or
+/// bit-rotted files (not cryptographic).
+uint64_t fnv1a64(std::string_view data);
+
+/// Lowercase 16-digit hex of fnv1a64(data).
+std::string checksum_hex(std::string_view data);
+
+// ---- fault injection ----
+
+/// Installs a fault spec programmatically (tests), replacing any spec
+/// from SB_FAULT and resetting all per-site call counters. Empty spec
+/// disables injection.
+void set_fault_spec(const std::string& spec);
+
+/// True when the current call to `site` should fail according to the
+/// active spec. Each call increments the site's counter whether or not
+/// it fires.
+bool fault_point(const char* site);
+
+}  // namespace shrinkbench::obs

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/io.hpp"
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 
@@ -172,10 +173,7 @@ std::string Profiler::trace_json() const {
 }
 
 bool Profiler::write_trace(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) return false;
-  os << trace_json() << '\n';
-  return static_cast<bool>(os);
+  return atomic_write_file(path, trace_json() + '\n');
 }
 
 MetricsSnapshot snapshot_if_enabled() {

@@ -1,9 +1,10 @@
 #include "report/table.hpp"
 
 #include <cmath>
-#include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "obs/io.hpp"
 
 namespace shrinkbench::report {
 
@@ -47,8 +48,7 @@ std::string Table::render() const {
 }
 
 void write_csv(const std::string& path, const std::vector<std::vector<std::string>>& rows) {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("write_csv: cannot open " + path);
+  std::ostringstream os;
   for (const auto& row : rows) {
     for (size_t c = 0; c < row.size(); ++c) {
       if (c > 0) os << ',';
@@ -60,6 +60,9 @@ void write_csv(const std::string& path, const std::vector<std::vector<std::strin
       }
     }
     os << '\n';
+  }
+  if (!obs::atomic_write_file(path, os.str())) {
+    throw std::runtime_error("write_csv: cannot write " + path);
   }
 }
 

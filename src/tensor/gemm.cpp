@@ -63,11 +63,7 @@ void block_kernel(int64_t mb, int64_t nb, int64_t kb, const float* a, int64_t ld
 void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha, const float* a,
           int64_t lda, const float* b, int64_t ldb, float beta, float* c, int64_t ldc) {
   if (m < 0 || n < 0 || k < 0) throw std::invalid_argument("gemm: negative dimension");
-  if (obs::profiling_enabled()) {
-    obs::count("gemm.calls");
-    obs::count("gemm.elements", m * n);
-    obs::count("gemm.flops", 2 * m * n * k);  // one multiply-add per (i,j,p)
-  }
+  obs::count("gemm.calls");
 
   // Scale / clear C first: C = beta * C.
   for (int64_t i = 0; i < m; ++i) {
@@ -79,6 +75,14 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alp
     }
   }
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
+
+  // Counted after the early return: an alpha == 0 or zero-dimension call
+  // does no multiply-adds, and crediting it 2*m*n*k would inflate the
+  // profiler's FLOP totals with work that never ran.
+  if (obs::profiling_enabled()) {
+    obs::count("gemm.elements", m * n);
+    obs::count("gemm.flops", 2 * m * n * k);  // one multiply-add per (i,j,p)
+  }
 
   // Pack blocks of op(A) (scaled by alpha) and op(B) into contiguous
   // buffers so the kernel always streams unit-stride rows.

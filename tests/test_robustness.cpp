@@ -1,0 +1,361 @@
+// Crash-safety and fault-tolerance tests: atomic writes, checksummed
+// result-cache entries (corruption -> quarantine -> recompute), failure
+// isolation + retries in run_sweep, incremental CSV output, and
+// killed-then-restarted sweeps resuming with zero recomputation. Every
+// failure path is driven deterministically through the SB_FAULT-style
+// injection hooks (obs::set_fault_spec / obs::fault_point).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "obs/io.hpp"
+#include "obs/profile.hpp"
+#include "tensor/gemm.hpp"
+
+namespace shrinkbench {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+size_t count_files_with(const fs::path& dir, const std::string& needle) {
+  size_t n = 0;
+  if (!fs::exists(dir)) return 0;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    n += entry.path().filename().string().find(needle) != std::string::npos;
+  }
+  return n;
+}
+
+// Cheapest possible end-to-end experiment: accuracy values are never
+// asserted, only determinism and cache behavior.
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.dataset = "synth-mnist";
+  cfg.arch = "lenet-300-100";
+  cfg.strategy = "global-weight";
+  cfg.target_compression = 2.0;
+  cfg.pretrain.epochs = 2;
+  cfg.pretrain.batch_size = 64;
+  cfg.pretrain.patience = 0;
+  cfg.finetune.epochs = 1;
+  cfg.finetune.patience = 0;
+  return cfg;
+}
+
+struct RobustnessFixture : ::testing::Test {
+  std::string cache_dir;
+  std::string out_dir;
+  std::unique_ptr<ExperimentRunner> runner;
+
+  void SetUp() override {
+    cache_dir = ::testing::TempDir() + "/sb_robust_cache";
+    out_dir = ::testing::TempDir() + "/sb_robust_out";
+    fs::remove_all(cache_dir);
+    fs::remove_all(out_dir);
+    obs::set_fault_spec("");
+    clear_sweep_interrupt();
+    runner = std::make_unique<ExperimentRunner>(cache_dir);
+  }
+  void TearDown() override {
+    obs::set_fault_spec("");
+    clear_sweep_interrupt();
+    fs::remove_all(cache_dir);
+    fs::remove_all(out_dir);
+  }
+
+  fs::path result_entry() const {
+    const fs::path dir = fs::path(cache_dir) / "results";
+    if (fs::exists(dir)) {
+      for (const auto& entry : fs::directory_iterator(dir)) {
+        if (entry.path().extension() == ".result") return entry.path();
+      }
+    }
+    return {};
+  }
+};
+
+// ---- atomic_write_file ----
+
+TEST(AtomicWrite, RoundTripsAndCreatesParents) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "sb_atomic";
+  fs::remove_all(dir);
+  const fs::path file = dir / "a" / "b" / "out.txt";
+  ASSERT_TRUE(obs::atomic_write_file(file, "hello\nworld\n"));
+  EXPECT_EQ(slurp(file), "hello\nworld\n");
+  // Overwrite replaces atomically.
+  ASSERT_TRUE(obs::atomic_write_file(file, "v2"));
+  EXPECT_EQ(slurp(file), "v2");
+  EXPECT_EQ(count_files_with(dir, ".tmp."), 0u);
+  fs::remove_all(dir);
+}
+
+TEST(AtomicWrite, ShortWriteLeavesNoPartialFile) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "sb_atomic_short";
+  fs::remove_all(dir);
+  const fs::path file = dir / "out.txt";
+  obs::set_fault_spec("io.short_write:1");
+  EXPECT_FALSE(obs::atomic_write_file(file, "doomed"));
+  EXPECT_FALSE(fs::exists(file));                      // nothing visible at the target
+  EXPECT_EQ(count_files_with(dir, ".tmp."), 0u);       // temp cleaned up
+  // Fault consumed: the retry lands intact.
+  EXPECT_TRUE(obs::atomic_write_file(file, "ok"));
+  EXPECT_EQ(slurp(file), "ok");
+  obs::set_fault_spec("");
+  fs::remove_all(dir);
+}
+
+TEST(AtomicWrite, FaultSpecCountsPerSite) {
+  obs::set_fault_spec("site.a:2,site.b:*");
+  EXPECT_FALSE(obs::fault_point("site.a"));  // call 1
+  EXPECT_TRUE(obs::fault_point("site.a"));   // call 2 fires
+  EXPECT_FALSE(obs::fault_point("site.a"));  // call 3
+  EXPECT_TRUE(obs::fault_point("site.b"));   // '*' fires always
+  EXPECT_TRUE(obs::fault_point("site.b"));
+  obs::set_fault_spec("");
+  EXPECT_FALSE(obs::fault_point("site.b"));  // disarmed
+}
+
+TEST(AtomicWrite, ChecksumIsStable) {
+  EXPECT_EQ(obs::fnv1a64(""), 0xcbf29ce484222325ULL);  // FNV offset basis
+  EXPECT_EQ(obs::checksum_hex("abc").size(), 16u);
+  EXPECT_NE(obs::checksum_hex("abc"), obs::checksum_hex("abd"));
+}
+
+// ---- result cache durability ----
+
+TEST_F(RobustnessFixture, CacheWriteFailureDoesNotPoisonLaterRuns) {
+  const ExperimentConfig cfg = tiny_config();
+  obs::set_fault_spec("io.short_write:*");
+  const ExperimentResult r1 = runner->run(cfg);  // runs fine, cache write dropped
+  EXPECT_FALSE(r1.failed);
+  EXPECT_EQ(result_entry(), fs::path{});  // truncated entry never became visible
+
+  obs::set_fault_spec("");
+  const ExperimentResult r2 = runner->run(cfg);  // recomputed, now cached
+  EXPECT_FALSE(r2.from_cache);
+  EXPECT_DOUBLE_EQ(r1.post_top1, r2.post_top1);  // determinism: same experiment
+  const ExperimentResult r3 = runner->run(cfg);
+  EXPECT_TRUE(r3.from_cache);
+}
+
+TEST_F(RobustnessFixture, CorruptCacheEntryIsQuarantinedAndRecomputed) {
+  const ExperimentConfig cfg = tiny_config();
+  const ExperimentResult r1 = runner->run(cfg);
+  const fs::path entry = result_entry();
+  ASSERT_FALSE(entry.empty());
+
+  // Flip bytes in the metrics line, keeping the three-line shape — the
+  // checksum must catch it.
+  std::string bytes = slurp(entry);
+  const size_t line2 = bytes.find('\n') + 1;
+  ASSERT_LT(line2 + 4, bytes.size());
+  bytes[line2] = bytes[line2] == '9' ? '8' : '9';
+  {
+    std::ofstream os(entry, std::ios::binary | std::ios::trunc);
+    os << bytes;
+  }
+
+  ExperimentRunner fresh(cache_dir);
+  const ExperimentResult r2 = fresh.run(cfg);
+  EXPECT_FALSE(r2.from_cache);                       // recomputed, never parsed
+  EXPECT_DOUBLE_EQ(r1.post_top1, r2.post_top1);
+  EXPECT_EQ(count_files_with(fs::path(cache_dir) / "results", ".corrupt"), 1u);
+  const ExperimentResult r3 = fresh.run(cfg);        // rewritten entry is valid again
+  EXPECT_TRUE(r3.from_cache);
+}
+
+TEST_F(RobustnessFixture, CorruptInjectionAtWriteTimeIsDetectedOnRead) {
+  const ExperimentConfig cfg = tiny_config();
+  obs::set_fault_spec("cache.corrupt:1");  // bit-rot the entry as it is written
+  runner->run(cfg);
+  obs::set_fault_spec("");
+
+  ExperimentRunner fresh(cache_dir);
+  const ExperimentResult r = fresh.run(cfg);
+  EXPECT_FALSE(r.from_cache);
+  EXPECT_EQ(count_files_with(fs::path(cache_dir) / "results", ".corrupt"), 1u);
+}
+
+TEST_F(RobustnessFixture, PreChecksumEntryIsSilentStaleMiss) {
+  const ExperimentConfig cfg = tiny_config();
+  runner->run(cfg);
+  const fs::path entry = result_entry();
+  ASSERT_FALSE(entry.empty());
+
+  // Strip the "#crc" line: the layout of cache entries before checksums.
+  std::string bytes = slurp(entry);
+  const size_t crc_at = bytes.find("#crc ");
+  ASSERT_NE(crc_at, std::string::npos);
+  {
+    std::ofstream os(entry, std::ios::binary | std::ios::trunc);
+    os << bytes.substr(0, crc_at);
+  }
+
+  ExperimentRunner fresh(cache_dir);
+  const ExperimentResult r = fresh.run(cfg);
+  EXPECT_FALSE(r.from_cache);  // recomputed...
+  EXPECT_EQ(count_files_with(fs::path(cache_dir) / "results", ".corrupt"), 0u);  // ...quietly
+}
+
+// ---- failure isolation in run_sweep ----
+
+TEST_F(RobustnessFixture, ThrowingExperimentBecomesFailedRowAndSweepContinues) {
+  ExperimentConfig base = tiny_config();
+  SweepOptions options;
+  options.csv_path = out_dir + "/sweep.csv";
+  options.retries = 0;
+  SweepSummary summary;
+  obs::set_fault_spec("experiment.throw:1");
+  const auto results =
+      run_sweep(*runner, base, {"global-weight"}, {2.0, 4.0}, {1}, options, &summary);
+  obs::set_fault_spec("");
+
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].failed);
+  EXPECT_NE(results[0].error.find("injected"), std::string::npos);
+  EXPECT_FALSE(results[1].failed);
+  EXPECT_EQ(summary.completed, 2u);
+  EXPECT_EQ(summary.failures, 1u);
+  EXPECT_EQ(summary.exit_code(), 1);
+
+  // The failed row is in the streamed CSV, error string and all.
+  const std::string csv = slurp(options.csv_path);
+  EXPECT_NE(csv.find(",failed,"), std::string::npos);
+  EXPECT_NE(csv.find("injected"), std::string::npos);
+  EXPECT_NE(csv.find(",ok,"), std::string::npos);
+}
+
+TEST_F(RobustnessFixture, RetryRecoversTransientFailure) {
+  ExperimentConfig base = tiny_config();
+  SweepOptions options;
+  options.retries = 1;
+  SweepSummary summary;
+  obs::set_fault_spec("experiment.throw:1");  // first attempt only
+  const auto results = run_sweep(*runner, base, {"global-weight"}, {2.0}, {1}, options, &summary);
+  obs::set_fault_spec("");
+
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].failed);
+  EXPECT_EQ(summary.failures, 0u);
+  EXPECT_EQ(summary.exit_code(), 0);
+}
+
+TEST_F(RobustnessFixture, FailedRowRoundTripsThroughCsv) {
+  ExperimentResult r;
+  r.config = tiny_config();
+  r.failed = true;
+  r.error = "bad, \"quoted\" and\nmultiline";
+  const std::string row = experiment_csv_row(r);
+  EXPECT_NE(row.find(",failed,"), std::string::npos);
+  EXPECT_EQ(row.find('\n'), std::string::npos);  // one row stays one line
+  const auto commas_outside_quotes = [](const std::string& s) {
+    int n = 0;
+    bool quoted = false;
+    for (const char c : s) {
+      if (c == '"') quoted = !quoted;
+      n += (c == ',' && !quoted);
+    }
+    return n;
+  };
+  EXPECT_EQ(commas_outside_quotes(row),
+            commas_outside_quotes(experiment_csv_header()));
+}
+
+// ---- crash / interrupt / resume ----
+
+TEST_F(RobustnessFixture, AbortedSweepResumesWithZeroRecomputation) {
+  ExperimentConfig base = tiny_config();
+  const std::vector<std::string> strategies = {"global-weight", "random"};
+  const std::vector<double> ratios = {2.0, 4.0};
+  SweepOptions options;
+  options.csv_path = out_dir + "/resume.csv";
+
+  // "Crash" after two experiments: the abort throws out of run_sweep,
+  // leaving the incremental CSV and the result cache as a kill -9 would.
+  obs::set_fault_spec("sweep.abort:3");
+  EXPECT_THROW(run_sweep(*runner, base, strategies, ratios, {1}, options), std::runtime_error);
+  obs::set_fault_spec("");
+  const std::string partial = slurp(options.csv_path);
+  EXPECT_EQ(std::count(partial.begin(), partial.end(), '\n'), 3);  // header + 2 rows
+
+  // Restart: the two pre-crash configs come from the cache, only the
+  // remaining two are computed.
+  ExperimentRunner restarted(cache_dir);
+  SweepSummary resume;
+  const auto results = run_sweep(restarted, base, strategies, ratios, {1}, options, &resume);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(resume.cache_hits, 2u);
+  EXPECT_EQ(resume.failures, 0u);
+  const std::string full = slurp(options.csv_path);
+  EXPECT_EQ(partial, full.substr(0, partial.size()));  // prefix preserved verbatim
+
+  // A fully-cached rerun reproduces the final CSV byte for byte.
+  ExperimentRunner rerun(cache_dir);
+  SweepSummary cached;
+  run_sweep(rerun, base, strategies, ratios, {1}, options, &cached);
+  EXPECT_EQ(cached.cache_hits, 4u);
+  EXPECT_EQ(slurp(options.csv_path), full);
+}
+
+TEST_F(RobustnessFixture, InterruptFlushesAndStopsCleanly) {
+  ExperimentConfig base = tiny_config();
+  SweepOptions options;
+  options.csv_path = out_dir + "/interrupted.csv";
+  SweepSummary summary;
+  obs::set_fault_spec("sweep.interrupt:2");  // SIGINT arrives before experiment 2
+  const auto results =
+      run_sweep(*runner, base, {"global-weight"}, {2.0, 4.0}, {1}, options, &summary);
+  obs::set_fault_spec("");
+  clear_sweep_interrupt();
+
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(summary.interrupted);
+  EXPECT_EQ(summary.completed, 1u);
+  EXPECT_EQ(summary.exit_code(), 130);
+  const std::string csv = slurp(options.csv_path);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);  // header + the finished row
+}
+
+TEST_F(RobustnessFixture, PendingInterruptStopsSweepBeforeWork) {
+  request_sweep_interrupt();
+  SweepSummary summary;
+  const auto results =
+      run_sweep(*runner, tiny_config(), {"global-weight"}, {2.0}, {1}, {}, &summary);
+  clear_sweep_interrupt();
+  EXPECT_TRUE(results.empty());
+  EXPECT_TRUE(summary.interrupted);
+}
+
+// ---- satellite: gemm FLOP accounting ----
+
+TEST(GemmCounters, EarlyReturnDoesNotInflateFlops) {
+  obs::set_profiling_enabled(true);
+  obs::Profiler::instance().reset();
+  float a[4] = {1, 2, 3, 4}, b[4] = {5, 6, 7, 8}, c[4] = {0, 0, 0, 0};
+
+  gemm(false, false, 2, 2, 2, /*alpha=*/0.0f, a, 2, b, 2, /*beta=*/1.0f, c, 2);
+  auto snap = obs::Profiler::instance().snapshot();
+  EXPECT_EQ(snap.counters.count("gemm.flops"), 0u);  // no multiply-adds ran
+  EXPECT_EQ(snap.counters.at("gemm.calls"), 1);
+
+  gemm(false, false, 2, 2, 2, /*alpha=*/1.0f, a, 2, b, 2, /*beta=*/0.0f, c, 2);
+  snap = obs::Profiler::instance().snapshot();
+  EXPECT_EQ(snap.counters.at("gemm.flops"), 2 * 2 * 2 * 2);
+  obs::Profiler::instance().reset();
+  obs::set_profiling_enabled(false);
+}
+
+}  // namespace
+}  // namespace shrinkbench

@@ -36,6 +36,13 @@ TEST(Csr, EmptyAndFullMatrices) {
   EXPECT_DOUBLE_EQ(full.density(), 1.0);
 }
 
+TEST(Csr, RejectsColumnCountBeyondInt32) {
+  // col_idx is int32_t; anything wider must throw instead of silently
+  // wrapping the indices. rows = 0 so no data is ever dereferenced.
+  const int64_t too_wide = int64_t{1} << 32;
+  EXPECT_THROW(csr_from_dense(nullptr, 0, too_wide), std::invalid_argument);
+}
+
 TEST(Csr, FromParameterAppliesMask) {
   Parameter p("w", {2, 3}, true);
   p.data.fill(5.0f);
