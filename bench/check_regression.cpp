@@ -1,0 +1,347 @@
+// Perf-baseline tooling for the BENCH_perf.json workflow.
+//
+//   check_regression emit <gbench.json> <out.json>
+//       Post-processes google-benchmark --benchmark_format=json output
+//       into the compact committed-baseline schema:
+//       {schema, simd, benchmarks: [{name, ns, items_per_sec}]}.
+//
+//   check_regression check <baseline.json> <current.json> [--tolerance F]
+//       Compares a fresh run (same compact schema) against the committed
+//       baseline. A benchmark regresses when its time grows by more than
+//       the tolerance band (default 0.35 = 35%); a benchmark missing
+//       from the current run also fails, so silently compiled-out
+//       kernels surface. Exit code 0 = within band, 1 = regression.
+//
+// Typical flow (also run by CI in quick mode):
+//   ./micro_primitives --benchmark_format=json > /tmp/raw.json
+//   ./check_regression emit /tmp/raw.json /tmp/current.json
+//   ./check_regression check BENCH_perf.json /tmp/current.json
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal strict JSON parser (this tool reads benchmark output; the main
+// library only ever writes JSON).
+// ---------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+  const JsonValue& at(const std::string& key) const { return object.at(key); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("json parse error at offset " + std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      default: return number();
+    }
+  }
+
+  static JsonValue make_bool(bool b) {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Bool;
+    v.boolean = b;
+    return v;
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue key = string_value();
+      skip_ws();
+      expect(':');
+      v.object[key.string] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::String;
+    expect('"');
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("bad escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': v.string += '"'; break;
+          case '\\': v.string += '\\'; break;
+          case '/': v.string += '/'; break;
+          case 'n': v.string += '\n'; break;
+          case 'r': v.string += '\r'; break;
+          case 't': v.string += '\t'; break;
+          case 'b': v.string += '\b'; break;
+          case 'f': v.string += '\f'; break;
+          case 'u':
+            if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+            v.string += '?';
+            pos_ += 4;
+            break;
+          default: fail("unknown escape");
+        }
+      } else {
+        v.string += c;
+      }
+    }
+  }
+
+  JsonValue number() {
+    const size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.number = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+JsonValue parse_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  std::stringstream buf;
+  buf << is.rdbuf();
+  return JsonParser(buf.str()).parse();
+}
+
+// ---------------------------------------------------------------------
+
+struct Entry {
+  std::string name;
+  double ns = 0.0;
+  double items_per_sec = 0.0;  // 0 when the bench reports no items
+};
+
+double to_ns(double t, const std::string& unit) {
+  if (unit == "ns" || unit.empty()) return t;
+  if (unit == "us") return t * 1e3;
+  if (unit == "ms") return t * 1e6;
+  if (unit == "s") return t * 1e9;
+  throw std::runtime_error("unknown time_unit '" + unit + "'");
+}
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+int emit(const std::string& in_path, const std::string& out_path) {
+  const JsonValue root = parse_file(in_path);
+  std::string simd = "unknown";
+  if (root.has("context") && root.at("context").has("simd")) {
+    simd = root.at("context").at("simd").string;
+  }
+  std::vector<Entry> entries;
+  for (const JsonValue& b : root.at("benchmarks").array) {
+    // Skip aggregate rows (mean/median/stddev of repetition runs).
+    if (b.has("run_type") && b.at("run_type").string != "iteration") continue;
+    Entry e;
+    e.name = b.at("name").string;
+    e.ns = to_ns(b.at("real_time").number, b.has("time_unit") ? b.at("time_unit").string : "ns");
+    if (b.has("items_per_second")) e.items_per_sec = b.at("items_per_second").number;
+    entries.push_back(std::move(e));
+  }
+  std::ofstream os(out_path);
+  if (!os) throw std::runtime_error("cannot write " + out_path);
+  os << "{\n  \"schema\": \"shrinkbench.bench_perf/v1\",\n";
+  os << "  \"simd\": \"" << simd << "\",\n  \"benchmarks\": [\n";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    os << "    {\"name\": \"" << e.name << "\", \"ns\": " << json_num(e.ns)
+       << ", \"items_per_sec\": " << json_num(e.items_per_sec) << "}"
+       << (i + 1 < entries.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+  std::printf("wrote %s (%zu benchmarks, simd=%s)\n", out_path.c_str(), entries.size(),
+              simd.c_str());
+  return 0;
+}
+
+std::map<std::string, Entry> load_perf(const std::string& path) {
+  const JsonValue root = parse_file(path);
+  if (!root.has("benchmarks")) throw std::runtime_error(path + ": no 'benchmarks' array");
+  std::map<std::string, Entry> out;
+  for (const JsonValue& b : root.at("benchmarks").array) {
+    Entry e;
+    e.name = b.at("name").string;
+    e.ns = b.at("ns").number;
+    if (b.has("items_per_sec")) e.items_per_sec = b.at("items_per_sec").number;
+    out[e.name] = std::move(e);
+  }
+  return out;
+}
+
+int check(const std::string& base_path, const std::string& cur_path, double tolerance) {
+  const auto baseline = load_perf(base_path);
+  const auto current = load_perf(cur_path);
+  int regressions = 0;
+  for (const auto& [name, base] : baseline) {
+    const auto it = current.find(name);
+    if (it == current.end()) {
+      std::printf("MISSING  %-32s (in baseline, absent from current run)\n", name.c_str());
+      ++regressions;
+      continue;
+    }
+    const double ratio = base.ns > 0.0 ? it->second.ns / base.ns : 1.0;
+    const bool bad = ratio > 1.0 + tolerance;
+    std::printf("%s %-32s %12.0f ns -> %12.0f ns  (%+6.1f%%)\n", bad ? "REGRESS " : "ok      ",
+                name.c_str(), base.ns, it->second.ns, (ratio - 1.0) * 100.0);
+    if (bad) ++regressions;
+  }
+  for (const auto& [name, cur] : current) {
+    if (baseline.find(name) == baseline.end()) {
+      std::printf("new      %-32s %12.0f ns (not in baseline)\n", name.c_str(), cur.ns);
+    }
+  }
+  if (regressions > 0) {
+    std::printf("FAIL: %d benchmark(s) regressed beyond the %.0f%% tolerance band\n", regressions,
+                tolerance * 100.0);
+    return 1;
+  }
+  std::printf("OK: all %zu baseline benchmarks within the %.0f%% tolerance band\n",
+              baseline.size(), tolerance * 100.0);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  check_regression emit <gbench.json> <out.json>\n"
+               "  check_regression check <baseline.json> <current.json> [--tolerance F]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc >= 4 && std::strcmp(argv[1], "emit") == 0) {
+      return emit(argv[2], argv[3]);
+    }
+    if (argc >= 4 && std::strcmp(argv[1], "check") == 0) {
+      double tolerance = 0.35;
+      for (int i = 4; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--tolerance") == 0) tolerance = std::atof(argv[i + 1]);
+      }
+      return check(argv[2], argv[3], tolerance);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "check_regression: %s\n", e.what());
+    return 2;
+  }
+}

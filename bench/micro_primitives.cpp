@@ -15,6 +15,7 @@
 #include "nn/optimizer.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
+#include "tensor/simd.hpp"
 
 namespace sb = shrinkbench;
 
@@ -178,4 +179,13 @@ BENCHMARK(BM_SgdStep)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so every report (and BENCH_perf.json derived from the JSON
+// output; see bench/check_regression.cpp) records which GEMM kernel ran.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("simd", sb::simd::level_name(sb::simd::active_level()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

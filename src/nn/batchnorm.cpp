@@ -1,7 +1,10 @@
 #include "nn/batchnorm.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
+
+#include "tensor/workspace.hpp"
 
 namespace shrinkbench {
 
@@ -25,42 +28,64 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
   const int64_t n = x.size(0), h = x.size(2), w = x.size(3);
   const int64_t spatial = h * w;
   const int64_t per_channel = n * spatial;
+  const size_t nc = static_cast<size_t>(channels_);
 
   Tensor y(x.shape());
   if (train) {
     cached_xhat_ = Tensor(x.shape());
-    cached_inv_std_.assign(static_cast<size_t>(channels_), 0.0f);
+    cached_inv_std_.assign(nc, 0.0f);
   }
 
-  for (int64_t c = 0; c < channels_; ++c) {
-    float mean, var;
-    if (train) {
-      double s = 0.0, s2 = 0.0;
-      for (int64_t i = 0; i < n; ++i) {
+  // Per-channel stats live in arena scratch; both passes then stream the
+  // NCHW data in memory order instead of striding per channel.
+  Workspace::Scope scope;
+  Workspace& ws = Workspace::tls();
+  float* mean = ws.floats(nc);
+  float* inv_std = ws.floats(nc);
+
+  if (train) {
+    double* sum = static_cast<double*>(ws.get(nc * sizeof(double)));
+    double* sum2 = static_cast<double*>(ws.get(nc * sizeof(double)));
+    std::memset(sum, 0, nc * sizeof(double));
+    std::memset(sum2, 0, nc * sizeof(double));
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t c = 0; c < channels_; ++c) {
         const float* src = x.data() + (i * channels_ + c) * spatial;
+        double s = 0.0, s2 = 0.0;
         for (int64_t k = 0; k < spatial; ++k) {
           s += src[k];
           s2 += static_cast<double>(src[k]) * src[k];
         }
+        sum[c] += s;
+        sum2[c] += s2;
       }
-      mean = static_cast<float>(s / per_channel);
-      var = static_cast<float>(s2 / per_channel - static_cast<double>(mean) * mean);
-      if (var < 0.0f) var = 0.0f;  // guard against FP cancellation
-      running_mean_.at(c) = (1.0f - momentum_) * running_mean_.at(c) + momentum_ * mean;
-      running_var_.at(c) = (1.0f - momentum_) * running_var_.at(c) + momentum_ * var;
-    } else {
-      mean = running_mean_.at(c);
-      var = running_var_.at(c);
     }
-    const float inv_std = 1.0f / std::sqrt(var + eps_);
-    const float g = gamma_.data.at(c), b = beta_.data.at(c);
-    if (train) cached_inv_std_[static_cast<size_t>(c)] = inv_std;
-    for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < channels_; ++c) {
+      const float m = static_cast<float>(sum[c] / per_channel);
+      float var = static_cast<float>(sum2[c] / per_channel - static_cast<double>(m) * m);
+      if (var < 0.0f) var = 0.0f;  // guard against FP cancellation
+      running_mean_.at(c) = (1.0f - momentum_) * running_mean_.at(c) + momentum_ * m;
+      running_var_.at(c) = (1.0f - momentum_) * running_var_.at(c) + momentum_ * var;
+      mean[c] = m;
+      inv_std[c] = 1.0f / std::sqrt(var + eps_);
+      cached_inv_std_[static_cast<size_t>(c)] = inv_std[c];
+    }
+  } else {
+    for (int64_t c = 0; c < channels_; ++c) {
+      mean[c] = running_mean_.at(c);
+      inv_std[c] = 1.0f / std::sqrt(running_var_.at(c) + eps_);
+    }
+  }
+
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < channels_; ++c) {
       const float* src = x.data() + (i * channels_ + c) * spatial;
       float* dst = y.data() + (i * channels_ + c) * spatial;
       float* xh = train ? cached_xhat_.data() + (i * channels_ + c) * spatial : nullptr;
+      const float m = mean[c], is = inv_std[c];
+      const float g = gamma_.data.at(c), b = beta_.data.at(c);
       for (int64_t k = 0; k < spatial; ++k) {
-        const float xhat = (src[k] - mean) * inv_std;
+        const float xhat = (src[k] - m) * is;
         if (xh) xh[k] = xhat;
         dst[k] = g * xhat + b;
       }
@@ -74,33 +99,49 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
   const int64_t n = grad_out.size(0), h = grad_out.size(2), w = grad_out.size(3);
   const int64_t spatial = h * w;
   const int64_t per_channel = n * spatial;
+  const size_t nc = static_cast<size_t>(channels_);
 
-  Tensor dx(grad_out.shape());
-  for (int64_t c = 0; c < channels_; ++c) {
-    // Channel-wise sums: Σdy and Σdy·x̂.
-    double sum_dy = 0.0, sum_dy_xhat = 0.0;
-    for (int64_t i = 0; i < n; ++i) {
+  // Channel-wise sums Σdy and Σdy·x̂, accumulated in memory order.
+  Workspace::Scope scope;
+  Workspace& ws = Workspace::tls();
+  double* sum_dy = static_cast<double*>(ws.get(nc * sizeof(double)));
+  double* sum_dy_xhat = static_cast<double*>(ws.get(nc * sizeof(double)));
+  std::memset(sum_dy, 0, nc * sizeof(double));
+  std::memset(sum_dy_xhat, 0, nc * sizeof(double));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < channels_; ++c) {
       const float* dy = grad_out.data() + (i * channels_ + c) * spatial;
       const float* xh = cached_xhat_.data() + (i * channels_ + c) * spatial;
+      double s = 0.0, sx = 0.0;
       for (int64_t k = 0; k < spatial; ++k) {
-        sum_dy += dy[k];
-        sum_dy_xhat += static_cast<double>(dy[k]) * xh[k];
+        s += dy[k];
+        sx += static_cast<double>(dy[k]) * xh[k];
       }
+      sum_dy[c] += s;
+      sum_dy_xhat[c] += sx;
     }
-    gamma_.grad.at(c) += static_cast<float>(sum_dy_xhat);
-    beta_.grad.at(c) += static_cast<float>(sum_dy);
+  }
 
-    const float g = gamma_.data.at(c);
-    const float inv_std = cached_inv_std_[static_cast<size_t>(c)];
-    const float mean_dy = static_cast<float>(sum_dy / per_channel);
-    const float mean_dy_xhat = static_cast<float>(sum_dy_xhat / per_channel);
-    const float scale = g * inv_std;
-    for (int64_t i = 0; i < n; ++i) {
+  float* scale = ws.floats(nc);
+  float* mean_dy = ws.floats(nc);
+  float* mean_dy_xhat = ws.floats(nc);
+  for (int64_t c = 0; c < channels_; ++c) {
+    gamma_.grad.at(c) += static_cast<float>(sum_dy_xhat[c]);
+    beta_.grad.at(c) += static_cast<float>(sum_dy[c]);
+    scale[c] = gamma_.data.at(c) * cached_inv_std_[static_cast<size_t>(c)];
+    mean_dy[c] = static_cast<float>(sum_dy[c] / per_channel);
+    mean_dy_xhat[c] = static_cast<float>(sum_dy_xhat[c] / per_channel);
+  }
+
+  Tensor dx(grad_out.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < channels_; ++c) {
       const float* dy = grad_out.data() + (i * channels_ + c) * spatial;
       const float* xh = cached_xhat_.data() + (i * channels_ + c) * spatial;
       float* dst = dx.data() + (i * channels_ + c) * spatial;
+      const float sc = scale[c], mdy = mean_dy[c], mdyx = mean_dy_xhat[c];
       for (int64_t k = 0; k < spatial; ++k) {
-        dst[k] = scale * (dy[k] - mean_dy - xh[k] * mean_dy_xhat);
+        dst[k] = sc * (dy[k] - mdy - xh[k] * mdyx);
       }
     }
   }

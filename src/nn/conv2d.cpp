@@ -1,12 +1,58 @@
 #include "nn/conv2d.hpp"
 
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
-#include <vector>
 
 #include "obs/profile.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/workspace.hpp"
 
 namespace shrinkbench {
+
+namespace {
+
+// SB_CONV_CACHE_COLS=1 keeps the forward column matrix alive for the
+// backward pass instead of recomputing im2col — a speed-vs-memory toggle
+// (the cache costs col_rows * n * col_cols floats per conv layer).
+bool cache_cols_enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("SB_CONV_CACHE_COLS");
+    return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+  }();
+  return enabled;
+}
+
+// Gathers NCHW activations [n, c, oh*ow] into channel-major [c, n*oh*ow]
+// (and scatters back), so a whole minibatch becomes one GEMM operand.
+void gather_channel_major(const float* nchw, int64_t n, int64_t c, int64_t spatial, float* cm) {
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* src = nchw + (i * c + ch) * spatial;
+      std::copy(src, src + spatial, cm + ch * (n * spatial) + i * spatial);
+    }
+  }
+}
+
+// The scatter direction fuses the per-channel bias add (bias == nullptr
+// for bias-free layers), saving a second full pass over the output.
+void scatter_channel_major(const float* cm, int64_t n, int64_t c, int64_t spatial, float* nchw,
+                           const float* bias) {
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* src = cm + ch * (n * spatial) + i * spatial;
+      float* dst = nchw + (i * c + ch) * spatial;
+      if (bias == nullptr) {
+        std::copy(src, src + spatial, dst);
+      } else {
+        const float b = bias[ch];
+        for (int64_t s = 0; s < spatial; ++s) dst[s] = src[s] + b;
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Conv2d::Conv2d(std::string name, int64_t in_c, int64_t out_c, int64_t kernel, int64_t stride,
                int64_t pad, bool bias)
@@ -25,33 +71,9 @@ ConvGeometry Conv2d::geometry(int64_t h, int64_t w) const {
   return ConvGeometry{in_c_, h, w, kernel_, kernel_, stride_, pad_};
 }
 
-namespace {
-
-// Gathers NCHW activations [n, c, oh*ow] into channel-major [c, n*oh*ow]
-// (and scatters back), so a whole minibatch becomes one GEMM operand.
-void gather_channel_major(const float* nchw, int64_t n, int64_t c, int64_t spatial, float* cm) {
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      const float* src = nchw + (i * c + ch) * spatial;
-      std::copy(src, src + spatial, cm + ch * (n * spatial) + i * spatial);
-    }
-  }
-}
-
-void scatter_channel_major(const float* cm, int64_t n, int64_t c, int64_t spatial, float* nchw) {
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      const float* src = cm + ch * (n * spatial) + i * spatial;
-      std::copy(src, src + spatial, nchw + (i * c + ch) * spatial);
-    }
-  }
-}
-
-}  // namespace
-
 Tensor Conv2d::forward(const Tensor& x, bool train) {
   SB_PROFILE_SCOPE("conv2d.fwd");
-  obs::count("conv2d.fwd.calls");
+  if (obs::profiling_enabled()) obs::count("conv2d.fwd.calls");
   if (x.dim() != 4 || x.size(1) != in_c_) {
     throw std::invalid_argument(name() + ": expected [N, " + std::to_string(in_c_) +
                                 ", H, W], got " + to_string(x.shape()));
@@ -69,32 +91,37 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   const int64_t ld = n * g.col_cols();
   const int64_t image_numel = in_c_ * h * w;
   const int64_t spatial = oh * ow;
-  std::vector<float> cols(static_cast<size_t>(g.col_rows() * ld));
-  for (int64_t i = 0; i < n; ++i) {
-    im2col_ld(g, x.data() + i * image_numel, cols.data() + i * g.col_cols(), ld);
+  const size_t cols_numel = static_cast<size_t>(g.col_rows() * ld);
+
+  Workspace::Scope scope;
+  Workspace& ws = Workspace::tls();
+  const bool keep_cols = train && cache_cols_enabled();
+  float* cols;
+  if (keep_cols) {
+    // Member storage (grow-only) so the buffer survives until backward.
+    cached_cols_.resize(cols_numel);
+    cols = cached_cols_.data();
+    cached_cols_valid_ = true;
+  } else {
+    cols = ws.floats(cols_numel);
+    cached_cols_valid_ = false;
   }
-  std::vector<float> out_cm(static_cast<size_t>(out_c_ * ld));
-  gemm(false, false, out_c_, ld, g.col_rows(), 1.0f, weight_.data.data(), g.col_rows(),
-       cols.data(), ld, 0.0f, out_cm.data(), ld);
+  for (int64_t i = 0; i < n; ++i) {
+    im2col_ld(g, x.data() + i * image_numel, cols + i * g.col_cols(), ld);
+  }
+  float* out_cm = ws.floats(static_cast<size_t>(out_c_ * ld));
+  gemm(false, false, out_c_, ld, g.col_rows(), 1.0f, weight_.data.data(), g.col_rows(), cols, ld,
+       0.0f, out_cm, ld);
 
   Tensor y({n, out_c_, oh, ow});
-  scatter_channel_major(out_cm.data(), n, out_c_, spatial, y.data());
-  if (has_bias_) {
-    float* yp = y.data();
-    const float* bp = bias_.data.data();
-    for (int64_t i = 0; i < n; ++i) {
-      for (int64_t c = 0; c < out_c_; ++c) {
-        float* dst = yp + (i * out_c_ + c) * spatial;
-        for (int64_t s = 0; s < spatial; ++s) dst[s] += bp[c];
-      }
-    }
-  }
+  scatter_channel_major(out_cm, n, out_c_, spatial, y.data(),
+                        has_bias_ ? bias_.data.data() : nullptr);
   return y;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
   SB_PROFILE_SCOPE("conv2d.bwd");
-  obs::count("conv2d.bwd.calls");
+  if (obs::profiling_enabled()) obs::count("conv2d.bwd.calls");
   if (cached_input_.empty()) throw std::logic_error(name() + ": backward before forward");
   const Tensor& x = cached_input_;
   const int64_t n = x.size(0), h = x.size(2), w = x.size(3);
@@ -104,30 +131,40 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const int64_t spatial = oh * ow;
   const int64_t ld = n * g.col_cols();
 
-  // Recompute the batched column matrix (cheaper than caching it).
-  std::vector<float> cols(static_cast<size_t>(g.col_rows() * ld));
-  for (int64_t i = 0; i < n; ++i) {
-    im2col_ld(g, x.data() + i * image_numel, cols.data() + i * g.col_cols(), ld);
+  Workspace::Scope scope;
+  Workspace& ws = Workspace::tls();
+  const float* cols;
+  if (cached_cols_valid_) {
+    // SB_CONV_CACHE_COLS=1: reuse the forward column matrix.
+    if (obs::profiling_enabled()) obs::count("conv2d.cols_cache.hits");
+    cols = cached_cols_.data();
+  } else {
+    // Recompute the batched column matrix (cheaper than caching it in
+    // memory-constrained runs; see SB_CONV_CACHE_COLS).
+    float* scratch = ws.floats(static_cast<size_t>(g.col_rows() * ld));
+    for (int64_t i = 0; i < n; ++i) {
+      im2col_ld(g, x.data() + i * image_numel, scratch + i * g.col_cols(), ld);
+    }
+    cols = scratch;
   }
-  std::vector<float> dy_cm(static_cast<size_t>(out_c_ * ld));
-  gather_channel_major(grad_out.data(), n, out_c_, spatial, dy_cm.data());
+  float* dy_cm = ws.floats(static_cast<size_t>(out_c_ * ld));
+  gather_channel_major(grad_out.data(), n, out_c_, spatial, dy_cm);
 
   // dW += dY [out_c, n*ohw] * cols^T [n*ohw, cK2]
-  gemm(false, /*trans_b=*/true, out_c_, g.col_rows(), ld, 1.0f, dy_cm.data(), ld, cols.data(),
-       ld, 1.0f, weight_.grad.data(), g.col_rows());
-  // dcols = W^T [cK2, out_c] * dY [out_c, n*ohw]   (reuse cols storage)
-  std::vector<float> dcols(static_cast<size_t>(g.col_rows() * ld));
+  gemm(false, /*trans_b=*/true, out_c_, g.col_rows(), ld, 1.0f, dy_cm, ld, cols, ld, 1.0f,
+       weight_.grad.data(), g.col_rows());
+  // dcols = W^T [cK2, out_c] * dY [out_c, n*ohw]
+  float* dcols = ws.floats(static_cast<size_t>(g.col_rows() * ld));
   gemm(/*trans_a=*/true, false, g.col_rows(), ld, out_c_, 1.0f, weight_.data.data(),
-       g.col_rows(), dy_cm.data(), ld, 0.0f, dcols.data(), ld);
+       g.col_rows(), dy_cm, ld, 0.0f, dcols, ld);
 
   Tensor dx(x.shape());
   for (int64_t i = 0; i < n; ++i) {
-    col2im_ld(g, dcols.data() + i * g.col_cols(), ld, dx.data() + i * image_numel);
+    col2im_ld(g, dcols + i * g.col_cols(), ld, dx.data() + i * image_numel);
   }
   if (has_bias_) {
     float* bg = bias_.grad.data();
     const float* gp = grad_out.data();
-    const int64_t spatial = oh * ow;
     for (int64_t i = 0; i < n; ++i) {
       for (int64_t c = 0; c < out_c_; ++c) {
         const float* src = gp + (i * out_c_ + c) * spatial;
@@ -154,12 +191,18 @@ Shape Conv2d::output_sample_shape(const Shape& in) const {
 }
 
 int64_t Conv2d::flops(const Shape& in) const {
+  if (in.size() != 3 || in[0] != in_c_) {
+    throw std::invalid_argument(name() + ": bad sample shape " + to_string(in));
+  }
   const ConvGeometry g = geometry(in[1], in[2]);
   // One multiply-add per weight per output spatial position.
   return g.out_h() * g.out_w() * weight_.numel();
 }
 
 int64_t Conv2d::effective_flops(const Shape& in) const {
+  if (in.size() != 3 || in[0] != in_c_) {
+    throw std::invalid_argument(name() + ": bad sample shape " + to_string(in));
+  }
   const ConvGeometry g = geometry(in[1], in[2]);
   return g.out_h() * g.out_w() * ops::count_nonzero(weight_.mask);
 }

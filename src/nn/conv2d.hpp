@@ -34,6 +34,10 @@ class Conv2d : public Layer {
   Parameter weight_;
   Parameter bias_;
   Tensor cached_input_;
+  // SB_CONV_CACHE_COLS=1: forward's column matrix, kept for backward
+  // instead of recomputing im2col (grow-only member storage).
+  std::vector<float> cached_cols_;
+  bool cached_cols_valid_ = false;
 };
 
 }  // namespace shrinkbench

@@ -1,5 +1,6 @@
 #include "nn/linear.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "tensor/gemm.hpp"
@@ -23,15 +24,19 @@ Tensor Linear::forward(const Tensor& x, bool train) {
                                 "], got " + to_string(x.shape()));
   }
   if (train) cached_input_ = x;
-  Tensor y = matmul_nt(x, weight_.data);  // [N, out]
+  const int64_t n = x.size(0);
+  Tensor y({n, out_});
   if (has_bias_) {
-    const int64_t n = x.size(0);
+    // Fuse the bias add into the GEMM epilogue: pre-fill each output row
+    // with the bias and accumulate (beta = 1) instead of overwriting and
+    // making a second pass over y.
     float* yp = y.data();
     const float* bp = bias_.data.data();
-    for (int64_t i = 0; i < n; ++i) {
-      for (int64_t j = 0; j < out_; ++j) yp[i * out_ + j] += bp[j];
-    }
+    for (int64_t i = 0; i < n; ++i) std::copy(bp, bp + out_, yp + i * out_);
   }
+  // y = x [N, in] * W^T [in, out] (+ bias)
+  gemm(false, /*trans_b=*/true, n, out_, in_, 1.0f, x.data(), in_, weight_.data.data(), in_,
+       has_bias_ ? 1.0f : 0.0f, y.data(), out_);
   return y;
 }
 

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <vector>
 
 #include "obs/profile.hpp"
+#include "tensor/simd.hpp"
+#include "tensor/workspace.hpp"
 
 namespace shrinkbench {
 
@@ -15,55 +16,12 @@ constexpr int64_t kBlockM = 64;
 constexpr int64_t kBlockN = 256;
 constexpr int64_t kBlockK = 256;
 
-// Core kernel on a packed block: C[mb,nb] += A[mb,kb] * B[kb,nb].
-// A is row-major mb x kb (lda), B row-major kb x nb (ldb), C row-major (ldc).
-// Four C rows are updated per pass over a B row, so each B load is
-// amortized 4x and the inner loop vectorizes under -O3 -march=native.
-void block_kernel(int64_t mb, int64_t nb, int64_t kb, const float* a, int64_t lda, const float* b,
-                  int64_t ldb, float* c, int64_t ldc) {
-  int64_t i = 0;
-  for (; i + 4 <= mb; i += 4) {
-    const float* a0 = a + (i + 0) * lda;
-    const float* a1 = a + (i + 1) * lda;
-    const float* a2 = a + (i + 2) * lda;
-    const float* a3 = a + (i + 3) * lda;
-    float* c0 = c + (i + 0) * ldc;
-    float* c1 = c + (i + 1) * ldc;
-    float* c2 = c + (i + 2) * ldc;
-    float* c3 = c + (i + 3) * ldc;
-    for (int64_t p = 0; p < kb; ++p) {
-      const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
-      if (v0 == 0.0f && v1 == 0.0f && v2 == 0.0f && v3 == 0.0f) {
-        continue;  // pruned-weight rows hit this often
-      }
-      const float* brow = b + p * ldb;
-      for (int64_t j = 0; j < nb; ++j) {
-        const float bv = brow[j];
-        c0[j] += v0 * bv;
-        c1[j] += v1 * bv;
-        c2[j] += v2 * bv;
-        c3[j] += v3 * bv;
-      }
-    }
-  }
-  for (; i < mb; ++i) {
-    const float* arow = a + i * lda;
-    float* crow = c + i * ldc;
-    for (int64_t p = 0; p < kb; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * ldb;
-      for (int64_t j = 0; j < nb; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
 }  // namespace
 
 void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha, const float* a,
           int64_t lda, const float* b, int64_t ldb, float beta, float* c, int64_t ldc) {
   if (m < 0 || n < 0 || k < 0) throw std::invalid_argument("gemm: negative dimension");
-  obs::count("gemm.calls");
+  if (obs::profiling_enabled()) obs::count("gemm.calls");
 
   // Scale / clear C first: C = beta * C.
   for (int64_t i = 0; i < m; ++i) {
@@ -84,10 +42,15 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alp
     obs::count("gemm.flops", 2 * m * n * k);  // one multiply-add per (i,j,p)
   }
 
+  const simd::BlockKernelFn kernel = simd::active_block_kernel();
+
   // Pack blocks of op(A) (scaled by alpha) and op(B) into contiguous
-  // buffers so the kernel always streams unit-stride rows.
-  std::vector<float> a_pack(static_cast<size_t>(kBlockM * kBlockK));
-  std::vector<float> b_pack(static_cast<size_t>(kBlockK * kBlockN));
+  // scratch so the kernel always streams unit-stride rows. The arena
+  // makes this allocation-free after warm-up.
+  Workspace::Scope scope;
+  Workspace& ws = Workspace::tls();
+  float* a_pack = ws.floats(static_cast<size_t>(kBlockM * kBlockK));
+  float* b_pack = ws.floats(static_cast<size_t>(kBlockK * kBlockN));
 
   for (int64_t j0 = 0; j0 < n; j0 += kBlockN) {
     const int64_t nb = std::min(kBlockN, n - j0);
@@ -95,7 +58,7 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alp
       const int64_t kb = std::min(kBlockK, k - p0);
       // Pack op(B)[p0:p0+kb, j0:j0+nb].
       for (int64_t p = 0; p < kb; ++p) {
-        float* dst = b_pack.data() + p * nb;
+        float* dst = b_pack + p * nb;
         if (!trans_b) {
           const float* src = b + (p0 + p) * ldb + j0;
           std::copy(src, src + nb, dst);
@@ -107,7 +70,7 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alp
         const int64_t mb = std::min(kBlockM, m - i0);
         // Pack alpha * op(A)[i0:i0+mb, p0:p0+kb].
         for (int64_t i = 0; i < mb; ++i) {
-          float* dst = a_pack.data() + i * kb;
+          float* dst = a_pack + i * kb;
           if (!trans_a) {
             const float* src = a + (i0 + i) * lda + p0;
             for (int64_t p = 0; p < kb; ++p) dst[p] = alpha * src[p];
@@ -115,7 +78,7 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alp
             for (int64_t p = 0; p < kb; ++p) dst[p] = alpha * a[(p0 + p) * lda + (i0 + i)];
           }
         }
-        block_kernel(mb, nb, kb, a_pack.data(), kb, b_pack.data(), nb, c + i0 * ldc + j0, ldc);
+        kernel(mb, nb, kb, a_pack, kb, b_pack, nb, c + i0 * ldc + j0, ldc);
       }
     }
   }

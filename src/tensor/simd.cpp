@@ -1,0 +1,102 @@
+#include "tensor/simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "obs/log.hpp"
+
+namespace shrinkbench::simd {
+
+// Defined in simd_avx2.cpp (compiled with -mavx2 -mfma); null on targets
+// where that TU compiles empty.
+extern const BlockKernelFn kAvx2BlockKernel;
+
+namespace {
+
+// Portable block kernel. Four C rows are updated per pass over a B row,
+// so each B load is amortized 4x and the inner loop autovectorizes under
+// -O3. All-zero A rows are skipped — pruned weights hit this often.
+void scalar_block_kernel(int64_t mb, int64_t nb, int64_t kb, const float* a, int64_t lda,
+                         const float* b, int64_t ldb, float* c, int64_t ldc) {
+  int64_t i = 0;
+  for (; i + 4 <= mb; i += 4) {
+    const float* a0 = a + (i + 0) * lda;
+    const float* a1 = a + (i + 1) * lda;
+    const float* a2 = a + (i + 2) * lda;
+    const float* a3 = a + (i + 3) * lda;
+    float* c0 = c + (i + 0) * ldc;
+    float* c1 = c + (i + 1) * ldc;
+    float* c2 = c + (i + 2) * ldc;
+    float* c3 = c + (i + 3) * ldc;
+    for (int64_t p = 0; p < kb; ++p) {
+      const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+      if (v0 == 0.0f && v1 == 0.0f && v2 == 0.0f && v3 == 0.0f) {
+        continue;  // pruned-weight rows hit this often
+      }
+      const float* brow = b + p * ldb;
+      for (int64_t j = 0; j < nb; ++j) {
+        const float bv = brow[j];
+        c0[j] += v0 * bv;
+        c1[j] += v1 * bv;
+        c2[j] += v2 * bv;
+        c3[j] += v3 * bv;
+      }
+    }
+  }
+  for (; i < mb; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (int64_t p = 0; p < kb; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * ldb;
+      for (int64_t j = 0; j < nb; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+Level detect_level() {
+  const char* env = std::getenv("SB_SIMD");
+  if (env != nullptr && *env != '\0') {
+    if (std::strcmp(env, "scalar") == 0) return Level::Scalar;
+    if (std::strcmp(env, "avx2") == 0) {
+      if (cpu_supports_avx2()) return Level::Avx2;
+      SB_LOG_WARN("simd", "SB_SIMD=avx2 requested but unavailable (cpu or build); using scalar");
+      return Level::Scalar;
+    }
+    SB_LOG_WARN("simd", "unknown SB_SIMD value '%s' (expected avx2|scalar); autodetecting", env);
+  }
+  return cpu_supports_avx2() ? Level::Avx2 : Level::Scalar;
+}
+
+}  // namespace
+
+bool cpu_supports_avx2() {
+  if (kAvx2BlockKernel == nullptr) return false;
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Level active_level() {
+  static const Level level = detect_level();
+  return level;
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::Avx2: return "avx2";
+    case Level::Scalar: return "scalar";
+  }
+  return "unknown";
+}
+
+BlockKernelFn block_kernel(Level level) {
+  if (level == Level::Avx2 && cpu_supports_avx2()) return kAvx2BlockKernel;
+  return scalar_block_kernel;
+}
+
+}  // namespace shrinkbench::simd

@@ -1,0 +1,48 @@
+// Runtime-dispatched GEMM block microkernels.
+//
+// gemm() packs cache blocks of op(A) and op(B) into contiguous row-major
+// scratch and hands them to a block kernel: C[mb,nb] += A[mb,kb] * B[kb,nb]
+// with A pre-scaled by alpha. Two implementations exist:
+//
+//   * Scalar  — the portable 4-row kernel (autovectorizes under -O3); it
+//               skips all-zero A rows, the pruned-weight fast path.
+//   * Avx2    — an FMA/AVX2 register-blocked microkernel (6x16 C tile held
+//               in registers) compiled in its own TU with -mavx2 -mfma so
+//               the rest of the build stays baseline-portable. It skips
+//               packed A columns that are zero across the whole micro-row
+//               group (the pruned-weight fast path, vector edition).
+//
+// The active kernel is chosen once per process: SB_SIMD=avx2|scalar wins
+// if set (an unsatisfiable request falls back to scalar with a warning),
+// otherwise cpuid picks the best kernel the CPU supports.
+#pragma once
+
+#include <cstdint>
+
+namespace shrinkbench::simd {
+
+enum class Level { Scalar = 0, Avx2 = 1 };
+
+/// Block kernel contract: C[mb,nb] += A[mb,kb] * B[kb,nb], all row-major
+/// with the given leading dimensions. A and B point into packed scratch;
+/// C points into the caller's output matrix.
+using BlockKernelFn = void (*)(int64_t mb, int64_t nb, int64_t kb, const float* a, int64_t lda,
+                               const float* b, int64_t ldb, float* c, int64_t ldc);
+
+/// True when this build has an AVX2 kernel compiled in AND the CPU
+/// reports avx2+fma at runtime.
+bool cpu_supports_avx2();
+
+/// The level selected for this process (env override or cpuid), cached
+/// after the first call.
+Level active_level();
+
+const char* level_name(Level level);
+
+/// Kernel for a specific level (tests compare them against each other).
+/// Requesting Avx2 where unsupported returns the scalar kernel.
+BlockKernelFn block_kernel(Level level);
+
+inline BlockKernelFn active_block_kernel() { return block_kernel(active_level()); }
+
+}  // namespace shrinkbench::simd

@@ -1,0 +1,126 @@
+// AVX2/FMA GEMM block microkernel. This TU is compiled with
+// -mavx2 -mfma (see src/tensor/CMakeLists.txt) and must only be entered
+// after the runtime cpuid check in simd.cpp — everything else in the
+// build stays baseline-portable.
+#include "tensor/simd.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+namespace shrinkbench::simd {
+
+namespace {
+
+constexpr int kMr = 6;         // C tile rows held in registers
+constexpr int kNr = 16;        // C tile cols: two 8-float ymm vectors
+constexpr int64_t kMaxK = 1024;  // k-chunk bound so the column mask fits on the stack
+
+// 6x16 (or fewer rows) register-blocked tile: C[ROWS,16] += A[ROWS,kc] * B[kc,16].
+// The whole C tile lives in ymm registers across the k loop; each step
+// broadcasts one A value per row and issues two FMAs against the B row.
+// With SKIP, packed A columns that are zero across every row of this
+// micro-group (precomputed in `colmask`) are skipped — the pruned-weight
+// fast path. Pruned weights are exact +0.0f, so the bitwise test in the
+// mask scan cannot miss them.
+template <int ROWS, bool SKIP>
+void tile16(int64_t kc, const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
+            int64_t ldc, const uint8_t* colmask) {
+  __m256 lo[ROWS], hi[ROWS];
+  for (int r = 0; r < ROWS; ++r) {
+    lo[r] = _mm256_loadu_ps(c + r * ldc);
+    hi[r] = _mm256_loadu_ps(c + r * ldc + 8);
+  }
+  for (int64_t p = 0; p < kc; ++p) {
+    if (SKIP && colmask[p]) continue;
+    const __m256 b0 = _mm256_loadu_ps(b + p * ldb);
+    const __m256 b1 = _mm256_loadu_ps(b + p * ldb + 8);
+    for (int r = 0; r < ROWS; ++r) {
+      const __m256 av = _mm256_set1_ps(a[r * lda + p]);
+      lo[r] = _mm256_fmadd_ps(av, b0, lo[r]);
+      hi[r] = _mm256_fmadd_ps(av, b1, hi[r]);
+    }
+  }
+  for (int r = 0; r < ROWS; ++r) {
+    _mm256_storeu_ps(c + r * ldc, lo[r]);
+    _mm256_storeu_ps(c + r * ldc + 8, hi[r]);
+  }
+}
+
+using TileFn = void (*)(int64_t, const float*, int64_t, const float*, int64_t, float*, int64_t,
+                        const uint8_t*);
+
+template <int ROWS>
+constexpr TileFn pick_tile(bool skip) {
+  return skip ? &tile16<ROWS, true> : &tile16<ROWS, false>;
+}
+
+TileFn tile_for(int rows, bool skip) {
+  switch (rows) {
+    case 1: return pick_tile<1>(skip);
+    case 2: return pick_tile<2>(skip);
+    case 3: return pick_tile<3>(skip);
+    case 4: return pick_tile<4>(skip);
+    case 5: return pick_tile<5>(skip);
+    default: return pick_tile<6>(skip);
+  }
+}
+
+void avx2_block_kernel(int64_t mb, int64_t nb, int64_t kb, const float* a, int64_t lda,
+                       const float* b, int64_t ldb, float* c, int64_t ldc) {
+  uint8_t colmask[kMaxK];
+  for (int64_t k0 = 0; k0 < kb; k0 += kMaxK) {
+    const int64_t kc = std::min(kMaxK, kb - k0);
+    const float* ak = a + k0;
+    const float* bk = b + k0 * ldb;
+    for (int64_t i = 0; i < mb; i += kMr) {
+      const int rows = static_cast<int>(std::min<int64_t>(kMr, mb - i));
+      const float* ap = ak + i * lda;
+      // Column-zero scan over this micro-row group, shared by every j
+      // tile. A column contributes nothing when all `rows` entries are
+      // +0.0f; OR-ing the bit patterns detects that without FP compares.
+      int64_t zero_cols = 0;
+      for (int64_t p = 0; p < kc; ++p) {
+        uint32_t bits = 0;
+        for (int r = 0; r < rows; ++r) bits |= std::bit_cast<uint32_t>(ap[r * lda + p]);
+        colmask[p] = bits == 0 ? 1 : 0;
+        zero_cols += colmask[p];
+      }
+      const TileFn tile = tile_for(rows, zero_cols > 0);
+      float* ci = c + i * ldc;
+      int64_t j = 0;
+      for (; j + kNr <= nb; j += kNr) tile(kc, ap, lda, bk + j, ldb, ci + j, ldc, colmask);
+      if (j < nb) {
+        // Column tail (< 16 wide): scalar, still honoring the zero mask.
+        for (int64_t p = 0; p < kc; ++p) {
+          if (colmask[p]) continue;
+          const float* brow = bk + p * ldb;
+          for (int r = 0; r < rows; ++r) {
+            const float av = ap[r * lda + p];
+            if (av == 0.0f) continue;
+            float* crow = ci + r * ldc;
+            for (int64_t jj = j; jj < nb; ++jj) crow[jj] += av * brow[jj];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+extern const BlockKernelFn kAvx2BlockKernel = &avx2_block_kernel;
+
+}  // namespace shrinkbench::simd
+
+#else  // !(__AVX2__ && __FMA__): no kernel on this target; dispatch falls back.
+
+namespace shrinkbench::simd {
+extern const BlockKernelFn kAvx2BlockKernel = nullptr;
+}  // namespace shrinkbench::simd
+
+#endif

@@ -1,0 +1,117 @@
+#include "tensor/workspace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+
+#include "obs/profile.hpp"
+
+namespace shrinkbench {
+
+namespace {
+
+constexpr size_t kAlign = 64;
+constexpr size_t kMinChunk = size_t{1} << 20;  // 1 MiB floor keeps early growth coarse
+
+size_t round_up(size_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
+
+}  // namespace
+
+Workspace& Workspace::tls() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+Workspace::~Workspace() {
+  for (Chunk& ch : chunks_) std::free(ch.data);
+}
+
+size_t Workspace::capacity() const {
+  size_t total = 0;
+  for (const Chunk& ch : chunks_) total += ch.size;
+  return total;
+}
+
+void* Workspace::get(size_t bytes) {
+  if (scope_depth_ == 0) {
+    throw std::logic_error("Workspace::get outside any Workspace::Scope");
+  }
+  const size_t need = round_up(bytes == 0 ? 1 : bytes);
+  if (chunks_.empty() || chunks_[current_].used + need > chunks_[current_].size) {
+    // Later chunks are empty under LIFO scope discipline; reuse one that
+    // fits before growing.
+    size_t idx = current_ + (chunks_.empty() ? 0 : 1);
+    while (idx < chunks_.size() && chunks_[idx].size < need) ++idx;
+    if (idx == chunks_.size()) {
+      const size_t size = std::max({need, capacity(), kMinChunk});
+      void* data = std::aligned_alloc(kAlign, size);
+      if (data == nullptr) throw std::bad_alloc();
+      chunks_.push_back(Chunk{data, size, 0});
+      ++grow_count_;
+      if (obs::profiling_enabled()) {
+        obs::count("workspace.grow");
+        obs::set_gauge("workspace.capacity_bytes", static_cast<double>(capacity()));
+      }
+    }
+    current_ = idx;
+    fragmented_ = fragmented_ || chunks_.size() > 1;
+  }
+  Chunk& ch = chunks_[current_];
+  void* p = static_cast<char*>(ch.data) + ch.used;
+  ch.used += need;
+  in_use_ += need;
+  if (in_use_ > high_water_) {
+    high_water_ = in_use_;
+    if (obs::profiling_enabled()) {
+      obs::set_gauge("workspace.high_water_bytes", static_cast<double>(high_water_));
+    }
+  }
+  return p;
+}
+
+void Workspace::release() {
+  if (scope_depth_ != 0) throw std::logic_error("Workspace::release with live scopes");
+  for (Chunk& ch : chunks_) std::free(ch.data);
+  chunks_.clear();
+  current_ = 0;
+  in_use_ = 0;
+  high_water_ = 0;
+  grow_count_ = 0;
+  fragmented_ = false;
+}
+
+Workspace::Scope::Scope() : ws_(Workspace::tls()) {
+  chunk_ = ws_.current_;
+  used_ = ws_.chunks_.empty() ? 0 : ws_.chunks_[ws_.current_].used;
+  in_use_ = ws_.in_use_;
+  ++ws_.scope_depth_;
+}
+
+Workspace::Scope::~Scope() {
+  --ws_.scope_depth_;
+  for (size_t idx = chunk_ + 1; idx < ws_.chunks_.size(); ++idx) ws_.chunks_[idx].used = 0;
+  if (chunk_ < ws_.chunks_.size()) ws_.chunks_[chunk_].used = used_;
+  ws_.current_ = chunk_;
+  ws_.in_use_ = in_use_;
+  if (ws_.scope_depth_ == 0 && ws_.fragmented_) {
+    // Idle and spread across chunks: consolidate into one allocation
+    // sized to the high-water mark so steady state never grows again.
+    for (Chunk& ch : ws_.chunks_) std::free(ch.data);
+    ws_.chunks_.clear();
+    ws_.current_ = 0;
+    ws_.fragmented_ = false;
+    const size_t size = std::max(round_up(ws_.high_water_), kMinChunk);
+    void* data = std::aligned_alloc(kAlign, size);
+    if (data != nullptr) {
+      ws_.chunks_.push_back(Chunk{data, size, 0});
+      ++ws_.grow_count_;
+      if (obs::profiling_enabled()) {
+        obs::count("workspace.grow");
+        obs::set_gauge("workspace.capacity_bytes", static_cast<double>(size));
+      }
+    }
+  }
+}
+
+}  // namespace shrinkbench

@@ -119,6 +119,20 @@ TEST(Conv2d, FlopsCountsSpatialPositions) {
   EXPECT_EQ(conv.effective_flops({2, 8, 8}), 64 * 36);
 }
 
+TEST(Conv2d, FlopsValidatesSampleShape) {
+  // Regression: flops/effective_flops used to index in[1]/in[2] without
+  // the shape check output_sample_shape performs, reading out of bounds
+  // on malformed shapes.
+  Conv2d conv("c", 2, 4, 3, 1, 1, false);
+  EXPECT_THROW(conv.flops({}), std::invalid_argument);
+  EXPECT_THROW(conv.flops({2, 8}), std::invalid_argument);      // wrong rank
+  EXPECT_THROW(conv.flops({3, 8, 8}), std::invalid_argument);   // wrong channels
+  EXPECT_THROW(conv.effective_flops({}), std::invalid_argument);
+  EXPECT_THROW(conv.effective_flops({2, 8}), std::invalid_argument);
+  EXPECT_THROW(conv.effective_flops({3, 8, 8}), std::invalid_argument);
+  EXPECT_EQ(conv.flops({2, 8, 8}), 64 * 72);  // valid shapes still work
+}
+
 TEST(Conv2d, RejectsWrongChannels) {
   Conv2d conv("c", 3, 4, 3, 1, 1);
   EXPECT_THROW(conv.forward(Tensor({1, 2, 8, 8}), false), std::invalid_argument);

@@ -8,7 +8,10 @@
 #include <filesystem>
 
 #include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
 #include "nn/checkpoint.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
 #include "nn/init.hpp"
 #include "nn/linear.hpp"
 #include "nn/loss.hpp"
@@ -16,6 +19,7 @@
 #include "nn/sequential.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/rng.hpp"
+#include "tensor/workspace.hpp"
 
 namespace shrinkbench {
 namespace {
@@ -204,6 +208,47 @@ TEST(TrainingIntegration, LearnsSeparableProblem) {
     correct += (logits(i, 0) < logits(i, 1)) == (y[static_cast<size_t>(i)] == 1);
   }
   EXPECT_GT(correct, n * 95 / 100);
+}
+
+// ---- workspace arena: steady-state training allocates no scratch ----
+
+TEST(TrainingIntegration, TrainingStepsHitWorkspaceSteadyState) {
+  auto net = std::make_unique<Sequential>("cnn");
+  net->emplace<Conv2d>("c1", 2, 4, 3, 1, 1, true);
+  net->emplace<BatchNorm2d>("bn1", 4);
+  net->emplace<ReLU>("r1");
+  net->emplace<Flatten>("fl");
+  net->emplace<Linear>("fc", 4 * 6 * 6, 3, true, true);
+  Rng rng(5);
+  init_model(*net, rng);
+
+  Tensor x({8, 2, 6, 6});
+  rng.fill_normal(x, 0, 1);
+  const std::vector<int> y = {0, 1, 2, 0, 1, 2, 0, 1};
+  SGD opt(parameters_of(*net), {.lr = 1e-2f});
+  SoftmaxCrossEntropy loss;
+
+  auto step = [&] {
+    opt.zero_grad();
+    const Tensor logits = net->forward(x, true);
+    loss.forward(logits, y);
+    net->backward(loss.backward());
+    opt.step();
+  };
+
+  step();  // warm-up: the arena grows to its high-water mark here
+  Workspace& ws = Workspace::tls();
+  const int64_t grows = ws.grow_count();
+  const size_t capacity = ws.capacity();
+  const size_t high_water = ws.high_water();
+  ASSERT_GT(capacity, 0u);
+  for (int i = 0; i < 4; ++i) step();
+  // Steady state: no further arena growth, stable high-water mark, and
+  // every step returned all of its scratch.
+  EXPECT_EQ(ws.grow_count(), grows) << "training step grew the arena after warm-up";
+  EXPECT_EQ(ws.capacity(), capacity);
+  EXPECT_EQ(ws.high_water(), high_water);
+  EXPECT_EQ(ws.in_use(), 0u) << "training step leaked arena scratch";
 }
 
 // ---- checkpointing ----

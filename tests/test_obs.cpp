@@ -21,9 +21,13 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/init.hpp"
 #include "obs/log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/profile.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/workspace.hpp"
 
 namespace shrinkbench {
 namespace {
@@ -246,6 +250,37 @@ TEST(A_ZeroOverhead, ProfilerNeverConstructedWhenDisabled) {
   EXPECT_TRUE(snap.counters.empty());
   // The actual zero-overhead guarantee: nothing above touched the
   // singleton.
+  EXPECT_FALSE(obs::Profiler::constructed());
+}
+
+TEST(A_ZeroOverhead, HotPathsNeverConstructProfilerWhenDisabled) {
+  if (std::getenv("SB_PROF") || std::getenv("SB_TRACE")) {
+    GTEST_SKIP() << "SB_PROF/SB_TRACE set in the environment";
+  }
+  // Drive the instrumented hot paths for real — gemm (counters), conv
+  // forward/backward (spans + counters + im2col/col2im counters), the
+  // workspace arena (grow counter + gauges) — and assert none of their
+  // instrumentation touched the singleton. This is the regression guard
+  // for "profiling off must be truly zero-overhead on the hot loop".
+  Rng rng(3);
+  Tensor a({9, 17}), b({17, 5});
+  rng.fill_normal(a, 0, 1);
+  rng.fill_normal(b, 0, 1);
+  (void)matmul(a, b);
+
+  Conv2d conv("zc", 2, 3, 3, 1, 1, true);
+  kaiming_normal(conv.weight().data, rng);
+  Tensor x({2, 2, 6, 6}), dy({2, 3, 6, 6});
+  rng.fill_normal(x, 0, 1);
+  rng.fill_normal(dy, 0, 1);
+  (void)conv.forward(x, true);
+  (void)conv.backward(dy);
+
+  {
+    Workspace::Scope scope;
+    (void)Workspace::tls().floats(1024);
+  }
+
   EXPECT_FALSE(obs::Profiler::constructed());
 }
 
