@@ -16,6 +16,7 @@
 #include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/simd.hpp"
+#include "tensor/threadpool.hpp"
 
 namespace sb = shrinkbench;
 
@@ -34,6 +35,29 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+// Thread-pool scaling for the same GEMM. Separate benchmark name (not an
+// extra BM_Gemm arg) so the single-thread BM_Gemm baseline entries in
+// BENCH_perf.json keep their names and stay comparable across commits.
+void BM_GemmMT(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  sb::ThreadPool& pool = sb::ThreadPool::instance();
+  const int original = pool.threads();
+  pool.set_threads(static_cast<int>(state.range(1)));
+  sb::Rng rng(1);
+  sb::Tensor a({n, n}), b({n, n});
+  rng.fill_normal(a, 0, 1);
+  rng.fill_normal(b, 0, 1);
+  for (auto _ : state) {
+    sb::Tensor c = sb::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  pool.set_threads(original);
+}
+// Wall-clock, not CPU time: the calling thread sleeps while pool workers
+// run, so the default CPU-time metric would overstate throughput.
+BENCHMARK(BM_GemmMT)->Args({256, 1})->Args({256, 2})->Args({256, 4})->Args({512, 4})->UseRealTime();
 
 void BM_GemmSparseA(benchmark::State& state) {
   // The kernel skips zero A entries; measure the pruned-weight fast path.
@@ -80,6 +104,27 @@ void BM_ConvForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * conv.flops({16, 8, 8}) * batch);
 }
 BENCHMARK(BM_ConvForward)->Arg(1)->Arg(16)->Arg(64);
+
+// Conv forward across pool widths: the batch dimension is the parallel
+// unit, so scaling shows up once batch >> threads.
+void BM_ConvForwardMT(benchmark::State& state) {
+  sb::ThreadPool& pool = sb::ThreadPool::instance();
+  const int original = pool.threads();
+  pool.set_threads(static_cast<int>(state.range(0)));
+  const int64_t batch = 64;
+  sb::Conv2d conv("c", 16, 16, 3, 1, 1, false);
+  sb::Rng rng(3);
+  sb::kaiming_normal(conv.weight().data, rng);
+  sb::Tensor x({batch, 16, 8, 8});
+  rng.fill_normal(x, 0, 1);
+  for (auto _ : state) {
+    sb::Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * conv.flops({16, 8, 8}) * batch);
+  pool.set_threads(original);
+}
+BENCHMARK(BM_ConvForwardMT)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_ConvBackward(benchmark::State& state) {
   sb::Conv2d conv("c", 16, 16, 3, 1, 1, false);

@@ -1,5 +1,7 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -7,8 +9,10 @@
 #include <ctime>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "metrics/metrics.hpp"
 #include "obs/io.hpp"
@@ -16,6 +20,7 @@
 #include "obs/log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/profile.hpp"
+#include "tensor/threadpool.hpp"
 
 namespace shrinkbench {
 
@@ -44,20 +49,25 @@ ExperimentRunner::ExperimentRunner(std::string cache_dir) : store_(std::move(cac
 
 const DatasetBundle& ExperimentRunner::dataset(const std::string& name, uint64_t data_seed) {
   const std::string key = name + "/" + std::to_string(data_seed);
+  std::lock_guard<std::mutex> lock(datasets_mu_);
   for (const auto& [k, bundle] : datasets_) {
     if (k == key) {
       obs::count("cache.dataset.hit");
-      return bundle;
+      return *bundle;
     }
   }
   obs::count("cache.dataset.miss");
-  datasets_.emplace_back(key, make_synthetic(synthetic_preset(name, data_seed)));
-  return datasets_.back().second;
+  datasets_.emplace_back(
+      key, std::make_unique<DatasetBundle>(make_synthetic(synthetic_preset(name, data_seed))));
+  return *datasets_.back().second;
 }
 
 ModelPtr ExperimentRunner::pretrained(const ExperimentConfig& config) {
   const DatasetBundle& bundle = dataset(config.dataset, config.data_seed);
   const int64_t width = config.width;
+  // Serialized so concurrent sweep workers hitting a cold checkpoint
+  // train it once; the waiters then load it from the disk cache.
+  std::lock_guard<std::mutex> lock(pretrain_mu_);
   return store_.get(bundle, config.arch, width, config.init_seed, config.pretrain,
                     config.pretrain_tag);
 }
@@ -300,6 +310,50 @@ int sweep_retries(const SweepOptions& options) {
   return 1;
 }
 
+int sweep_workers(const SweepOptions& options) {
+  long w = options.parallel;
+  if (w < 0) {
+    w = 1;
+    if (const char* env = std::getenv("SB_SWEEP_PARALLEL")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed >= 1) w = parsed;
+    }
+  }
+  return static_cast<int>(std::clamp<long>(w, 1, 64));
+}
+
+/// Runs one grid point with retries; a permanent failure comes back as a
+/// failed row carrying the error string instead of an exception.
+ExperimentResult run_one_config(ExperimentRunner& runner, const ExperimentConfig& config,
+                                int retries) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return runner.run(config);
+    } catch (const std::exception& e) {
+      obs::count("sweep.attempt_failures");
+      if (attempt < retries) {
+        obs::count("sweep.retries");
+        SB_LOG_WARN("sweep", "experiment %s x%.0f seed=%llu failed (attempt %d/%d): "
+                    "%s — retrying",
+                    config.strategy.c_str(), config.target_compression,
+                    static_cast<unsigned long long>(config.run_seed), attempt + 1, retries + 1,
+                    e.what());
+        continue;
+      }
+      obs::count("sweep.failures");
+      SB_LOG_ERROR("sweep", "experiment %s x%.0f seed=%llu failed permanently after "
+                   "%d attempt(s): %s",
+                   config.strategy.c_str(), config.target_compression,
+                   static_cast<unsigned long long>(config.run_seed), attempt + 1, e.what());
+      ExperimentResult result;
+      result.config = config;
+      result.failed = true;
+      result.error = e.what();
+      return result;
+    }
+  }
+}
+
 /// Appends finished rows to the sweep CSV as they complete, one flushed
 /// line per row, so a crash or kill -9 loses nothing already computed.
 class IncrementalCsv {
@@ -355,6 +409,26 @@ std::vector<ExperimentResult> run_sweep(ExperimentRunner& runner, const Experime
   const int retries = sweep_retries(options);
   IncrementalCsv csv(options.csv_path, options.append);
 
+  // Flatten the grid in (strategy, compression, seed) order — the row
+  // order of the sequential sweep, which the parallel path preserves by
+  // flushing completed slots as a contiguous prefix.
+  std::vector<ExperimentConfig> grid;
+  grid.reserve(sum.total);
+  for (const std::string& strategy : strategies) {
+    for (const double ratio : compressions) {
+      for (const uint64_t seed : run_seeds) {
+        ExperimentConfig config = base;
+        config.strategy = strategy;
+        config.target_compression = ratio;
+        config.run_seed = seed;
+        grid.push_back(std::move(config));
+      }
+    }
+  }
+
+  const int workers =
+      std::min<int>(sweep_workers(options), std::max<int>(1, static_cast<int>(grid.size())));
+
   const auto sweep_start = std::chrono::steady_clock::now();
   // ETA bookkeeping: only cache-miss (actually computed) experiments
   // count, otherwise a mostly-cached sweep predicts an absurdly
@@ -362,85 +436,112 @@ std::vector<ExperimentResult> run_sweep(ExperimentRunner& runner, const Experime
   double miss_seconds = 0.0;
   size_t misses = 0;
   SB_PROFILE_SCOPE("sweep");
-  for (const std::string& strategy : strategies) {
-    for (const double ratio : compressions) {
-      for (const uint64_t seed : run_seeds) {
+
+  // Shared sweep state. Everything below mu is claim/flush bookkeeping;
+  // the experiments themselves run outside the lock.
+  std::vector<ExperimentResult> slots(grid.size());
+  std::vector<char> done(grid.size(), 0);
+  size_t flushed = 0;
+  std::atomic<size_t> next{0};
+  std::atomic<bool> stop{false};
+  std::exception_ptr first_error;
+  std::mutex mu;
+
+  auto worker = [&](bool serialize_inner) {
+    // Sweep workers own experiment-level parallelism: inner parallel_for
+    // calls run serially so N workers do not oversubscribe N*pool
+    // threads, and each experiment's arithmetic stays bit-identical to a
+    // sequential run. The workers==1 inline path skips the guard and
+    // keeps op-level parallelism instead.
+    std::optional<ThreadPool::SerialGuard> guard;
+    if (serialize_inner) guard.emplace();
+    for (;;) {
+      size_t i;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stop.load(std::memory_order_relaxed)) return;
         if (obs::fault_point("sweep.interrupt")) request_sweep_interrupt();
         if (sweep_interrupt_requested()) {
           sum.interrupted = true;
-          SB_LOG_WARN("sweep", "interrupted after %zu/%zu experiments — flushed state is "
-                      "complete; rerun to resume from the result cache",
-                      sum.completed, sum.total);
-          return results;
+          stop.store(true, std::memory_order_relaxed);
+          return;
         }
         if (obs::fault_point("sweep.abort")) {
-          throw std::runtime_error("injected sweep abort (SB_FAULT=sweep.abort)");
-        }
-        ExperimentConfig config = base;
-        config.strategy = strategy;
-        config.target_compression = ratio;
-        config.run_seed = seed;
-
-        ExperimentResult result;
-        const auto exp_start = std::chrono::steady_clock::now();
-        for (int attempt = 0; ; ++attempt) {
-          try {
-            result = runner.run(config);
-            break;
-          } catch (const std::exception& e) {
-            obs::count("sweep.attempt_failures");
-            if (attempt < retries) {
-              obs::count("sweep.retries");
-              SB_LOG_WARN("sweep", "experiment %s x%.0f seed=%llu failed (attempt %d/%d): "
-                          "%s — retrying",
-                          strategy.c_str(), ratio, static_cast<unsigned long long>(seed),
-                          attempt + 1, retries + 1, e.what());
-              continue;
-            }
-            obs::count("sweep.failures");
-            SB_LOG_ERROR("sweep", "experiment %s x%.0f seed=%llu failed permanently after "
-                         "%d attempt(s): %s",
-                         strategy.c_str(), ratio, static_cast<unsigned long long>(seed),
-                         attempt + 1, e.what());
-            result = ExperimentResult{};
-            result.config = config;
-            result.failed = true;
-            result.error = e.what();
-            ++sum.failures;
-            break;
+          if (!first_error) {
+            first_error = std::make_exception_ptr(
+                std::runtime_error("injected sweep abort (SB_FAULT=sweep.abort)"));
           }
+          stop.store(true, std::memory_order_relaxed);
+          return;
         }
-        if (result.from_cache) {
-          ++sum.cache_hits;
-        } else if (!result.failed) {
-          miss_seconds +=
-              std::chrono::duration<double>(std::chrono::steady_clock::now() - exp_start)
-                  .count();
-          ++misses;
-        }
-        results.push_back(std::move(result));
+        i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= grid.size()) return;
+      }
+
+      const auto exp_start = std::chrono::steady_clock::now();
+      ExperimentResult result = run_one_config(runner, grid[i], retries);
+
+      std::lock_guard<std::mutex> lock(mu);
+      if (result.failed) {
+        ++sum.failures;
+      } else if (result.from_cache) {
+        ++sum.cache_hits;
+      } else {
+        miss_seconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - exp_start).count();
+        ++misses;
+      }
+      slots[i] = std::move(result);
+      done[i] = 1;
+      // Emit every newly contiguous row: grid order in the CSV and the
+      // returned vector, whatever order workers finish in.
+      while (flushed < grid.size() && done[flushed]) {
+        results.push_back(std::move(slots[flushed]));
+        ++flushed;
         ++sum.completed;
-        csv.write_line(experiment_csv_row(results.back()));
+        const ExperimentResult& r = results.back();
+        csv.write_line(experiment_csv_row(r));
 
         const double elapsed =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
                 .count();
         const double eta = misses > 0 ? miss_seconds / static_cast<double>(misses) *
-                                            static_cast<double>(sum.total - sum.completed)
+                                            static_cast<double>(sum.total - sum.completed) /
+                                            static_cast<double>(workers)
                                       : 0.0;
         char outcome[48];
-        if (results.back().failed) {
+        if (r.failed) {
           std::snprintf(outcome, sizeof(outcome), "FAILED");
         } else {
-          std::snprintf(outcome, sizeof(outcome), "top1 %.4f", results.back().post_top1);
+          std::snprintf(outcome, sizeof(outcome), "top1 %.4f", r.post_top1);
         }
         SB_LOG_INFO("sweep", "%zu/%zu %s %s x%.0f seed=%llu -> %s (c=%.2f) "
                     "[elapsed %.1fs, eta %.1fs]",
-                    sum.completed, sum.total, base.arch.c_str(), strategy.c_str(), ratio,
-                    static_cast<unsigned long long>(seed), outcome,
-                    results.back().compression, elapsed, eta);
+                    sum.completed, sum.total, r.config.arch.c_str(), r.config.strategy.c_str(),
+                    r.config.target_compression,
+                    static_cast<unsigned long long>(r.config.run_seed), outcome, r.compression,
+                    elapsed, eta);
       }
     }
+  };
+
+  if (workers <= 1) {
+    worker(/*serialize_inner=*/false);
+  } else {
+    SB_LOG_INFO("sweep", "sharding %zu experiments across %d workers (SB_SWEEP_PARALLEL)",
+                sum.total, workers);
+    std::vector<std::thread> crew;
+    crew.reserve(static_cast<size_t>(workers));
+    for (int t = 0; t < workers; ++t) {
+      crew.emplace_back([&worker] { worker(/*serialize_inner=*/true); });
+    }
+    for (std::thread& th : crew) th.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  if (sum.interrupted) {
+    SB_LOG_WARN("sweep", "interrupted after %zu/%zu experiments — flushed state is "
+                "complete; rerun to resume from the result cache",
+                sum.completed, sum.total);
   }
   return results;
 }

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -87,6 +89,12 @@ std::string config_fingerprint(const ExperimentConfig& config);
 /// results are additionally cached on disk by config fingerprint, so
 /// benches that share configurations (e.g. Figure 6 and Figures 17-18) pay
 /// for each experiment once.
+///
+/// Thread safety: run() may be called concurrently from several sweep
+/// workers. The dataset cache hands out stable addresses (entries are
+/// heap-allocated and never moved) behind a mutex, and pretrained-model
+/// fetches are serialized so a cold checkpoint is trained once — the
+/// second worker finds it in the disk cache instead of retraining.
 class ExperimentRunner {
  public:
   explicit ExperimentRunner(std::string cache_dir = default_cache_dir());
@@ -101,7 +109,12 @@ class ExperimentRunner {
 
  private:
   PretrainedStore store_;
-  std::vector<std::pair<std::string, DatasetBundle>> datasets_;  // keyed by "name/seed"
+  // Keyed by "name/seed"; unique_ptr keeps bundle addresses stable across
+  // cache growth, so references handed to one sweep worker survive
+  // another worker's insert.
+  std::vector<std::pair<std::string, std::unique_ptr<DatasetBundle>>> datasets_;
+  std::mutex datasets_mu_;
+  std::mutex pretrain_mu_;
 };
 
 /// Knobs for run_sweep's fault tolerance and incremental output.
@@ -117,6 +130,13 @@ struct SweepOptions {
   /// Extra attempts for an experiment that throws; -1 reads SB_RETRIES
   /// from the environment (default 1).
   int retries = -1;
+  /// Worker threads sharding the sweep's independent grid points; -1
+  /// reads SB_SWEEP_PARALLEL from the environment (default 1 =
+  /// sequential). Workers run with the tensor thread pool disabled for
+  /// their experiments (experiment-level parallelism replaces op-level),
+  /// so each experiment still computes bit-identical results; rows are
+  /// emitted in grid order regardless of completion order.
+  int parallel = -1;
 };
 
 /// What actually happened during a sweep — benches fold this into their

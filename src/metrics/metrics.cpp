@@ -4,8 +4,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include <cstring>
+#include <vector>
+
 #include "obs/profile.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/threadpool.hpp"
 
 namespace shrinkbench {
 
@@ -55,20 +59,56 @@ double topk_accuracy(const Tensor& logits, const std::vector<int>& labels, int64
 EvalResult evaluate(Model& model, const Dataset& dataset, int64_t batch_size) {
   SB_PROFILE_SCOPE("evaluate");
   obs::count("eval.calls");
-  DataLoader loader(dataset, batch_size, /*shuffle=*/false, /*seed=*/0);
-  SoftmaxCrossEntropy loss_fn;
+  if (batch_size <= 0) throw std::invalid_argument("evaluate: batch_size must be positive");
+  const int64_t n_samples = dataset.size();
+  if (n_samples == 0) throw std::invalid_argument("evaluate: empty dataset");
+  const Shape sample = dataset.sample_shape();
+  const int64_t sample_numel = numel_of(sample);
+  const int64_t n_batches = (n_samples + batch_size - 1) / batch_size;
+
+  // Eval-mode forward is write-free for every layer, so independent
+  // batches can run concurrently against the shared model. Batches are
+  // materialised directly from the dataset (identical bytes to the
+  // sequential no-shuffle DataLoader) and each chunk scores with its own
+  // SoftmaxCrossEntropy so no loss-layer cache is shared across threads.
+  struct Partial {
+    double loss = 0.0, top1 = 0.0, top5 = 0.0;
+    int64_t samples = 0;
+  };
+  std::vector<Partial> partials(static_cast<size_t>(n_batches));
+  parallel_for(0, n_batches, /*grain=*/1, [&](int64_t b0, int64_t b1) {
+    SoftmaxCrossEntropy loss_fn;
+    for (int64_t bi = b0; bi < b1; ++bi) {
+      const int64_t lo = bi * batch_size;
+      const int64_t take = std::min(batch_size, n_samples - lo);
+      Batch batch;
+      batch.x = Tensor({take, sample[0], sample[1], sample[2]});
+      batch.y.resize(static_cast<size_t>(take));
+      std::memcpy(batch.x.data(), dataset.images.data() + lo * sample_numel,
+                  static_cast<size_t>(take * sample_numel) * sizeof(float));
+      for (int64_t i = 0; i < take; ++i) {
+        batch.y[static_cast<size_t>(i)] = dataset.labels[static_cast<size_t>(lo + i)];
+      }
+      const Tensor logits = model.forward(batch.x, /*train=*/false);
+      const double b = static_cast<double>(take);
+      Partial& p = partials[static_cast<size_t>(bi)];
+      p.loss = loss_fn.forward(logits, batch.y) * b;
+      p.top1 = topk_accuracy(logits, batch.y, 1) * b;
+      p.top5 = topk_accuracy(logits, batch.y, 5) * b;
+      p.samples = take;
+    }
+  });
+
+  // Reduce in batch order — the exact accumulation sequence of the old
+  // sequential loop, so the result is bit-identical for any thread count.
   EvalResult result;
   double top1 = 0.0, top5 = 0.0, loss = 0.0;
-  Batch batch;
-  while (loader.next(batch)) {
-    const Tensor logits = model.forward(batch.x, /*train=*/false);
-    const double b = static_cast<double>(batch.x.size(0));
-    loss += loss_fn.forward(logits, batch.y) * b;
-    top1 += topk_accuracy(logits, batch.y, 1) * b;
-    top5 += topk_accuracy(logits, batch.y, 5) * b;
-    result.samples += batch.x.size(0);
+  for (const Partial& p : partials) {
+    loss += p.loss;
+    top1 += p.top1;
+    top5 += p.top5;
+    result.samples += p.samples;
   }
-  if (result.samples == 0) throw std::invalid_argument("evaluate: empty dataset");
   const double n = static_cast<double>(result.samples);
   result.top1 = top1 / n;
   result.top5 = top5 / n;

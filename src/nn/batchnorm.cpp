@@ -1,12 +1,25 @@
 #include "nn/batchnorm.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
 
+#include "tensor/threadpool.hpp"
 #include "tensor/workspace.hpp"
 
 namespace shrinkbench {
+
+namespace {
+// Floor on elements per parallel chunk for the per-channel / per-plane
+// loops below; every chunk owns whole channels or whole (sample,
+// channel) planes, so the partition cannot change any output bit.
+constexpr int64_t kMinElemsPerChunk = int64_t{1} << 16;
+
+int64_t chunk_grain(int64_t per_index_elems) {
+  return std::max<int64_t>(1, kMinElemsPerChunk / std::max<int64_t>(per_index_elems, 1));
+}
+}  // namespace
 
 BatchNorm2d::BatchNorm2d(std::string name, int64_t channels, float eps, float momentum)
     : Layer(std::move(name)),
@@ -48,18 +61,23 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
     double* sum2 = static_cast<double*>(ws.get(nc * sizeof(double)));
     std::memset(sum, 0, nc * sizeof(double));
     std::memset(sum2, 0, nc * sizeof(double));
-    for (int64_t i = 0; i < n; ++i) {
-      for (int64_t c = 0; c < channels_; ++c) {
-        const float* src = x.data() + (i * channels_ + c) * spatial;
-        double s = 0.0, s2 = 0.0;
-        for (int64_t k = 0; k < spatial; ++k) {
-          s += src[k];
-          s2 += static_cast<double>(src[k]) * src[k];
+    // Channel-outer so each sum[c] is owned by one chunk and accumulates
+    // its per-sample partials in ascending-i order — the same order as a
+    // sample-outer loop, hence bit-identical for any thread count.
+    parallel_for(0, channels_, chunk_grain(per_channel), [&](int64_t c0, int64_t c1) {
+      for (int64_t c = c0; c < c1; ++c) {
+        for (int64_t i = 0; i < n; ++i) {
+          const float* src = x.data() + (i * channels_ + c) * spatial;
+          double s = 0.0, s2 = 0.0;
+          for (int64_t k = 0; k < spatial; ++k) {
+            s += src[k];
+            s2 += static_cast<double>(src[k]) * src[k];
+          }
+          sum[c] += s;
+          sum2[c] += s2;
         }
-        sum[c] += s;
-        sum2[c] += s2;
       }
-    }
+    });
     for (int64_t c = 0; c < channels_; ++c) {
       const float m = static_cast<float>(sum[c] / per_channel);
       float var = static_cast<float>(sum2[c] / per_channel - static_cast<double>(m) * m);
@@ -77,11 +95,14 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
     }
   }
 
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t c = 0; c < channels_; ++c) {
-      const float* src = x.data() + (i * channels_ + c) * spatial;
-      float* dst = y.data() + (i * channels_ + c) * spatial;
-      float* xh = train ? cached_xhat_.data() + (i * channels_ + c) * spatial : nullptr;
+  // Normalize pass: each (sample, channel) plane is written by exactly
+  // one chunk, so the fan-out cannot change any output bit.
+  parallel_for(0, n * channels_, chunk_grain(spatial), [&](int64_t p0, int64_t p1) {
+    for (int64_t p = p0; p < p1; ++p) {
+      const int64_t c = p % channels_;
+      const float* src = x.data() + p * spatial;
+      float* dst = y.data() + p * spatial;
+      float* xh = train ? cached_xhat_.data() + p * spatial : nullptr;
       const float m = mean[c], is = inv_std[c];
       const float g = gamma_.data.at(c), b = beta_.data.at(c);
       for (int64_t k = 0; k < spatial; ++k) {
@@ -90,7 +111,7 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
         dst[k] = g * xhat + b;
       }
     }
-  }
+  });
   return y;
 }
 
@@ -108,19 +129,23 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
   double* sum_dy_xhat = static_cast<double*>(ws.get(nc * sizeof(double)));
   std::memset(sum_dy, 0, nc * sizeof(double));
   std::memset(sum_dy_xhat, 0, nc * sizeof(double));
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t c = 0; c < channels_; ++c) {
-      const float* dy = grad_out.data() + (i * channels_ + c) * spatial;
-      const float* xh = cached_xhat_.data() + (i * channels_ + c) * spatial;
-      double s = 0.0, sx = 0.0;
-      for (int64_t k = 0; k < spatial; ++k) {
-        s += dy[k];
-        sx += static_cast<double>(dy[k]) * xh[k];
+  // Channel-outer: each channel's sums are owned by one chunk and keep
+  // the ascending-i accumulation order of the sequential loop.
+  parallel_for(0, channels_, chunk_grain(per_channel), [&](int64_t c0, int64_t c1) {
+    for (int64_t c = c0; c < c1; ++c) {
+      for (int64_t i = 0; i < n; ++i) {
+        const float* dy = grad_out.data() + (i * channels_ + c) * spatial;
+        const float* xh = cached_xhat_.data() + (i * channels_ + c) * spatial;
+        double s = 0.0, sx = 0.0;
+        for (int64_t k = 0; k < spatial; ++k) {
+          s += dy[k];
+          sx += static_cast<double>(dy[k]) * xh[k];
+        }
+        sum_dy[c] += s;
+        sum_dy_xhat[c] += sx;
       }
-      sum_dy[c] += s;
-      sum_dy_xhat[c] += sx;
     }
-  }
+  });
 
   float* scale = ws.floats(nc);
   float* mean_dy = ws.floats(nc);
@@ -134,17 +159,18 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
   }
 
   Tensor dx(grad_out.shape());
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t c = 0; c < channels_; ++c) {
-      const float* dy = grad_out.data() + (i * channels_ + c) * spatial;
-      const float* xh = cached_xhat_.data() + (i * channels_ + c) * spatial;
-      float* dst = dx.data() + (i * channels_ + c) * spatial;
+  parallel_for(0, n * channels_, chunk_grain(spatial), [&](int64_t p0, int64_t p1) {
+    for (int64_t p = p0; p < p1; ++p) {
+      const int64_t c = p % channels_;
+      const float* dy = grad_out.data() + p * spatial;
+      const float* xh = cached_xhat_.data() + p * spatial;
+      float* dst = dx.data() + p * spatial;
       const float sc = scale[c], mdy = mean_dy[c], mdyx = mean_dy_xhat[c];
       for (int64_t k = 0; k < spatial; ++k) {
         dst[k] = sc * (dy[k] - mdy - xh[k] * mdyx);
       }
     }
-  }
+  });
   return dx;
 }
 

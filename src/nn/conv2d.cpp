@@ -1,11 +1,13 @@
 #include "nn/conv2d.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
 #include "obs/profile.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/threadpool.hpp"
 #include "tensor/workspace.hpp"
 
 namespace shrinkbench {
@@ -23,33 +25,45 @@ bool cache_cols_enabled() {
   return enabled;
 }
 
+// Per-sample loops fan out over the pool with this floor on elements per
+// chunk; samples are disjoint, so partitioning cannot change any value.
+constexpr int64_t kMinElemsPerChunk = int64_t{1} << 16;
+
+int64_t sample_grain(int64_t per_sample_elems) {
+  return std::max<int64_t>(1, kMinElemsPerChunk / std::max<int64_t>(per_sample_elems, 1));
+}
+
 // Gathers NCHW activations [n, c, oh*ow] into channel-major [c, n*oh*ow]
 // (and scatters back), so a whole minibatch becomes one GEMM operand.
 void gather_channel_major(const float* nchw, int64_t n, int64_t c, int64_t spatial, float* cm) {
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      const float* src = nchw + (i * c + ch) * spatial;
-      std::copy(src, src + spatial, cm + ch * (n * spatial) + i * spatial);
+  parallel_for(0, n, sample_grain(c * spatial), [&](int64_t n0, int64_t n1) {
+    for (int64_t i = n0; i < n1; ++i) {
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const float* src = nchw + (i * c + ch) * spatial;
+        std::copy(src, src + spatial, cm + ch * (n * spatial) + i * spatial);
+      }
     }
-  }
+  });
 }
 
 // The scatter direction fuses the per-channel bias add (bias == nullptr
 // for bias-free layers), saving a second full pass over the output.
 void scatter_channel_major(const float* cm, int64_t n, int64_t c, int64_t spatial, float* nchw,
                            const float* bias) {
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      const float* src = cm + ch * (n * spatial) + i * spatial;
-      float* dst = nchw + (i * c + ch) * spatial;
-      if (bias == nullptr) {
-        std::copy(src, src + spatial, dst);
-      } else {
-        const float b = bias[ch];
-        for (int64_t s = 0; s < spatial; ++s) dst[s] = src[s] + b;
+  parallel_for(0, n, sample_grain(c * spatial), [&](int64_t n0, int64_t n1) {
+    for (int64_t i = n0; i < n1; ++i) {
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const float* src = cm + ch * (n * spatial) + i * spatial;
+        float* dst = nchw + (i * c + ch) * spatial;
+        if (bias == nullptr) {
+          std::copy(src, src + spatial, dst);
+        } else {
+          const float b = bias[ch];
+          for (int64_t s = 0; s < spatial; ++s) dst[s] = src[s] + b;
+        }
       }
     }
-  }
+  });
 }
 
 }  // namespace
@@ -104,11 +118,17 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
     cached_cols_valid_ = true;
   } else {
     cols = ws.floats(cols_numel);
-    cached_cols_valid_ = false;
+    // Only a training forward may touch the validity flag: eval-mode
+    // forward must stay write-free so concurrent evaluate() batches can
+    // share one model, and the (cached_input_, cached_cols_) pair from
+    // the last training forward stays mutually consistent for backward.
+    if (train) cached_cols_valid_ = false;
   }
-  for (int64_t i = 0; i < n; ++i) {
-    im2col_ld(g, x.data() + i * image_numel, cols + i * g.col_cols(), ld);
-  }
+  parallel_for(0, n, sample_grain(g.col_rows() * g.col_cols()), [&](int64_t n0, int64_t n1) {
+    for (int64_t i = n0; i < n1; ++i) {
+      im2col_ld(g, x.data() + i * image_numel, cols + i * g.col_cols(), ld);
+    }
+  });
   float* out_cm = ws.floats(static_cast<size_t>(out_c_ * ld));
   gemm(false, false, out_c_, ld, g.col_rows(), 1.0f, weight_.data.data(), g.col_rows(), cols, ld,
        0.0f, out_cm, ld);
@@ -142,9 +162,11 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
     // Recompute the batched column matrix (cheaper than caching it in
     // memory-constrained runs; see SB_CONV_CACHE_COLS).
     float* scratch = ws.floats(static_cast<size_t>(g.col_rows() * ld));
-    for (int64_t i = 0; i < n; ++i) {
-      im2col_ld(g, x.data() + i * image_numel, scratch + i * g.col_cols(), ld);
-    }
+    parallel_for(0, n, sample_grain(g.col_rows() * g.col_cols()), [&](int64_t n0, int64_t n1) {
+      for (int64_t i = n0; i < n1; ++i) {
+        im2col_ld(g, x.data() + i * image_numel, scratch + i * g.col_cols(), ld);
+      }
+    });
     cols = scratch;
   }
   float* dy_cm = ws.floats(static_cast<size_t>(out_c_ * ld));
@@ -159,20 +181,27 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
        g.col_rows(), dy_cm, ld, 0.0f, dcols, ld);
 
   Tensor dx(x.shape());
-  for (int64_t i = 0; i < n; ++i) {
-    col2im_ld(g, dcols + i * g.col_cols(), ld, dx.data() + i * image_numel);
-  }
+  parallel_for(0, n, sample_grain(g.col_rows() * g.col_cols()), [&](int64_t n0, int64_t n1) {
+    for (int64_t i = n0; i < n1; ++i) {
+      col2im_ld(g, dcols + i * g.col_cols(), ld, dx.data() + i * image_numel);
+    }
+  });
   if (has_bias_) {
     float* bg = bias_.grad.data();
     const float* gp = grad_out.data();
-    for (int64_t i = 0; i < n; ++i) {
-      for (int64_t c = 0; c < out_c_; ++c) {
-        const float* src = gp + (i * out_c_ + c) * spatial;
-        double s = 0.0;
-        for (int64_t sp = 0; sp < spatial; ++sp) s += src[sp];
-        bg[c] += static_cast<float>(s);
+    // Channel-outer so each bg[c] is owned by one chunk and accumulates
+    // its per-sample sums in ascending-i order — the same order as the
+    // old sample-outer loop, hence bit-identical for any thread count.
+    parallel_for(0, out_c_, sample_grain(n * spatial), [&](int64_t c0, int64_t c1) {
+      for (int64_t c = c0; c < c1; ++c) {
+        for (int64_t i = 0; i < n; ++i) {
+          const float* src = gp + (i * out_c_ + c) * spatial;
+          double s = 0.0;
+          for (int64_t sp = 0; sp < spatial; ++sp) s += src[sp];
+          bg[c] += static_cast<float>(s);
+        }
       }
-    }
+    });
   }
   return dx;
 }

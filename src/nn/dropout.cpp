@@ -14,18 +14,35 @@ Dropout::Dropout(std::string name, float p, uint64_t seed)
 }
 
 Tensor Dropout::forward(const Tensor& x, bool train) {
-  if (!train || p_ == 0.0f) return x;
+  if (!train || p_ == 0.0f) {
+    // An eval forward applies no mask, so a mask left over from an
+    // earlier training forward is now stale: a later backward must not
+    // multiply it in (it would silently mis-scale gradients). Invalidate
+    // instead of clearing the tensor — the store is atomic, keeping
+    // concurrent eval-mode forwards over a shared model race-free.
+    if (!train) mask_valid_.store(false, std::memory_order_relaxed);
+    return x;
+  }
   cached_mask_ = Tensor(x.shape());
   const float keep_scale = 1.0f / (1.0f - p_);
   for (float& m : cached_mask_.flat()) {
     m = rng_.bernoulli(p_) ? 0.0f : keep_scale;
   }
+  mask_valid_.store(true, std::memory_order_relaxed);
   return ops::mul(x, cached_mask_);
 }
 
 Tensor Dropout::backward(const Tensor& grad_out) {
   if (p_ == 0.0f) return grad_out;
-  if (cached_mask_.empty()) throw std::logic_error(name() + ": backward before forward");
+  if (!mask_valid_.load(std::memory_order_relaxed)) {
+    throw std::logic_error(name() + ": backward without a preceding training forward "
+                           "(the last forward was eval-mode, so no dropout mask was applied)");
+  }
+  if (!cached_mask_.same_shape(grad_out)) {
+    throw std::logic_error(name() + ": grad shape " + to_string(grad_out.shape()) +
+                           " does not match dropout mask shape " +
+                           to_string(cached_mask_.shape()));
+  }
   return ops::mul(grad_out, cached_mask_);
 }
 

@@ -7,6 +7,8 @@
 // measures how much the choice moves pruning results.
 #pragma once
 
+#include <atomic>
+
 #include "nn/layer.hpp"
 #include "tensor/rng.hpp"
 
@@ -29,6 +31,11 @@ class Dropout : public Layer {
   float p_;
   Rng rng_;
   Tensor cached_mask_;  // scaled keep-mask from the last training forward
+  // False until a training forward draws a mask, and reset by every
+  // eval-mode forward: backward must never reuse a mask that the most
+  // recent forward did not apply. Atomic so concurrent eval-mode
+  // forwards (parallel evaluate() batches) may share the layer.
+  std::atomic<bool> mask_valid_{false};
 };
 
 }  // namespace shrinkbench

@@ -1,13 +1,34 @@
 #include "nn/pool.hpp"
 
-#include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace shrinkbench {
 
 namespace {
-int64_t pooled_extent(int64_t in, int64_t kernel, int64_t stride) {
+// Pooling here has no padding, so the window grid must tile the input
+// exactly; silently truncating a ragged edge ((in - kernel) % stride)
+// would drop input columns/rows from both forward and backward without
+// any indication. Reject it loudly instead.
+int64_t pooled_extent(const std::string& name, int64_t in, int64_t kernel, int64_t stride) {
+  if (in < kernel) {
+    throw std::invalid_argument(name + ": input extent " + std::to_string(in) +
+                                " smaller than kernel " + std::to_string(kernel));
+  }
+  if ((in - kernel) % stride != 0) {
+    throw std::invalid_argument(
+        name + ": input extent " + std::to_string(in) + " is not exactly tiled by kernel " +
+        std::to_string(kernel) + " / stride " + std::to_string(stride) +
+        " — pooling would silently drop the trailing " +
+        std::to_string((in - kernel) % stride) + " element(s)");
+  }
   return (in - kernel) / stride + 1;
+}
+void check_kernel_stride(const std::string& name, int64_t kernel, int64_t stride) {
+  if (kernel < 1 || stride < 1) {
+    throw std::invalid_argument(name + ": kernel and stride must be >= 1, got kernel=" +
+                                std::to_string(kernel) + " stride=" + std::to_string(stride));
+  }
 }
 void check_4d(const Tensor& x, const std::string& name) {
   if (x.dim() != 4) {
@@ -17,12 +38,15 @@ void check_4d(const Tensor& x, const std::string& name) {
 }  // namespace
 
 MaxPool2d::MaxPool2d(std::string name, int64_t kernel, int64_t stride)
-    : Layer(std::move(name)), kernel_(kernel), stride_(stride) {}
+    : Layer(std::move(name)), kernel_(kernel), stride_(stride) {
+  check_kernel_stride(this->name(), kernel, stride);
+}
 
 Tensor MaxPool2d::forward(const Tensor& x, bool train) {
   check_4d(x, name());
   const int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
-  const int64_t oh = pooled_extent(h, kernel_, stride_), ow = pooled_extent(w, kernel_, stride_);
+  const int64_t oh = pooled_extent(name(), h, kernel_, stride_),
+                ow = pooled_extent(name(), w, kernel_, stride_);
   Tensor y({n, c, oh, ow});
   if (train) {
     cached_in_shape_ = x.shape();
@@ -35,8 +59,16 @@ Tensor MaxPool2d::forward(const Tensor& x, bool train) {
       const int64_t plane_base = (i * c + ch) * h * w;
       for (int64_t oy = 0; oy < oh; ++oy) {
         for (int64_t ox = 0; ox < ow; ++ox, ++out_idx) {
-          float best = -std::numeric_limits<float>::infinity();
-          int64_t best_idx = 0;
+          // Seed best/best_idx from the window's own first element. With
+          // a -inf seed and best_idx = 0, an all-NaN or all--inf window
+          // (every `v > best` comparison false) kept best_idx = 0 and
+          // backward routed this window's gradient to element 0 of the
+          // whole batch tensor — a different image. Seeding keeps the
+          // argmax inside the window, and a NaN seed sticks (NaN
+          // comparisons are false), so NaN propagates to the output.
+          const int64_t first = (oy * stride_) * w + ox * stride_;
+          float best = plane[first];
+          int64_t best_idx = plane_base + first;
           for (int64_t ky = 0; ky < kernel_; ++ky) {
             for (int64_t kx = 0; kx < kernel_; ++kx) {
               const int64_t yy = oy * stride_ + ky, xx = ox * stride_ + kx;
@@ -67,16 +99,20 @@ Tensor MaxPool2d::backward(const Tensor& grad_out) {
 
 Shape MaxPool2d::output_sample_shape(const Shape& in) const {
   if (in.size() != 3) throw std::invalid_argument(name() + ": bad sample shape " + to_string(in));
-  return {in[0], pooled_extent(in[1], kernel_, stride_), pooled_extent(in[2], kernel_, stride_)};
+  return {in[0], pooled_extent(name(), in[1], kernel_, stride_),
+          pooled_extent(name(), in[2], kernel_, stride_)};
 }
 
 AvgPool2d::AvgPool2d(std::string name, int64_t kernel, int64_t stride)
-    : Layer(std::move(name)), kernel_(kernel), stride_(stride) {}
+    : Layer(std::move(name)), kernel_(kernel), stride_(stride) {
+  check_kernel_stride(this->name(), kernel, stride);
+}
 
 Tensor AvgPool2d::forward(const Tensor& x, bool train) {
   check_4d(x, name());
   const int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
-  const int64_t oh = pooled_extent(h, kernel_, stride_), ow = pooled_extent(w, kernel_, stride_);
+  const int64_t oh = pooled_extent(name(), h, kernel_, stride_),
+                ow = pooled_extent(name(), w, kernel_, stride_);
   if (train) cached_in_shape_ = x.shape();
   Tensor y({n, c, oh, ow});
   const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
@@ -128,7 +164,8 @@ Tensor AvgPool2d::backward(const Tensor& grad_out) {
 
 Shape AvgPool2d::output_sample_shape(const Shape& in) const {
   if (in.size() != 3) throw std::invalid_argument(name() + ": bad sample shape " + to_string(in));
-  return {in[0], pooled_extent(in[1], kernel_, stride_), pooled_extent(in[2], kernel_, stride_)};
+  return {in[0], pooled_extent(name(), in[1], kernel_, stride_),
+          pooled_extent(name(), in[2], kernel_, stride_)};
 }
 
 Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {

@@ -5,6 +5,7 @@
 
 #include "obs/profile.hpp"
 #include "tensor/simd.hpp"
+#include "tensor/threadpool.hpp"
 #include "tensor/workspace.hpp"
 
 namespace shrinkbench {
@@ -16,6 +17,10 @@ constexpr int64_t kBlockM = 64;
 constexpr int64_t kBlockN = 256;
 constexpr int64_t kBlockK = 256;
 
+// Don't fan a GEMM out unless each chunk carries at least this many
+// multiply-adds; below it the pool handoff costs more than it saves.
+constexpr int64_t kMinMaddsPerChunk = int64_t{1} << 19;
+
 }  // namespace
 
 void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha, const float* a,
@@ -23,14 +28,20 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alp
   if (m < 0 || n < 0 || k < 0) throw std::invalid_argument("gemm: negative dimension");
   if (obs::profiling_enabled()) obs::count("gemm.calls");
 
-  // Scale / clear C first: C = beta * C.
-  for (int64_t i = 0; i < m; ++i) {
-    float* crow = c + i * ldc;
-    if (beta == 0.0f) {
-      std::fill(crow, crow + n, 0.0f);
-    } else if (beta != 1.0f) {
-      for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
-    }
+  // Scale / clear C first: C = beta * C. Rows are disjoint, so the
+  // partition cannot change any element's value.
+  if (beta != 1.0f && m > 0) {
+    const int64_t row_grain = std::max<int64_t>(1, (int64_t{1} << 16) / std::max<int64_t>(n, 1));
+    parallel_for(0, m, row_grain, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        float* crow = c + i * ldc;
+        if (beta == 0.0f) {
+          std::fill(crow, crow + n, 0.0f);
+        } else {
+          for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
+        }
+      }
+    });
   }
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
 
@@ -44,44 +55,63 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alp
 
   const simd::BlockKernelFn kernel = simd::active_block_kernel();
 
-  // Pack blocks of op(A) (scaled by alpha) and op(B) into contiguous
-  // scratch so the kernel always streams unit-stride rows. The arena
-  // makes this allocation-free after warm-up.
-  Workspace::Scope scope;
-  Workspace& ws = Workspace::tls();
-  float* a_pack = ws.floats(static_cast<size_t>(kBlockM * kBlockK));
-  float* b_pack = ws.floats(static_cast<size_t>(kBlockK * kBlockN));
+  // The (j0, i0) cache-block grid is the unit of parallelism: every C
+  // tile is produced by exactly one chunk, which accumulates its p0
+  // blocks in the same order as the sequential loop, so the result is
+  // bit-identical for any thread count. Chunks are jb-major (g = jb *
+  // n_ib + ib) so a chunk holding several row blocks of one column
+  // panel still packs op(B) once per (jb, p0), exactly like the serial
+  // code; only panels split across chunks repack, a ~1/64 overhead.
+  const int64_t n_jb = (n + kBlockN - 1) / kBlockN;
+  const int64_t n_ib = (m + kBlockM - 1) / kBlockM;
+  const int64_t madds_per_pair = std::min(kBlockM, m) * std::min(kBlockN, n) * k;
+  const int64_t grain =
+      std::max<int64_t>(1, kMinMaddsPerChunk / std::max<int64_t>(madds_per_pair, 1));
 
-  for (int64_t j0 = 0; j0 < n; j0 += kBlockN) {
-    const int64_t nb = std::min(kBlockN, n - j0);
-    for (int64_t p0 = 0; p0 < k; p0 += kBlockK) {
-      const int64_t kb = std::min(kBlockK, k - p0);
-      // Pack op(B)[p0:p0+kb, j0:j0+nb].
-      for (int64_t p = 0; p < kb; ++p) {
-        float* dst = b_pack + p * nb;
-        if (!trans_b) {
-          const float* src = b + (p0 + p) * ldb + j0;
-          std::copy(src, src + nb, dst);
-        } else {
-          for (int64_t j = 0; j < nb; ++j) dst[j] = b[(j0 + j) * ldb + (p0 + p)];
-        }
-      }
-      for (int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-        const int64_t mb = std::min(kBlockM, m - i0);
-        // Pack alpha * op(A)[i0:i0+mb, p0:p0+kb].
-        for (int64_t i = 0; i < mb; ++i) {
-          float* dst = a_pack + i * kb;
-          if (!trans_a) {
-            const float* src = a + (i0 + i) * lda + p0;
-            for (int64_t p = 0; p < kb; ++p) dst[p] = alpha * src[p];
+  parallel_for(0, n_jb * n_ib, grain, [&](int64_t g0, int64_t g1) {
+    // Pack blocks of op(A) (scaled by alpha) and op(B) into contiguous
+    // scratch so the kernel always streams unit-stride rows. The arena
+    // is thread-local and allocation-free after warm-up.
+    Workspace::Scope scope;
+    Workspace& ws = Workspace::tls();
+    float* a_pack = ws.floats(static_cast<size_t>(kBlockM * kBlockK));
+    float* b_pack = ws.floats(static_cast<size_t>(kBlockK * kBlockN));
+
+    for (int64_t jb = g0 / n_ib; jb * n_ib < g1; ++jb) {
+      const int64_t j0 = jb * kBlockN;
+      const int64_t nb = std::min(kBlockN, n - j0);
+      const int64_t ib_lo = std::max<int64_t>(g0 - jb * n_ib, 0);
+      const int64_t ib_hi = std::min<int64_t>(g1 - jb * n_ib, n_ib);
+      for (int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+        const int64_t kb = std::min(kBlockK, k - p0);
+        // Pack op(B)[p0:p0+kb, j0:j0+nb].
+        for (int64_t p = 0; p < kb; ++p) {
+          float* dst = b_pack + p * nb;
+          if (!trans_b) {
+            const float* src = b + (p0 + p) * ldb + j0;
+            std::copy(src, src + nb, dst);
           } else {
-            for (int64_t p = 0; p < kb; ++p) dst[p] = alpha * a[(p0 + p) * lda + (i0 + i)];
+            for (int64_t j = 0; j < nb; ++j) dst[j] = b[(j0 + j) * ldb + (p0 + p)];
           }
         }
-        kernel(mb, nb, kb, a_pack, kb, b_pack, nb, c + i0 * ldc + j0, ldc);
+        for (int64_t ib = ib_lo; ib < ib_hi; ++ib) {
+          const int64_t i0 = ib * kBlockM;
+          const int64_t mb = std::min(kBlockM, m - i0);
+          // Pack alpha * op(A)[i0:i0+mb, p0:p0+kb].
+          for (int64_t i = 0; i < mb; ++i) {
+            float* dst = a_pack + i * kb;
+            if (!trans_a) {
+              const float* src = a + (i0 + i) * lda + p0;
+              for (int64_t p = 0; p < kb; ++p) dst[p] = alpha * src[p];
+            } else {
+              for (int64_t p = 0; p < kb; ++p) dst[p] = alpha * a[(p0 + p) * lda + (i0 + i)];
+            }
+          }
+          kernel(mb, nb, kb, a_pack, kb, b_pack, nb, c + i0 * ldc + j0, ldc);
+        }
       }
     }
-  }
+  });
 }
 
 namespace {

@@ -3,8 +3,15 @@
 #include <algorithm>
 
 #include "obs/profile.hpp"
+#include "tensor/threadpool.hpp"
 
 namespace shrinkbench {
+
+namespace {
+// Minimum output elements per parallel chunk: lowering is pure copies,
+// so chunks below this are cheaper to run on the calling thread.
+constexpr int64_t kMinElemsPerChunk = int64_t{1} << 16;
+}  // namespace
 
 void im2col_ld(const ConvGeometry& g, const float* image, float* cols, int64_t ld) {
   if (obs::profiling_enabled()) {
@@ -12,34 +19,38 @@ void im2col_ld(const ConvGeometry& g, const float* image, float* cols, int64_t l
     obs::count("im2col.elements", g.col_rows() * g.col_cols());
   }
   const int64_t oh = g.out_h(), ow = g.out_w();
-  int64_t row = 0;
-  for (int64_t c = 0; c < g.in_c; ++c) {
-    const float* chan = image + c * g.in_h * g.in_w;
-    for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
-      for (int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
-        float* out_row = cols + row * ld;
-        for (int64_t y = 0; y < oh; ++y) {
-          const int64_t in_y = y * g.stride + kh - g.pad;
-          float* dst = out_row + y * ow;
-          if (in_y < 0 || in_y >= g.in_h) {
-            std::fill(dst, dst + ow, 0.0f);
-            continue;
-          }
-          const float* src_row = chan + in_y * g.in_w;
-          const int64_t base = kw - g.pad;
-          if (g.stride == 1 && base >= 0 && base + ow <= g.in_w) {
-            // Fully interior fast path: contiguous copy.
-            std::copy(src_row + base, src_row + base + ow, dst);
-          } else {
-            for (int64_t x = 0; x < ow; ++x) {
-              const int64_t in_x = x * g.stride + base;
-              dst[x] = (in_x >= 0 && in_x < g.in_w) ? src_row[in_x] : 0.0f;
-            }
+  const int64_t kk = g.kernel_h * g.kernel_w;
+  // Every column row is written by exactly one chunk, so the partition
+  // cannot change any output value.
+  const int64_t grain = std::max<int64_t>(1, kMinElemsPerChunk / std::max<int64_t>(oh * ow, 1));
+  parallel_for(0, g.col_rows(), grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t row = r0; row < r1; ++row) {
+      const int64_t c = row / kk;
+      const int64_t kh = (row % kk) / g.kernel_w;
+      const int64_t kw = row % g.kernel_w;
+      const float* chan = image + c * g.in_h * g.in_w;
+      float* out_row = cols + row * ld;
+      for (int64_t y = 0; y < oh; ++y) {
+        const int64_t in_y = y * g.stride + kh - g.pad;
+        float* dst = out_row + y * ow;
+        if (in_y < 0 || in_y >= g.in_h) {
+          std::fill(dst, dst + ow, 0.0f);
+          continue;
+        }
+        const float* src_row = chan + in_y * g.in_w;
+        const int64_t base = kw - g.pad;
+        if (g.stride == 1 && base >= 0 && base + ow <= g.in_w) {
+          // Fully interior fast path: contiguous copy.
+          std::copy(src_row + base, src_row + base + ow, dst);
+        } else {
+          for (int64_t x = 0; x < ow; ++x) {
+            const int64_t in_x = x * g.stride + base;
+            dst[x] = (in_x >= 0 && in_x < g.in_w) ? src_row[in_x] : 0.0f;
           }
         }
       }
     }
-  }
+  });
 }
 
 void im2col(const ConvGeometry& g, const float* image, float* cols) {
@@ -52,9 +63,16 @@ void col2im_ld(const ConvGeometry& g, const float* cols, int64_t ld, float* imag
     obs::count("col2im.elements", g.col_rows() * g.col_cols());
   }
   const int64_t oh = g.out_h(), ow = g.out_w();
-  int64_t row = 0;
-  for (int64_t c = 0; c < g.in_c; ++c) {
+  // Different (kh, kw) rows of one channel accumulate into overlapping
+  // image pixels, so the channel — whose image plane is private — is the
+  // finest partition that keeps both the writes disjoint and the
+  // accumulation order identical to the sequential loop.
+  const int64_t per_channel = g.kernel_h * g.kernel_w * oh * ow;
+  const int64_t grain = std::max<int64_t>(1, kMinElemsPerChunk / std::max<int64_t>(per_channel, 1));
+  parallel_for(0, g.in_c, grain, [&](int64_t c0, int64_t c1) {
+  for (int64_t c = c0; c < c1; ++c) {
     float* chan = image + c * g.in_h * g.in_w;
+    int64_t row = c * g.kernel_h * g.kernel_w;
     for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
       for (int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
         const float* src_row = cols + row * ld;
@@ -77,6 +95,7 @@ void col2im_ld(const ConvGeometry& g, const float* cols, int64_t ld, float* imag
       }
     }
   }
+  });
 }
 
 void col2im(const ConvGeometry& g, const float* cols, float* image) {

@@ -1,5 +1,7 @@
 #include "tensor/ops.hpp"
 
+#include "tensor/threadpool.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -15,6 +17,13 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
                                 " vs " + to_string(b.shape()));
   }
 }
+
+// Map-style ops (disjoint per-element writes, no cross-index reduction)
+// fan out over the pool; each element is computed by exactly one chunk,
+// so results are bit-identical for every thread count. Reductions (sum,
+// min/max, ...) stay sequential — splitting them would reorder the
+// accumulation. The grain keeps small tensors on the calling thread.
+constexpr int64_t kElemGrain = int64_t{1} << 16;
 }  // namespace
 
 Tensor add(const Tensor& a, const Tensor& b) {
@@ -29,7 +38,9 @@ Tensor sub(const Tensor& a, const Tensor& b) {
   Tensor out = a;
   float* o = out.data();
   const float* bp = b.data();
-  for (int64_t i = 0, n = out.numel(); i < n; ++i) o[i] -= bp[i];
+  parallel_for(0, out.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) o[i] -= bp[i];
+  });
   return out;
 }
 
@@ -44,25 +55,34 @@ void axpy(Tensor& a, float alpha, const Tensor& b) {
   check_same_shape(a, b, "axpy");
   float* ap = a.data();
   const float* bp = b.data();
-  for (int64_t i = 0, n = a.numel(); i < n; ++i) ap[i] += alpha * bp[i];
+  parallel_for(0, a.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) ap[i] += alpha * bp[i];
+  });
 }
 
 void mul_inplace(Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "mul_inplace");
   float* ap = a.data();
   const float* bp = b.data();
-  for (int64_t i = 0, n = a.numel(); i < n; ++i) ap[i] *= bp[i];
+  parallel_for(0, a.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) ap[i] *= bp[i];
+  });
 }
 
 void add_inplace(Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add_inplace");
   float* ap = a.data();
   const float* bp = b.data();
-  for (int64_t i = 0, n = a.numel(); i < n; ++i) ap[i] += bp[i];
+  parallel_for(0, a.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) ap[i] += bp[i];
+  });
 }
 
 void scale_inplace(Tensor& a, float alpha) {
-  for (float& x : a.flat()) x *= alpha;
+  float* ap = a.data();
+  parallel_for(0, a.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) ap[i] *= alpha;
+  });
 }
 
 Tensor scale(const Tensor& a, float alpha) {

@@ -1,0 +1,195 @@
+#include "tensor/threadpool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/profile.hpp"
+
+namespace shrinkbench {
+
+namespace {
+
+thread_local bool tl_in_parallel = false;
+
+int env_threads() {
+  if (const char* env = std::getenv("SB_THREADS"); env != nullptr && *env != '\0') {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<int>(v > 256 ? 256 : v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  // One job at a time; submitters serialize on submit_mu. The job is
+  // described by a static partition: chunk c covers
+  //   [begin + c*base + min(c, rem), +base + (c < rem)),
+  // caller runs chunk 0, worker w runs chunk w.
+  std::mutex submit_mu;
+
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::vector<std::thread> workers;
+  bool stop = false;
+  uint64_t epoch = 0;
+
+  RangeFn fn = nullptr;
+  void* ctx = nullptr;
+  int64_t begin = 0;
+  int64_t base = 0;
+  int64_t rem = 0;
+  int chunks = 0;
+  std::atomic<int> pending{0};
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  void record_error() {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (!first_error) first_error = std::current_exception();
+  }
+
+  void run_chunk(int c) {
+    const int64_t lo = begin + c * base + (c < rem ? c : rem);
+    const int64_t hi = lo + base + (c < rem ? 1 : 0);
+    try {
+      fn(ctx, lo, hi);
+    } catch (...) {
+      record_error();
+    }
+  }
+
+  void worker_main(int id) {
+    tl_in_parallel = true;  // nested parallel_for on a worker runs inline
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      cv_work.wait(lock, [&] { return stop || epoch != seen; });
+      if (stop) return;
+      seen = epoch;
+      const bool participates = id < chunks;
+      lock.unlock();
+      if (participates) {
+        {
+          // Per-thread span attribution: the chunk is the root span on
+          // this worker's own stack, so nested spans (conv2d.fwd, ...)
+          // show up under pool.chunk for the thread that ran them.
+          obs::ScopedTimer span("pool.chunk");
+          run_chunk(id);
+        }
+        if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> done_lock(mu);
+          cv_done.notify_all();
+        }
+      }
+      lock.lock();
+    }
+  }
+
+  void ensure_workers(int count) {
+    while (static_cast<int>(workers.size()) < count) {
+      const int id = static_cast<int>(workers.size()) + 1;  // chunk index
+      workers.emplace_back([this, id] { worker_main(id); });
+    }
+  }
+
+  void join_workers() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stop = true;
+    }
+    cv_work.notify_all();
+    for (std::thread& t : workers) t.join();
+    workers.clear();
+    stop = false;
+  }
+};
+
+ThreadPool::ThreadPool() : impl_(new Impl), threads_(default_threads()) {}
+
+ThreadPool::~ThreadPool() {
+  impl_->join_workers();
+  delete impl_;
+}
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+int ThreadPool::default_threads() {
+  static const int n = env_threads();
+  return n;
+}
+
+bool ThreadPool::in_parallel_region() { return tl_in_parallel; }
+
+void ThreadPool::set_threads(int n) {
+  if (n < 1) throw std::invalid_argument("ThreadPool::set_threads: n must be >= 1");
+  std::lock_guard<std::mutex> submit_lock(impl_->submit_mu);
+  impl_->join_workers();
+  threads_ = n;
+}
+
+bool ThreadPool::parallel_viable(int64_t n, int64_t grain) const {
+  if (threads_ <= 1 || tl_in_parallel) return false;
+  const int64_t g = grain > 0 ? grain : 1;
+  return n >= 2 * g;  // otherwise only one chunk would form
+}
+
+void ThreadPool::run_impl(int64_t begin, int64_t end, int64_t grain, RangeFn fn, void* ctx) {
+  const int64_t n = end - begin;
+  const int64_t g = grain > 0 ? grain : 1;
+  int64_t chunks64 = n / g;  // every chunk holds at least one grain
+  if (chunks64 > threads_) chunks64 = threads_;
+  const int chunks = static_cast<int>(chunks64);
+
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> submit_lock(im.submit_mu);
+  if (obs::profiling_enabled()) {
+    obs::count("threadpool.jobs");
+    obs::count("threadpool.chunks", chunks);
+  }
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    im.ensure_workers(threads_ - 1);
+    im.fn = fn;
+    im.ctx = ctx;
+    im.begin = begin;
+    im.base = n / chunks;
+    im.rem = n % chunks;
+    im.chunks = chunks;
+    im.pending.store(chunks - 1, std::memory_order_release);
+    ++im.epoch;
+  }
+  im.cv_work.notify_all();
+
+  // The caller is chunk 0; mark it parallel so nested calls stay serial.
+  tl_in_parallel = true;
+  im.run_chunk(0);
+  tl_in_parallel = false;
+
+  {
+    std::unique_lock<std::mutex> lock(im.mu);
+    im.cv_done.wait(lock, [&] { return im.pending.load(std::memory_order_acquire) == 0; });
+  }
+  if (im.first_error) {
+    std::exception_ptr err = im.first_error;
+    im.first_error = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+ThreadPool::SerialGuard::SerialGuard() : prev_(tl_in_parallel) { tl_in_parallel = true; }
+ThreadPool::SerialGuard::~SerialGuard() { tl_in_parallel = prev_; }
+
+}  // namespace shrinkbench

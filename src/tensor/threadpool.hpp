@@ -1,0 +1,119 @@
+// Persistent thread pool with a bit-deterministic parallel_for.
+//
+// The paper's comparisons are only meaningful when two runs differ in
+// nothing but the pruning method, so parallelism here must never change
+// results: parallel_for partitions [begin, end) into *static contiguous*
+// chunks and every index's work runs sequentially inside exactly one
+// chunk. As long as iterations write disjoint outputs and never reduce
+// across indices (the contract for every call site in this repo), the
+// floats produced are bit-identical for every thread count, including 1.
+//
+// Environment contract:
+//
+//   SB_THREADS=N   pool size (workers + calling thread). Unset -> the
+//                  machine's hardware_concurrency. SB_THREADS=1 -> no
+//                  threads are ever spawned and parallel_for invokes the
+//                  body directly: the exact single-threaded code path
+//                  with zero pool overhead.
+//
+// Nesting: a parallel_for issued from inside a pool worker (or inside a
+// SerialGuard region, e.g. a sweep shard worker) runs inline and serial.
+// Parallelism therefore lives at the outermost level that asks for it
+// and inner levels degrade to the sequential code path.
+//
+// Observability: when SB_PROF is on, counters `threadpool.jobs` /
+// `threadpool.chunks` count fan-outs and worker chunks run under a
+// "pool.chunk" span on the worker's own thread-local span stack, so
+// parallel work is attributed per thread; the metric registry itself is
+// mutex-protected, so counters merge correctly when the pool quiesces.
+// With profiling off the pool adds a single cached-flag branch — the
+// zero-overhead contract of src/obs holds.
+#pragma once
+
+#include <cstdint>
+
+namespace shrinkbench {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool. Workers are spawned lazily on the first
+  /// parallel_for that can use them; SB_THREADS=1 never spawns any.
+  static ThreadPool& instance();
+
+  /// SB_THREADS, or hardware_concurrency when unset (min 1).
+  static int default_threads();
+
+  /// True while the calling thread executes a pool chunk or holds a
+  /// SerialGuard — i.e. nested parallel_for calls will run inline.
+  static bool in_parallel_region();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Pool size including the calling thread (>= 1).
+  int threads() const { return threads_; }
+
+  /// Reconfigures the pool size (joins existing workers; the next
+  /// parallel job respawns). Requires no job in flight. Used by tests
+  /// and benches to compare thread counts within one process; normal
+  /// code should rely on SB_THREADS.
+  void set_threads(int n);
+
+  /// Marks the current thread as already-parallel so nested
+  /// parallel_for calls run inline (used by sweep shard workers, whose
+  /// parallelism is at the experiment level).
+  class SerialGuard {
+   public:
+    SerialGuard();
+    ~SerialGuard();
+    SerialGuard(const SerialGuard&) = delete;
+    SerialGuard& operator=(const SerialGuard&) = delete;
+
+   private:
+    bool prev_;
+  };
+
+  /// Runs fn(chunk_begin, chunk_end) over a static contiguous partition
+  /// of [begin, end). At most threads() chunks are formed and no chunk
+  /// is smaller than `grain` indices (grain <= 0 means 1), so tiny
+  /// ranges stay on the calling thread. The call returns after every
+  /// chunk has finished; the first exception thrown by any chunk is
+  /// rethrown here.
+  template <typename Fn>
+  void parallel_for(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+    if (begin >= end) return;
+    if (!parallel_viable(end - begin, grain)) {
+      fn(begin, end);
+      return;
+    }
+    run_impl(begin, end, grain, &invoke_range<Fn>, &fn);
+  }
+
+ private:
+  ThreadPool();
+
+  using RangeFn = void (*)(void* ctx, int64_t begin, int64_t end);
+
+  template <typename Fn>
+  static void invoke_range(void* ctx, int64_t begin, int64_t end) {
+    (*static_cast<Fn*>(ctx))(begin, end);
+  }
+
+  /// False when the pool is size 1, the range is below 2 grains, or the
+  /// caller is already inside a parallel region — the serial fast path.
+  bool parallel_viable(int64_t n, int64_t grain) const;
+  void run_impl(int64_t begin, int64_t end, int64_t grain, RangeFn fn, void* ctx);
+
+  struct Impl;
+  Impl* impl_;
+  int threads_;
+};
+
+/// Convenience free function: ThreadPool::instance().parallel_for(...).
+template <typename Fn>
+inline void parallel_for(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  ThreadPool::instance().parallel_for(begin, end, grain, static_cast<Fn&&>(fn));
+}
+
+}  // namespace shrinkbench

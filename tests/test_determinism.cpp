@@ -1,0 +1,182 @@
+// Thread-count determinism tests: the thread pool's static partitioning
+// guarantees that training curves, evaluation metrics, full experiments,
+// and sweep CSVs are bit-identical whether the runtime uses 1 thread or
+// many — the reproducibility contract the paper's comparisons rely on.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "data/synthetic.hpp"
+#include "metrics/metrics.hpp"
+#include "models/zoo.hpp"
+#include "nn/init.hpp"
+#include "tensor/threadpool.hpp"
+
+namespace shrinkbench {
+namespace {
+
+struct PoolFixture : ::testing::Test {
+  int original = ThreadPool::instance().threads();
+  void TearDown() override { ThreadPool::instance().set_threads(original); }
+};
+
+SyntheticSpec tiny_spec() {
+  SyntheticSpec spec = synth_mnist();
+  spec.train_size = 256;
+  spec.val_size = 96;
+  spec.test_size = 96;
+  return spec;
+}
+
+TrainOptions tiny_train_options() {
+  TrainOptions opts;
+  opts.epochs = 3;
+  opts.batch_size = 32;
+  opts.patience = 0;
+  return opts;
+}
+
+// A conv + batchnorm + pool model so the multi-threaded determinism
+// claim covers every parallelised layer, not just GEMM.
+ModelPtr tiny_model(const DatasetBundle& bundle) {
+  ModelPtr model = make_model("cifar-vgg", bundle.train.sample_shape(),
+                              bundle.train.num_classes, /*base_width=*/4);
+  Rng rng(17);
+  init_model(*model, rng);
+  return model;
+}
+
+TEST_F(PoolFixture, TrainingCurvesBitIdenticalAcrossThreadCounts) {
+  const DatasetBundle bundle = make_synthetic(tiny_spec());
+  const auto run = [&](int threads) {
+    ThreadPool::instance().set_threads(threads);
+    ModelPtr model = tiny_model(bundle);
+    return train_model(*model, bundle, tiny_train_options());
+  };
+  const TrainHistory serial = run(1);
+  const TrainHistory threaded = run(4);
+  ASSERT_EQ(serial.epochs.size(), threaded.epochs.size());
+  for (size_t i = 0; i < serial.epochs.size(); ++i) {
+    // Exact equality, not near: the loss curve must be bit-identical.
+    EXPECT_EQ(serial.epochs[i].train_loss, threaded.epochs[i].train_loss) << "epoch " << i;
+    EXPECT_EQ(serial.epochs[i].val_loss, threaded.epochs[i].val_loss) << "epoch " << i;
+    EXPECT_EQ(serial.epochs[i].val_top1, threaded.epochs[i].val_top1) << "epoch " << i;
+  }
+}
+
+TEST_F(PoolFixture, EvaluateBitIdenticalAcrossThreadCounts) {
+  const DatasetBundle bundle = make_synthetic(tiny_spec());
+  ModelPtr model = tiny_model(bundle);
+  ThreadPool::instance().set_threads(1);
+  const EvalResult serial = evaluate(*model, bundle.test, 32);
+  for (const int threads : {2, 4}) {
+    ThreadPool::instance().set_threads(threads);
+    const EvalResult threaded = evaluate(*model, bundle.test, 32);
+    EXPECT_EQ(serial.loss, threaded.loss) << "threads=" << threads;
+    EXPECT_EQ(serial.top1, threaded.top1) << "threads=" << threads;
+    EXPECT_EQ(serial.top5, threaded.top5) << "threads=" << threads;
+    EXPECT_EQ(serial.samples, threaded.samples);
+  }
+  // A batch size that does not divide the dataset exercises the ragged
+  // final batch in the parallel evaluate path.
+  ThreadPool::instance().set_threads(1);
+  const EvalResult ragged_serial = evaluate(*model, bundle.test, 40);
+  ThreadPool::instance().set_threads(4);
+  const EvalResult ragged_threaded = evaluate(*model, bundle.test, 40);
+  EXPECT_EQ(ragged_serial.loss, ragged_threaded.loss);
+  EXPECT_EQ(ragged_serial.top1, ragged_threaded.top1);
+}
+
+// ---- Sweep CSV determinism across SB_SWEEP_PARALLEL ----
+
+ExperimentConfig sweep_config() {
+  ExperimentConfig cfg;
+  cfg.dataset = "synth-mnist";
+  cfg.arch = "lenet-300-100";
+  cfg.pretrain.epochs = 4;
+  cfg.pretrain.batch_size = 64;
+  cfg.pretrain.patience = 0;
+  cfg.finetune.epochs = 1;
+  cfg.finetune.patience = 0;
+  return cfg;
+}
+
+// Strips the wall-clock columns (seconds, pretrain_s, prune_s,
+// finetune_s, eval_s — header indices 20-24), which legitimately differ
+// between runs; every other column must match exactly.
+std::string strip_timing_columns(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) fields.push_back(field);
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i >= 20 && i <= 24) continue;
+    out += fields[i];
+    out += ',';
+  }
+  return out;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream is(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(is, line);) lines.push_back(line);
+  return lines;
+}
+
+TEST_F(PoolFixture, SweepCsvBitIdenticalAcrossWorkerCounts) {
+  const std::vector<std::string> strategies = {"global-weight", "random"};
+  const std::vector<double> compressions = {2.0, 4.0};
+  const std::vector<uint64_t> seeds = {1};
+  const std::string dir = ::testing::TempDir() + "/sb_det_sweep";
+  std::filesystem::remove_all(dir);
+
+  const auto run = [&](int workers, const std::string& tag) {
+    // Separate cache dirs so neither run serves the other's results.
+    ExperimentRunner runner(dir + "/cache_" + tag);
+    SweepOptions options;
+    options.csv_path = dir + "/sweep_" + tag + ".csv";
+    options.parallel = workers;
+    SweepSummary summary;
+    const auto results =
+        run_sweep(runner, sweep_config(), strategies, compressions, seeds, options, &summary);
+    EXPECT_EQ(summary.completed, strategies.size() * compressions.size());
+    EXPECT_EQ(summary.failures, 0u);
+    EXPECT_FALSE(summary.interrupted);
+    return results;
+  };
+
+  const auto sequential = run(1, "seq");
+  const auto parallel = run(3, "par");
+
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    // Row order is grid order in both modes, and metrics are
+    // bit-identical because each experiment's arithmetic is unchanged.
+    EXPECT_EQ(sequential[i].config.strategy, parallel[i].config.strategy);
+    EXPECT_EQ(sequential[i].config.target_compression, parallel[i].config.target_compression);
+    EXPECT_EQ(sequential[i].pre_top1, parallel[i].pre_top1) << "row " << i;
+    EXPECT_EQ(sequential[i].post_top1, parallel[i].post_top1) << "row " << i;
+    EXPECT_EQ(sequential[i].post_loss, parallel[i].post_loss) << "row " << i;
+    EXPECT_EQ(sequential[i].compression, parallel[i].compression) << "row " << i;
+  }
+
+  const auto lines_seq = read_lines(dir + "/sweep_seq.csv");
+  const auto lines_par = read_lines(dir + "/sweep_par.csv");
+  ASSERT_EQ(lines_seq.size(), lines_par.size());
+  ASSERT_EQ(lines_seq.size(), sequential.size() + 1);  // header + rows
+  for (size_t i = 0; i < lines_seq.size(); ++i) {
+    EXPECT_EQ(strip_timing_columns(lines_seq[i]), strip_timing_columns(lines_par[i]))
+        << "line " << i;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace shrinkbench

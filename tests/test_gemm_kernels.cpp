@@ -8,15 +8,21 @@
 // the public gemm() entry point is exercised under both dispatch
 // settings; the KernelParity suite additionally compares the two block
 // kernels against each other directly, independent of the environment.
+// Further registrations re-run the sweep under SB_THREADS=1/2/4 so the
+// threaded row-panel fan-out is covered for every kernel, and the
+// GemmThreads suite checks bit-identical output across thread counts
+// in-process.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "tensor/gemm.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/simd.hpp"
+#include "tensor/threadpool.hpp"
 
 namespace shrinkbench {
 namespace {
@@ -128,6 +134,37 @@ TEST(GemmSweep, BetaZeroOverwritesNonFiniteC) {
   EXPECT_FLOAT_EQ(c[1], 22.0f);
   EXPECT_FLOAT_EQ(c[2], 43.0f);
   EXPECT_FLOAT_EQ(c[3], 50.0f);
+}
+
+TEST(GemmThreads, BitIdenticalAcrossThreadCounts) {
+  ThreadPool& pool = ThreadPool::instance();
+  const int original = pool.threads();
+  Rng rng(123);
+  // Big enough that the (j0, i0) block grid splits into several chunks.
+  const int64_t m = 129, n = 300, k = 200;
+  std::vector<float> a(static_cast<size_t>(m * k));
+  std::vector<float> b(static_cast<size_t>(k * n));
+  std::vector<float> c0(static_cast<size_t>(m * n));
+  fill_uniform(rng, a, /*sparsity=*/0.5);
+  fill_uniform(rng, b);
+  fill_uniform(rng, c0);
+
+  for (const bool trans_a : {false, true}) {
+    // alpha/beta exercise both the accumulate prologue and the kernel.
+    pool.set_threads(1);
+    std::vector<float> ref = c0;
+    gemm(trans_a, false, m, n, k, 0.5f, a.data(), trans_a ? m : k, b.data(), n, 0.25f,
+         ref.data(), n);
+    for (const int threads : {2, 4}) {
+      pool.set_threads(threads);
+      std::vector<float> c = c0;
+      gemm(trans_a, false, m, n, k, 0.5f, a.data(), trans_a ? m : k, b.data(), n, 0.25f,
+           c.data(), n);
+      EXPECT_EQ(std::memcmp(c.data(), ref.data(), c.size() * sizeof(float)), 0)
+          << "threads=" << threads << " trans_a=" << trans_a;
+    }
+  }
+  pool.set_threads(original);
 }
 
 TEST(GemmSweep, ReportsActiveKernel) {

@@ -3,6 +3,9 @@
 // composed containers (Sequential, ResidualBlock).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "gradcheck.hpp"
 #include "nn/activations.hpp"
 #include "nn/batchnorm.hpp"
@@ -211,6 +214,45 @@ TEST(MaxPool, GradCheck) {
   gradcheck(pool, random_input({2, 2, 4, 4}, 11));
 }
 
+TEST(MaxPool, NanWindowPropagatesAndKeepsGradientInImage) {
+  // Image 0 is finite, image 1 is all-NaN. Before the argmax seeding fix
+  // an all-NaN window (every `v > best` comparison false) kept
+  // best_idx = 0, so image 1's gradient was routed to element 0 of the
+  // whole batch tensor — i.e. into image 0.
+  MaxPool2d pool("p", 2, 2);
+  Tensor x({2, 1, 2, 2}, {1, 2, 3, 4, NAN, NAN, NAN, NAN});
+  const Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.at(0), 4.0f);
+  EXPECT_TRUE(std::isnan(y.at(1)));  // NaN propagates instead of -inf
+  const Tensor dy({2, 1, 1, 1}, {0.0f, 7.0f});
+  const Tensor dx = pool.backward(dy);
+  EXPECT_EQ(dx.at(0), 0.0f);  // no cross-image leakage
+  EXPECT_EQ(dx.at(4), 7.0f);  // routed to image 1's own window
+}
+
+TEST(MaxPool, AllNegInfWindowKeepsArgmaxInWindow) {
+  MaxPool2d pool("p", 2, 2);
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor x({1, 1, 4, 2}, {1, 2, 3, 4, -inf, -inf, -inf, -inf});
+  const Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.at(0), 4.0f);
+  EXPECT_EQ(y.at(1), -inf);
+  const Tensor dy({1, 1, 2, 1}, {0.0f, 5.0f});
+  const Tensor dx = pool.backward(dy);
+  EXPECT_EQ(dx.at(0), 0.0f);  // not routed to tensor element 0
+  EXPECT_EQ(dx.at(4), 5.0f);  // the -inf window's own first element
+}
+
+TEST(MaxPool, RejectsRaggedTilingAndBadConfig) {
+  MaxPool2d pool("p", 2, 2);
+  // (5 - 2) % 2 != 0: pooling would silently drop the last input row.
+  EXPECT_THROW(pool.forward(random_input({1, 1, 5, 4}), false), std::invalid_argument);
+  EXPECT_THROW(pool.output_sample_shape({1, 5, 4}), std::invalid_argument);
+  EXPECT_THROW(pool.output_sample_shape({1, 4, 1}), std::invalid_argument);  // w < kernel
+  EXPECT_THROW(MaxPool2d("bad", 0, 2), std::invalid_argument);
+  EXPECT_THROW(MaxPool2d("bad", 2, 0), std::invalid_argument);
+}
+
 TEST(AvgPool, ForwardAverages) {
   AvgPool2d pool("p", 2, 2);
   Tensor x({1, 1, 2, 2}, {1, 2, 3, 6});
@@ -220,6 +262,41 @@ TEST(AvgPool, ForwardAverages) {
 TEST(AvgPool, GradCheck) {
   AvgPool2d pool("p", 2, 2);
   gradcheck(pool, random_input({2, 2, 4, 4}, 12));
+}
+
+TEST(AvgPool, RejectsRaggedTiling) {
+  AvgPool2d pool("p", 3, 2);
+  EXPECT_THROW(pool.forward(random_input({1, 1, 6, 7}), false), std::invalid_argument);
+  EXPECT_NO_THROW(pool.forward(random_input({1, 1, 7, 7}), false));
+}
+
+// ---- Dropout mask staleness ----
+
+TEST(Dropout, EvalForwardInvalidatesStaleMask) {
+  Dropout drop("d", 0.5f);
+  const Tensor x = random_input({4, 8}, 21);
+  drop.forward(x, true);  // draws a mask
+  const Tensor y = drop.forward(x, false);
+  EXPECT_TRUE(ops::allclose(y, x, 0.0f, 0.0f));  // eval is the identity
+  // Backward now would reuse a mask the eval forward never applied —
+  // must throw instead of silently mis-scaling gradients.
+  EXPECT_THROW(drop.backward(x), std::logic_error);
+}
+
+TEST(Dropout, BackwardRejectsShapeMismatch) {
+  Dropout drop("d", 0.5f);
+  drop.forward(random_input({4, 8}, 22), true);
+  EXPECT_THROW(drop.backward(random_input({2, 8}, 23)), std::logic_error);
+  EXPECT_NO_THROW(drop.backward(random_input({4, 8}, 24)));
+}
+
+TEST(Dropout, TrainForwardAfterEvalRestoresBackward) {
+  Dropout drop("d", 0.5f);
+  const Tensor x = random_input({4, 8}, 25);
+  drop.forward(x, true);
+  drop.forward(x, false);  // invalidates
+  drop.forward(x, true);   // fresh mask
+  EXPECT_NO_THROW(drop.backward(x));
 }
 
 TEST(GlobalAvgPool, ForwardShapeAndGradCheck) {

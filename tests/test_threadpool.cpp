@@ -1,0 +1,243 @@
+// Thread-pool runtime tests: partition exactness, the serial fast paths,
+// nesting and SerialGuard behaviour, exception propagation, pool
+// reconfiguration, and bit-determinism of the parallelised tensor
+// primitives (elementwise ops, GEMM, im2col/col2im) across thread counts.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/threadpool.hpp"
+
+namespace shrinkbench {
+namespace {
+
+// Restores the pool size after each test so later tests in this binary
+// run under the SB_THREADS environment ctest configured.
+struct PoolFixture : ::testing::Test {
+  int original = ThreadPool::instance().threads();
+  void TearDown() override { ThreadPool::instance().set_threads(original); }
+};
+
+Tensor random_tensor(Shape shape, uint64_t seed) {
+  Rng rng(seed);
+  Tensor x(std::move(shape));
+  rng.fill_normal(x, 0.0f, 1.0f);
+  return x;
+}
+
+bool same_bits(const Tensor& a, const Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data(), b.data(), static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+TEST_F(PoolFixture, EveryIndexRunsExactlyOnce) {
+  for (const int threads : {1, 2, 3, 4, 7}) {
+    ThreadPool::instance().set_threads(threads);
+    for (const int64_t n : {int64_t{1}, int64_t{2}, int64_t{63}, int64_t{1000}, int64_t{4097}}) {
+      // Chunks cover disjoint index ranges, so these writes never race.
+      std::vector<int> hits(static_cast<size_t>(n), 0);
+      parallel_for(0, n, 1, [&](int64_t b, int64_t e) {
+        ASSERT_LT(b, e);
+        for (int64_t i = b; i < e; ++i) ++hits[static_cast<size_t>(i)];
+      });
+      for (const int h : hits) ASSERT_EQ(h, 1);
+    }
+  }
+}
+
+TEST_F(PoolFixture, GrainBoundsChunkSize) {
+  ThreadPool::instance().set_threads(4);
+  std::vector<int> hits(100, 0);
+  std::vector<int64_t> sizes;
+  std::mutex mu;
+  parallel_for(0, 100, 30, [&](int64_t b, int64_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    sizes.push_back(e - b);
+    for (int64_t i = b; i < e; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  // 100 indices at grain 30 form at most 3 chunks, each >= 30 indices.
+  EXPECT_LE(sizes.size(), 3u);
+  for (const int64_t s : sizes) EXPECT_GE(s, 30);
+  for (const int h : hits) ASSERT_EQ(h, 1);
+}
+
+TEST_F(PoolFixture, SingleThreadRunsInlineAsOneChunk) {
+  ThreadPool::instance().set_threads(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  parallel_for(0, 100000, 1, [&](int64_t b, int64_t e) {
+    ++calls;
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 100000);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(PoolFixture, RangeBelowTwoGrainsStaysOnCallingThread) {
+  ThreadPool::instance().set_threads(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  parallel_for(0, 9, 5, [&](int64_t, int64_t) {
+    ++calls;
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(PoolFixture, EmptyRangeNeverInvokesBody) {
+  ThreadPool::instance().set_threads(4);
+  int calls = 0;
+  parallel_for(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  parallel_for(5, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(PoolFixture, NestedParallelForRunsInline) {
+  ThreadPool::instance().set_threads(4);
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+  parallel_for(0, 8, 1, [&](int64_t, int64_t) {
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    int inner_calls = 0;
+    parallel_for(0, 1000, 1, [&](int64_t b, int64_t e) {
+      ++inner_calls;
+      EXPECT_EQ(b, 0);
+      EXPECT_EQ(e, 1000);
+    });
+    EXPECT_EQ(inner_calls, 1);  // inner level degrades to one serial chunk
+  });
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+TEST_F(PoolFixture, SerialGuardForcesInlineExecution) {
+  ThreadPool::instance().set_threads(4);
+  {
+    ThreadPool::SerialGuard guard;
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    int calls = 0;
+    parallel_for(0, 100000, 1, [&](int64_t, int64_t) { ++calls; });
+    EXPECT_EQ(calls, 1);
+  }
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+TEST_F(PoolFixture, ChunkExceptionPropagatesAndPoolSurvives) {
+  ThreadPool::instance().set_threads(4);
+  EXPECT_THROW(
+      parallel_for(0, 100000, 1, [](int64_t, int64_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  // The pool must stay usable after a failed job.
+  std::vector<int> hits(1000, 0);
+  parallel_for(0, 1000, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (const int h : hits) ASSERT_EQ(h, 1);
+}
+
+TEST_F(PoolFixture, SetThreadsValidatesAndReconfigures) {
+  EXPECT_THROW(ThreadPool::instance().set_threads(0), std::invalid_argument);
+  ThreadPool::instance().set_threads(2);
+  EXPECT_EQ(ThreadPool::instance().threads(), 2);
+  ThreadPool::instance().set_threads(5);
+  EXPECT_EQ(ThreadPool::instance().threads(), 5);
+  std::vector<int> hits(500, 0);
+  parallel_for(0, 500, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (const int h : hits) ASSERT_EQ(h, 1);
+}
+
+// ---- Bit-determinism of the parallelised primitives ----
+
+TEST_F(PoolFixture, ElementwiseOpsBitIdenticalAcrossThreadCounts) {
+  const Tensor a = random_tensor({400000}, 3);
+  const Tensor b = random_tensor({400000}, 4);
+
+  const auto run_all = [&] {
+    Tensor r = ops::add(a, b);
+    ops::mul_inplace(r, b);
+    ops::axpy(r, 0.37f, a);
+    ops::scale_inplace(r, 1.0f / 3.0f);
+    return ops::sub(r, b);
+  };
+  ThreadPool::instance().set_threads(1);
+  const Tensor serial = run_all();
+  for (const int threads : {2, 4, 7}) {
+    ThreadPool::instance().set_threads(threads);
+    EXPECT_TRUE(same_bits(serial, run_all())) << "threads=" << threads;
+  }
+}
+
+TEST_F(PoolFixture, GemmBitIdenticalAcrossThreadCounts) {
+  // Large enough that the block grid forms several chunks per pool size.
+  const int64_t m = 130, n = 300, k = 190;
+  const Tensor a = random_tensor({m, k}, 5);
+  const Tensor b = random_tensor({k, n}, 6);
+
+  ThreadPool::instance().set_threads(1);
+  const Tensor serial = matmul(a, b);
+  const Tensor serial_tn = matmul_tn(random_tensor({k, m}, 8), b);
+  for (const int threads : {2, 3, 4}) {
+    ThreadPool::instance().set_threads(threads);
+    EXPECT_TRUE(same_bits(serial, matmul(a, b))) << "threads=" << threads;
+    EXPECT_TRUE(same_bits(serial_tn, matmul_tn(random_tensor({k, m}, 8), b)))
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(PoolFixture, GemmBetaPathBitIdenticalAcrossThreadCounts) {
+  const int64_t m = 96, n = 257, k = 64;
+  const Tensor a = random_tensor({m, k}, 9);
+  const Tensor b = random_tensor({k, n}, 10);
+  const Tensor c0 = random_tensor({m, n}, 11);
+
+  const auto accumulate = [&] {
+    Tensor c = c0;
+    gemm(false, false, m, n, k, 0.5f, a.data(), k, b.data(), n, 0.25f, c.data(), n);
+    return c;
+  };
+  ThreadPool::instance().set_threads(1);
+  const Tensor serial = accumulate();
+  for (const int threads : {2, 4}) {
+    ThreadPool::instance().set_threads(threads);
+    EXPECT_TRUE(same_bits(serial, accumulate())) << "threads=" << threads;
+  }
+}
+
+TEST_F(PoolFixture, Im2colCol2imBitIdenticalAcrossThreadCounts) {
+  const ConvGeometry g{/*in_c=*/32, /*in_h=*/34, /*in_w=*/34,
+                       /*kernel_h=*/3, /*kernel_w=*/3, /*stride=*/1, /*pad=*/1};
+  const Tensor image = random_tensor({g.in_c, g.in_h, g.in_w}, 12);
+  const int64_t cols_numel = g.col_rows() * g.col_cols();
+
+  const auto lower = [&] {
+    Tensor cols({cols_numel});
+    im2col(g, image.data(), cols.data());
+    return cols;
+  };
+  const auto scatter = [&](const Tensor& cols) {
+    Tensor out({g.in_c, g.in_h, g.in_w});
+    col2im(g, cols.data(), out.data());
+    return out;
+  };
+
+  ThreadPool::instance().set_threads(1);
+  const Tensor cols_serial = lower();
+  const Tensor image_serial = scatter(cols_serial);
+  for (const int threads : {2, 4}) {
+    ThreadPool::instance().set_threads(threads);
+    EXPECT_TRUE(same_bits(cols_serial, lower())) << "threads=" << threads;
+    EXPECT_TRUE(same_bits(image_serial, scatter(cols_serial))) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace shrinkbench
