@@ -33,8 +33,12 @@ void usage(const char* argv0) {
       "  --steps N          pruning rounds for iterative/polynomial (default 3)\n"
       "  --seed N           run seed (default 1)\n"
       "  --epochs N         fine-tune epochs (default 10)\n"
+      "  --pretrain-epochs N  pretraining epochs (default 60; cached per config)\n"
       "  --prune-classifier include the classifier layer (off by default)\n"
-      "  --cache DIR        pretrained/result cache (default .sb_cache)\n");
+      "  --cache DIR        pretrained/result cache (default .sb_cache)\n"
+      "\n"
+      "crash safety: interrupted runs resume from training checkpoints under\n"
+      "<cache>/ckpt (see SB_CKPT_DIR / SB_CKPT_EVERY in EXPERIMENTS.md)\n");
 }
 
 }  // namespace
@@ -72,6 +76,8 @@ int main(int argc, char** argv) {
       cfg.run_seed = static_cast<uint64_t>(std::atoll(next().c_str()));
     } else if (a == "--epochs") {
       cfg.finetune.epochs = std::atoi(next().c_str());
+    } else if (a == "--pretrain-epochs") {
+      cfg.pretrain.epochs = std::atoi(next().c_str());
     } else if (a == "--prune-classifier") {
       cfg.prune.include_classifier = true;
     } else if (a == "--cache") {
@@ -84,11 +90,18 @@ int main(int argc, char** argv) {
   if (cfg.dataset == "synth-imagenet") cfg.finetune = imagenet_finetune_options();
 
   ExperimentRunner runner(cache);
-  ModelPtr model = runner.pretrained(cfg);
-  const DatasetBundle& data = runner.dataset(cfg.dataset, cfg.data_seed);
-  std::printf("%s\n", describe(*model, data.train.sample_shape()).c_str());
-
-  const ExperimentResult r = runner.run(cfg);
+  ExperimentResult r;
+  try {
+    ModelPtr model = runner.pretrained(cfg);
+    const DatasetBundle& data = runner.dataset(cfg.dataset, cfg.data_seed);
+    std::printf("%s\n", describe(*model, data.train.sample_shape()).c_str());
+    r = runner.run(cfg);
+  } catch (const std::exception& e) {
+    // A crash (or injected fault) exits non-zero; rerunning resumes from
+    // the result cache and the training checkpoints under <cache>/ckpt.
+    std::fprintf(stderr, "sb_run: %s\n", e.what());
+    return 1;
+  }
   std::printf("dataset=%s arch=%s strategy=%s schedule=%s ratio=%.1f seed=%llu\n",
               cfg.dataset.c_str(), cfg.arch.c_str(), cfg.strategy.c_str(),
               to_string(cfg.schedule).c_str(), cfg.target_compression,

@@ -100,6 +100,18 @@ std::string config_fingerprint(const ExperimentConfig& c) {
   };
   append_augment("ptaug", c.pretrain.augment);
   append_augment("ftaug", c.finetune.augment);
+  // Anomaly handling changes the computation (skipped steps, LR halving,
+  // clipped gradients), so non-default policies get their own cache
+  // entries. checkpoint_dir/checkpoint_every are deliberately absent:
+  // checkpointing is bit-transparent to the result.
+  const auto append_anomaly = [&ss](const char* tag, const TrainOptions& o) {
+    if (o.anomaly_policy != AnomalyPolicy::Throw || o.grad_clip_norm != 0.0f) {
+      ss << '|' << tag << static_cast<int>(o.anomaly_policy) << ':' << o.anomaly_max_rollbacks
+         << ':' << o.grad_check_every << ':' << o.grad_clip_norm;
+    }
+  };
+  append_anomaly("ptanom", c.pretrain);
+  append_anomaly("ftanom", c.finetune);
   return ss.str();
 }
 
@@ -122,7 +134,7 @@ std::filesystem::path result_cache_path(const std::string& cache_dir,
 // (quarantined + recomputed) instead of mis-parsed result rows.
 constexpr const char* kCacheCrcPrefix = "#crc ";
 
-void write_cached_result(const std::filesystem::path& path, const ExperimentConfig& config,
+bool write_cached_result(const std::filesystem::path& path, const ExperimentConfig& config,
                          const ExperimentResult& r) {
   std::ostringstream os;
   os.precision(17);  // cached doubles must round-trip bit-exactly
@@ -141,7 +153,9 @@ void write_cached_result(const std::filesystem::path& path, const ExperimentConf
   if (!obs::atomic_write_file(path, body + kCacheCrcPrefix + crc + '\n')) {
     obs::count("cache.result.write_failed");
     SB_LOG_WARN("cache", "could not persist result cache entry %s", path.string().c_str());
+    return false;
   }
+  return true;
 }
 
 void quarantine_cache_entry(const std::filesystem::path& path) {
@@ -234,11 +248,25 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) {
   Rng rng(config.run_seed);
   TrainOptions ft = config.finetune;
   ft.loader_seed = config.run_seed ^ 0xf17e57a9;
+  // Per-experiment checkpoint root: one subdirectory per fine-tuning
+  // round so every round resumes independently after a crash. Rooted
+  // under $SB_CKPT_DIR when set, else <cache_dir>/ckpt, keyed by the
+  // result-cache stem; removed once the result is safely cached.
+  std::filesystem::path ckpt_root = config.finetune.checkpoint_dir;
+  if (ckpt_root.empty()) {
+    if (const char* env = std::getenv("SB_CKPT_DIR")) {
+      ckpt_root = env;
+    } else {
+      ckpt_root = std::filesystem::path(store_.cache_dir()) / "ckpt";
+    }
+  }
+  ckpt_root /= cache_path.stem();
   // Compression ratio 1 is the unpruned control: pruning keeps every
   // weight and fine-tuning a converged model is a no-op by design, so the
   // control point is free (post == pre, as the paper's §6 requires it to
   // be reported).
   const bool no_op_control = fractions.size() == 1 && final_fraction >= 1.0;
+  int round = 0;
   for (const double fraction : fractions) {
     {
       obs::ScopedTimer span("prune");
@@ -248,9 +276,15 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) {
     if (no_op_control) break;
     obs::ScopedTimer span("finetune");
     PhaseClock phase(result.phases.finetune);
+    ft.checkpoint_dir = (ckpt_root / ("r" + std::to_string(round))).string();
     const TrainHistory hist = train_model(*model, bundle, ft);
     result.finetune_epochs += static_cast<int>(hist.epochs.size());
+    result.anomalies += hist.anomalies;
+    result.skipped_batches += hist.skipped_batches;
+    result.rollbacks += hist.rollbacks;
+    if (hist.resumed_from_epoch >= 0) ++result.resumed_rounds;
     ft.loader_seed = rng.next_u64();  // fresh shuffling for later rounds
+    ++round;
   }
 
   {
@@ -273,7 +307,12 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) {
 
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  write_cached_result(cache_path, config, result);
+  if (write_cached_result(cache_path, config, result)) {
+    // The cached row supersedes the resume state; a failed cache write
+    // keeps the checkpoints so a rerun can still resume.
+    std::error_code ec;
+    if (std::filesystem::remove_all(ckpt_root, ec) > 0 && !ec) obs::count("ckpt.cleaned");
+  }
   return result;
 }
 
@@ -625,6 +664,13 @@ void write_run_manifest(const std::string& path, const std::string& bench_name,
        << ", \"run_seed\": " << c.run_seed
        << ", \"status\": " << obs::json_str(r.failed ? "failed" : "ok")
        << (r.failed ? ", \"error\": " + obs::json_str(r.error) : std::string())
+       << (r.anomalies > 0 ? ", \"anomalies\": " + std::to_string(r.anomalies) +
+                                 ", \"skipped_batches\": " + std::to_string(r.skipped_batches) +
+                                 ", \"rollbacks\": " + std::to_string(r.rollbacks)
+                           : std::string())
+       << (r.resumed_rounds > 0
+               ? ", \"resumed_rounds\": " + std::to_string(r.resumed_rounds)
+               : std::string())
        << ", \"post_top1\": " << obs::json_num(r.post_top1)
        << ", \"compression\": " << obs::json_num(r.compression)
        << ", \"finetune_epochs\": " << r.finetune_epochs

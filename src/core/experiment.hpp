@@ -79,6 +79,14 @@ struct ExperimentResult {
   std::string error;
   /// Served from the on-disk result cache (in-memory only, not persisted).
   bool from_cache = false;
+  /// Numeric-anomaly bookkeeping summed over all fine-tuning rounds (see
+  /// TrainHistory). In-memory + run manifest only — deliberately kept out
+  /// of the cache entry and CSV so both formats stay stable.
+  int64_t anomalies = 0;
+  int64_t skipped_batches = 0;
+  int64_t rollbacks = 0;
+  /// Fine-tuning rounds that resumed from a training checkpoint.
+  int resumed_rounds = 0;
 };
 
 /// Stable fingerprint of everything that affects an experiment's outcome;

@@ -58,12 +58,29 @@ ModelPtr PretrainedStore::get(const DatasetBundle& bundle, const std::string& ar
   init_model(*model, rng);
   TrainOptions opts = train_opts;
   opts.loader_seed = init_seed ^ 0x9e3779b97f4a7c15ULL;
+  // Pretraining is the longest phase, so it gets its own resumable
+  // checkpoint directory (keyed like the final .ckpt file), cleaned up
+  // once the finished model is cached.
+  std::filesystem::path ckpt_dir;
+  if (opts.checkpoint_dir.empty()) {
+    if (const char* env = std::getenv("SB_CKPT_DIR")) {
+      ckpt_dir = env;
+    } else {
+      ckpt_dir = std::filesystem::path(cache_dir_) / "ckpt";
+    }
+    ckpt_dir /= "pretrain_" + path.stem().string();
+    opts.checkpoint_dir = ckpt_dir.string();
+  } else {
+    ckpt_dir = opts.checkpoint_dir;
+  }
   SB_LOG_INFO("pretrain", "%s w=%lld on %s (tag=%s)...", arch.c_str(),
               static_cast<long long>(width), bundle.spec.name.c_str(), tag.c_str());
   const TrainHistory hist = train_model(*model, bundle, opts);
   SB_LOG_INFO("pretrain", "done: best val top1 %.4f (epoch %d)", hist.best_val_top1,
               hist.best_epoch);
   save_checkpoint(*model, path.string());
+  std::error_code ec;
+  if (std::filesystem::remove_all(ckpt_dir, ec) > 0 && !ec) obs::count("ckpt.cleaned");
   return model;
 }
 

@@ -1,11 +1,15 @@
 #include "core/train.hpp"
 
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <memory>
+#include <utility>
 
 #include "metrics/metrics.hpp"
 #include "nn/checkpoint.hpp"
 #include "nn/loss.hpp"
+#include "obs/io.hpp"
 #include "obs/log.hpp"
 #include "obs/profile.hpp"
 
@@ -61,6 +65,43 @@ std::unique_ptr<Optimizer> make_optimizer(Model& model, const TrainOptions& opts
   }
   throw std::logic_error("make_optimizer: unreachable");
 }
+
+/// Resolved checkpointing configuration: TrainOptions first, environment
+/// (SB_CKPT_DIR / SB_CKPT_EVERY) as fallback.
+struct CkptConfig {
+  std::string dir;
+  int every = 1;
+  bool enabled() const { return !dir.empty() && every > 0; }
+};
+
+CkptConfig resolve_ckpt_config(const TrainOptions& opts) {
+  CkptConfig cfg;
+  cfg.dir = opts.checkpoint_dir;
+  if (cfg.dir.empty()) {
+    if (const char* env = std::getenv("SB_CKPT_DIR")) cfg.dir = env;
+  }
+  cfg.every = opts.checkpoint_every;
+  if (cfg.every == 0) {
+    cfg.every = 1;
+    if (const char* env = std::getenv("SB_CKPT_EVERY")) {
+      cfg.every = static_cast<int>(std::strtol(env, nullptr, 10));
+    }
+  }
+  return cfg;
+}
+
+const char* policy_name(AnomalyPolicy p) {
+  switch (p) {
+    case AnomalyPolicy::Throw:
+      return "throw";
+    case AnomalyPolicy::SkipBatch:
+      return "skip-batch";
+    case AnomalyPolicy::Rollback:
+      return "rollback";
+  }
+  return "?";
+}
+
 }  // namespace
 
 float lr_at_epoch(const TrainOptions& opts, int epoch) {
@@ -83,6 +124,18 @@ float lr_at_epoch(const TrainOptions& opts, int epoch) {
 
 TrainHistory train_model(Model& model, const DatasetBundle& bundle, const TrainOptions& opts) {
   SB_PROFILE_SCOPE("train");
+  // An empty split would otherwise surface as a NaN train_loss (0/0) or a
+  // vacuous 0-accuracy validation — fail loudly before the epoch loop.
+  if (bundle.train.size() == 0) {
+    throw std::invalid_argument("train_model: empty train split (dataset '" +
+                                bundle.spec.name + "')");
+  }
+  if (bundle.val.size() == 0) {
+    throw std::invalid_argument("train_model: empty validation split (dataset '" +
+                                bundle.spec.name + "')");
+  }
+
+  const CkptConfig ckpt = resolve_ckpt_config(opts);
   auto optimizer = make_optimizer(model, opts);
   DataLoader loader(bundle.train, opts.batch_size, /*shuffle=*/true, opts.loader_seed,
                     opts.augment);
@@ -91,30 +144,183 @@ TrainHistory train_model(Model& model, const DatasetBundle& bundle, const TrainO
   TrainHistory history;
   StateDict best_state;
   int epochs_since_best = 0;
+  // Anomaly bookkeeping is monotone: rollbacks restore model/optimizer/
+  // loader state but never these counters or the LR scale.
+  double lr_scale = 1.0;
+  int64_t anomalies = 0;
+  int64_t skipped_batches = 0;
+  int rollbacks = 0;
+  int start_epoch = 0;
 
-  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+  /// Full resumable state at the end of `epoch` (epoch -1 = pristine).
+  const auto snapshot = [&](int epoch) {
+    TrainCheckpoint c;
+    c.epoch = epoch;
+    c.lr_scale = lr_scale;
+    c.model = state_dict(model);
+    c.best_state = best_state;
+    c.optimizer = optimizer->state();
+    const DataLoaderState ls = loader.state();
+    c.loader_shuffle_rng = ls.shuffle_rng;
+    c.loader_augment_rng = ls.augment_rng;
+    c.layer_rng = layer_rng_states(model);
+    c.history.reserve(history.epochs.size());
+    for (const EpochRecord& r : history.epochs) {
+      c.history.push_back({r.epoch, r.train_loss, r.val_top1, r.val_loss});
+    }
+    c.best_val_top1 = history.best_val_top1;
+    c.best_epoch = history.best_epoch;
+    c.epochs_since_best = epochs_since_best;
+    c.stopped_early = history.stopped_early;
+    c.anomalies = anomalies;
+    c.skipped_batches = skipped_batches;
+    c.rollbacks = rollbacks;
+    return c;
+  };
+
+  /// Restores everything a snapshot captured except the monotone anomaly
+  /// counters and lr_scale (the disk-resume path re-seeds those itself).
+  const auto restore = [&](const TrainCheckpoint& c) {
+    load_state_dict(model, c.model);
+    optimizer->load_state(c.optimizer);
+    loader.load_state({c.loader_shuffle_rng, c.loader_augment_rng});
+    load_layer_rng_states(model, c.layer_rng);
+    best_state = c.best_state;
+    history.epochs.clear();
+    for (const TrainCheckpoint::Epoch& e : c.history) {
+      history.epochs.push_back({static_cast<int>(e.epoch), e.train_loss, e.val_top1, e.val_loss});
+    }
+    history.best_val_top1 = c.best_val_top1;
+    history.best_epoch = static_cast<int>(c.best_epoch);
+    history.stopped_early = c.stopped_early;
+    epochs_since_best = static_cast<int>(c.epochs_since_best);
+  };
+
+  // Last-good state for AnomalyPolicy::Rollback; doubles as the loaded
+  // checkpoint on resume.
+  TrainCheckpoint last_good;
+  bool have_last_good = false;
+
+  if (ckpt.enabled() && load_latest_train_checkpoint(ckpt.dir, last_good)) {
+    restore(last_good);
+    lr_scale = last_good.lr_scale;
+    anomalies = last_good.anomalies;
+    skipped_batches = last_good.skipped_batches;
+    rollbacks = static_cast<int>(last_good.rollbacks);
+    start_epoch = static_cast<int>(last_good.epoch) + 1;
+    history.resumed_from_epoch = start_epoch;
+    have_last_good = true;
+    obs::count("train.resume");
+    SB_LOG_INFO("train", "resuming from checkpoint (epoch %d done) in %s", start_epoch - 1,
+                ckpt.dir.c_str());
+  }
+  if (opts.anomaly_policy == AnomalyPolicy::Rollback && !have_last_good) {
+    last_good = snapshot(start_epoch - 1);
+    have_last_good = true;
+  }
+
+  int epoch = start_epoch;
+  while (!history.stopped_early && epoch < opts.epochs) {
+    if (obs::fault_point("train.crash_epoch")) {
+      throw std::runtime_error("injected training crash (SB_FAULT=train.crash_epoch) at epoch " +
+                               std::to_string(epoch));
+    }
     obs::ScopedTimer epoch_span("epoch");
-    optimizer->set_lr(lr_at_epoch(opts, epoch));
+    optimizer->set_lr(lr_at_epoch(opts, epoch) * static_cast<float>(lr_scale));
     loader.reset();
     double loss_sum = 0.0;
     int64_t samples = 0;
+    int64_t step = 0;
+    bool rolled_back = false;
     Batch batch;
     while (loader.next(batch)) {
       optimizer->zero_grad();
       const Tensor logits = model.forward(batch.x, /*train=*/true);
-      const float loss = loss_fn.forward(logits, batch.y);
-      model.backward(loss_fn.backward());
+      float loss = loss_fn.forward(logits, batch.y);
+      if (obs::fault_point("train.nan_loss")) {
+        loss = std::numeric_limits<float>::quiet_NaN();
+      }
+
+      // Per-step health check: the loss every step (free), the gradients
+      // on a vectorized finiteness scan every grad_check_every steps (or
+      // via the clipping norm, which visits every element anyway).
+      const char* bad = nullptr;
+      if (!std::isfinite(loss)) bad = "loss";
+      if (!bad) {
+        model.backward(loss_fn.backward());
+        if (obs::fault_point("train.nan_grad")) {
+          const auto params = parameters_of(model);
+          if (!params.empty() && params[0]->numel() > 0) {
+            params[0]->grad.data()[0] = std::numeric_limits<float>::quiet_NaN();
+          }
+        }
+        if (opts.grad_clip_norm > 0.0f) {
+          const double norm = optimizer->clip_global_grad_norm(opts.grad_clip_norm);
+          if (!std::isfinite(norm)) bad = "gradient";
+        } else if (opts.grad_check_every > 0 && step % opts.grad_check_every == 0 &&
+                   !optimizer->grads_finite()) {
+          bad = "gradient";
+        }
+      }
+
+      if (bad) {
+        ++anomalies;
+        obs::count(bad[0] == 'l' ? "train.anomaly.loss" : "train.anomaly.grad");
+        SB_LOG_WARN("train", "non-finite %s at epoch %d step %lld (policy=%s)", bad, epoch,
+                    static_cast<long long>(step), policy_name(opts.anomaly_policy));
+        if (opts.anomaly_policy == AnomalyPolicy::Throw) {
+          history.anomalies = anomalies;
+          throw NumericAnomalyError("train_model: non-finite " + std::string(bad) +
+                                    " at epoch " + std::to_string(epoch) + " step " +
+                                    std::to_string(step) + " (AnomalyPolicy::Throw)");
+        }
+        if (opts.anomaly_policy == AnomalyPolicy::SkipBatch) {
+          ++skipped_batches;
+          obs::count("train.anomaly.skip");
+          ++step;
+          continue;
+        }
+        // Rollback: restore the last-good state, halve the LR, retry.
+        if (rollbacks >= opts.anomaly_max_rollbacks) {
+          throw NumericAnomalyError(
+              "train_model: non-finite " + std::string(bad) + " at epoch " +
+              std::to_string(epoch) + " step " + std::to_string(step) +
+              " — rollback budget exhausted after " + std::to_string(rollbacks) +
+              " recoveries");
+        }
+        ++rollbacks;
+        lr_scale *= 0.5;
+        obs::count("train.anomaly.rollback");
+        restore(last_good);
+        SB_LOG_WARN("train",
+                    "rolled back to epoch %lld, lr scale now %.4g (recovery %d/%d)",
+                    static_cast<long long>(last_good.epoch), lr_scale, rollbacks,
+                    opts.anomaly_max_rollbacks);
+        epoch = static_cast<int>(last_good.epoch) + 1;
+        rolled_back = true;
+        break;
+      }
+
       optimizer->step();
       loss_sum += static_cast<double>(loss) * static_cast<double>(batch.x.size(0));
       samples += batch.x.size(0);
+      ++step;
     }
+    if (rolled_back) continue;  // re-enter at the rolled-back epoch
+
     obs::count("train.epochs");
     obs::count("train.samples", samples);
 
     const EvalResult val = evaluate(model, bundle.val, opts.batch_size);
     EpochRecord rec;
     rec.epoch = epoch;
-    rec.train_loss = loss_sum / static_cast<double>(samples);
+    if (samples > 0) {
+      rec.train_loss = loss_sum / static_cast<double>(samples);
+    } else {
+      // Every batch was skipped as anomalous; keep the curve honest.
+      rec.train_loss = std::numeric_limits<double>::quiet_NaN();
+      SB_LOG_WARN("train", "epoch %d dropped all batches (anomaly skips)", epoch);
+    }
     rec.val_top1 = val.top1;
     rec.val_loss = val.loss;
     history.epochs.push_back(rec);
@@ -125,7 +331,7 @@ TrainHistory train_model(Model& model, const DatasetBundle& bundle, const TrainO
     }
     SB_LOG_AT(opts.verbose ? obs::LogLevel::Info : obs::LogLevel::Debug, "train",
               "epoch %2d  train_loss %.4f  val_top1 %.4f  lr %.2e", epoch, rec.train_loss,
-              rec.val_top1, static_cast<double>(lr_at_epoch(opts, epoch)));
+              rec.val_top1, static_cast<double>(lr_at_epoch(opts, epoch)) * lr_scale);
 
     if (val.top1 > history.best_val_top1 || history.best_epoch < 0) {
       history.best_val_top1 = val.top1;
@@ -136,11 +342,25 @@ TrainHistory train_model(Model& model, const DatasetBundle& bundle, const TrainO
       ++epochs_since_best;
       if (opts.patience > 0 && epochs_since_best >= opts.patience) {
         history.stopped_early = true;
-        break;
       }
     }
+
+    const bool final_epoch = history.stopped_early || epoch + 1 >= opts.epochs;
+    const bool ckpt_due = ckpt.enabled() && ((epoch + 1) % ckpt.every == 0 || final_epoch);
+    if (opts.anomaly_policy == AnomalyPolicy::Rollback || ckpt_due) {
+      TrainCheckpoint snap = snapshot(epoch);
+      if (ckpt_due) save_train_checkpoint(snap, ckpt.dir);
+      if (opts.anomaly_policy == AnomalyPolicy::Rollback) last_good = std::move(snap);
+    }
+    ++epoch;
   }
 
+  history.anomalies = anomalies;
+  history.skipped_batches = skipped_batches;
+  history.rollbacks = rollbacks;
+  history.lr_scale = static_cast<float>(lr_scale);
+  // best_state can be empty (restore_best off, zero epochs, or a resumed
+  // pre-best checkpoint): never clobber live weights with a default dict.
   if (opts.restore_best && !best_state.empty()) load_state_dict(model, best_state);
   return history;
 }

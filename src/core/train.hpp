@@ -5,9 +5,18 @@
 // masked model, with masks enforced after every optimizer step. Early
 // stopping tracks validation accuracy and restores the best weights
 // (paper, Appendix C.2).
+//
+// The loop is fault tolerant: with a checkpoint directory configured it
+// writes full TrainCheckpoints (model + optimizer + loader RNG + history)
+// at epoch boundaries and auto-resumes from the newest valid one, producing
+// a training curve and final weights bit-identical to an uninterrupted
+// run. Per-step numeric health checks catch NaN/Inf losses and gradients
+// (trainability collapse after aggressive pruning is a real failure mode —
+// Wang et al. 2023) and respond per AnomalyPolicy.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -18,6 +27,26 @@
 namespace shrinkbench {
 
 enum class OptimizerKind { Sgd, SgdNesterov, Adam };
+
+/// What train_model does when a step produces a non-finite loss or
+/// gradient.
+enum class AnomalyPolicy {
+  /// Fail fast with a NumericAnomalyError (default: tests and CI want
+  /// diverged runs loud, not averaged into result tables).
+  Throw,
+  /// Drop the offending batch (no optimizer step) and continue.
+  SkipBatch,
+  /// Restore the last-good checkpoint, halve the learning rate, and
+  /// retry — bounded by TrainOptions::anomaly_max_rollbacks.
+  Rollback,
+};
+
+/// Thrown by train_model under AnomalyPolicy::Throw (and when Rollback
+/// exhausts its retry budget). Carries epoch/step context in what().
+class NumericAnomalyError : public std::runtime_error {
+ public:
+  explicit NumericAnomalyError(const std::string& what) : std::runtime_error(what) {}
+};
 
 /// Learning-rate schedules. The paper's Appendix C.2 setups use Fixed;
 /// StepDecay/Cosine exist because LR schedule is one of the §4.5
@@ -48,6 +77,28 @@ struct TrainOptions {
   bool restore_best = true;
   uint64_t loader_seed = 1;
   bool verbose = false;
+
+  // ---- fault tolerance ----
+  /// Directory for full training checkpoints. Empty falls back to
+  /// $SB_CKPT_DIR; if that is also empty, checkpointing is off. One
+  /// directory corresponds to one training run: on startup train_model
+  /// resumes from the newest valid checkpoint found here.
+  std::string checkpoint_dir;
+  /// Write a checkpoint every N epochs (the final/early-stop epoch is
+  /// always checkpointed). 0 reads $SB_CKPT_EVERY (default 1); negative
+  /// (or SB_CKPT_EVERY=0) disables checkpointing even when a directory is
+  /// configured.
+  int checkpoint_every = 0;
+  /// Response to a non-finite loss/gradient (see AnomalyPolicy).
+  AnomalyPolicy anomaly_policy = AnomalyPolicy::Throw;
+  /// Rollback budget: the run fails with NumericAnomalyError after this
+  /// many restore-and-halve-LR recoveries.
+  int anomaly_max_rollbacks = 3;
+  /// Scan all gradients for NaN/Inf every N optimizer steps (the loss is
+  /// checked every step for free); <= 0 disables the gradient scan.
+  int grad_check_every = 4;
+  /// Global-norm gradient clipping before each step; <= 0 disables.
+  float grad_clip_norm = 0.0f;
 };
 
 /// The paper's fine-tuning setups (Appendix C.2), epoch counts scaled to
@@ -67,9 +118,24 @@ struct TrainHistory {
   double best_val_top1 = 0.0;
   int best_epoch = -1;
   bool stopped_early = false;
+
+  // ---- fault-tolerance bookkeeping ----
+  /// Non-finite losses/gradients detected (whatever the policy did next).
+  int64_t anomalies = 0;
+  /// Batches dropped under AnomalyPolicy::SkipBatch.
+  int64_t skipped_batches = 0;
+  /// Restore-and-halve-LR recoveries under AnomalyPolicy::Rollback.
+  int64_t rollbacks = 0;
+  /// First epoch actually executed by this call when it resumed from a
+  /// checkpoint; -1 for a cold start.
+  int resumed_from_epoch = -1;
+  /// Final anomaly-recovery LR multiplier (0.5^rollbacks).
+  float lr_scale = 1.0f;
 };
 
-/// Trains on bundle.train, validating on bundle.val each epoch.
+/// Trains on bundle.train, validating on bundle.val each epoch. Throws
+/// std::invalid_argument on an empty train or validation split, and
+/// NumericAnomalyError per TrainOptions::anomaly_policy.
 TrainHistory train_model(Model& model, const DatasetBundle& bundle, const TrainOptions& opts);
 
 }  // namespace shrinkbench

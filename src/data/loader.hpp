@@ -29,6 +29,16 @@ struct AugmentOptions {
   bool any() const { return hflip || max_shift > 0 || noise_std > 0.0f; }
 };
 
+/// The loader's resumable position: both RNG streams at an epoch
+/// boundary. Restoring it makes the next reset() draw exactly the
+/// shuffle (and the following epoch exactly the augmentation draws) an
+/// uninterrupted run would have produced — training checkpoints capture
+/// this so a resumed run is bit-identical.
+struct DataLoaderState {
+  RngState shuffle_rng;
+  RngState augment_rng;
+};
+
 class DataLoader {
  public:
   DataLoader(const Dataset& dataset, int64_t batch_size, bool shuffle, uint64_t seed);
@@ -50,6 +60,13 @@ class DataLoader {
 
   int64_t batches_per_epoch() const;
   int64_t batch_size() const { return batch_size_; }
+
+  /// Snapshot / restore the RNG streams (epoch-boundary resume).
+  DataLoaderState state() const { return {rng_.state(), augment_rng_.state()}; }
+  void load_state(const DataLoaderState& state) {
+    rng_.set_state(state.shuffle_rng);
+    augment_rng_.set_state(state.augment_rng);
+  }
 
  private:
   void augment_in_place(Tensor& x);

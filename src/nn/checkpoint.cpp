@@ -1,10 +1,20 @@
 #include "nn/checkpoint.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <stdexcept>
 
 #include "nn/batchnorm.hpp"
+#include "nn/dropout.hpp"
+#include "obs/io.hpp"
+#include "obs/log.hpp"
+#include "obs/profile.hpp"
 #include "tensor/serialize.hpp"
 
 namespace shrinkbench {
@@ -116,6 +126,317 @@ void load_state_dict(Layer& model, const StateDict& state) {
     bn->running_mean() = fetch(bn->name() + ".running_mean", bn->running_mean().shape());
     bn->running_var() = fetch(bn->name() + ".running_var", bn->running_var().shape());
   }
+}
+
+// ---- full training checkpoints ----
+
+namespace {
+
+constexpr int64_t kTrainCkptMagic = 0x5342434b50543031;  // "SBCKPT01"
+constexpr int64_t kTrainCkptVersion = 1;
+
+namespace fs = std::filesystem;
+
+void write_state_dict(std::ostream& os, const StateDict& state) {
+  write_i64(os, static_cast<int64_t>(state.size()));
+  for (const auto& [key, tensor] : state) {
+    write_string(os, key);
+    write_tensor(os, tensor);
+  }
+}
+
+bool state_dicts_identical(const StateDict& a, const StateDict& b) {
+  if (a.size() != b.size()) return false;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  for (; ia != a.end(); ++ia, ++ib) {
+    if (ia->first != ib->first) return false;
+    if (ia->second.shape() != ib->second.shape()) return false;
+    if (std::memcmp(ia->second.data(), ib->second.data(),
+                    static_cast<size_t>(ia->second.numel()) * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+StateDict read_state_dict(std::istream& is) {
+  StateDict state;
+  const int64_t n = read_i64(is);
+  if (n < 0 || n > (1 << 20)) throw std::runtime_error("read_state_dict: implausible size");
+  for (int64_t i = 0; i < n; ++i) {
+    std::string key = read_string(is);
+    Tensor t = read_tensor(is);
+    state.emplace(std::move(key), std::move(t));
+  }
+  return state;
+}
+
+void write_rng_state(std::ostream& os, const RngState& s) {
+  for (const uint64_t word : s.s) write_u64(os, word);
+  write_f64(os, s.cached_normal);
+  write_i64(os, s.has_cached_normal ? 1 : 0);
+}
+
+RngState read_rng_state(std::istream& is) {
+  RngState s;
+  for (uint64_t& word : s.s) word = read_u64(is);
+  s.cached_normal = read_f64(is);
+  s.has_cached_normal = read_i64(is) != 0;
+  return s;
+}
+
+void serialize_train_checkpoint(std::ostream& os, const TrainCheckpoint& c) {
+  write_i64(os, kTrainCkptMagic);
+  write_i64(os, kTrainCkptVersion);
+  write_i64(os, c.epoch);
+  write_f64(os, c.lr_scale);
+  write_state_dict(os, c.model);
+  // At every epoch where validation just improved, best_state is a byte
+  // copy of the model dict — write a 1-flag instead of a second full dict.
+  const bool best_is_model = state_dicts_identical(c.best_state, c.model);
+  write_i64(os, best_is_model ? 1 : 0);
+  if (!best_is_model) write_state_dict(os, c.best_state);
+  write_string(os, c.optimizer.kind);
+  write_i64(os, static_cast<int64_t>(c.optimizer.slots.size()));
+  for (const auto& [name, tensor] : c.optimizer.slots) {
+    write_string(os, name);
+    write_tensor(os, tensor);
+  }
+  write_i64(os, static_cast<int64_t>(c.optimizer.scalars.size()));
+  for (const auto& [name, value] : c.optimizer.scalars) {
+    write_string(os, name);
+    write_f64(os, value);
+  }
+  write_rng_state(os, c.loader_shuffle_rng);
+  write_rng_state(os, c.loader_augment_rng);
+  write_i64(os, static_cast<int64_t>(c.layer_rng.size()));
+  for (const auto& [name, state] : c.layer_rng) {
+    write_string(os, name);
+    write_rng_state(os, state);
+  }
+  write_i64(os, static_cast<int64_t>(c.history.size()));
+  for (const TrainCheckpoint::Epoch& e : c.history) {
+    write_i64(os, e.epoch);
+    write_f64(os, e.train_loss);
+    write_f64(os, e.val_top1);
+    write_f64(os, e.val_loss);
+  }
+  write_f64(os, c.best_val_top1);
+  write_i64(os, c.best_epoch);
+  write_i64(os, c.epochs_since_best);
+  write_i64(os, c.stopped_early ? 1 : 0);
+  write_i64(os, c.anomalies);
+  write_i64(os, c.skipped_batches);
+  write_i64(os, c.rollbacks);
+}
+
+TrainCheckpoint parse_train_checkpoint(std::istream& is) {
+  if (read_i64(is) != kTrainCkptMagic) throw std::runtime_error("train checkpoint: bad magic");
+  if (read_i64(is) != kTrainCkptVersion) {
+    throw std::runtime_error("train checkpoint: version mismatch");
+  }
+  TrainCheckpoint c;
+  c.epoch = read_i64(is);
+  c.lr_scale = read_f64(is);
+  c.model = read_state_dict(is);
+  const bool best_is_model = read_i64(is) != 0;
+  c.best_state = best_is_model ? c.model : read_state_dict(is);
+  c.optimizer.kind = read_string(is);
+  const int64_t n_slots = read_i64(is);
+  if (n_slots < 0 || n_slots > (1 << 20)) throw std::runtime_error("train checkpoint: slots");
+  for (int64_t i = 0; i < n_slots; ++i) {
+    std::string name = read_string(is);
+    Tensor t = read_tensor(is);
+    c.optimizer.slots.emplace_back(std::move(name), std::move(t));
+  }
+  const int64_t n_scalars = read_i64(is);
+  if (n_scalars < 0 || n_scalars > (1 << 20)) throw std::runtime_error("train checkpoint: scalars");
+  for (int64_t i = 0; i < n_scalars; ++i) {
+    std::string name = read_string(is);
+    const double value = read_f64(is);
+    c.optimizer.scalars.emplace_back(std::move(name), value);
+  }
+  c.loader_shuffle_rng = read_rng_state(is);
+  c.loader_augment_rng = read_rng_state(is);
+  const int64_t n_layers = read_i64(is);
+  if (n_layers < 0 || n_layers > (1 << 20)) throw std::runtime_error("train checkpoint: layers");
+  for (int64_t i = 0; i < n_layers; ++i) {
+    std::string name = read_string(is);
+    const RngState state = read_rng_state(is);
+    c.layer_rng.emplace_back(std::move(name), state);
+  }
+  const int64_t n_epochs = read_i64(is);
+  if (n_epochs < 0 || n_epochs > (1 << 24)) throw std::runtime_error("train checkpoint: history");
+  for (int64_t i = 0; i < n_epochs; ++i) {
+    TrainCheckpoint::Epoch e;
+    e.epoch = read_i64(is);
+    e.train_loss = read_f64(is);
+    e.val_top1 = read_f64(is);
+    e.val_loss = read_f64(is);
+    c.history.push_back(e);
+  }
+  c.best_val_top1 = read_f64(is);
+  c.best_epoch = read_i64(is);
+  c.epochs_since_best = read_i64(is);
+  c.stopped_early = read_i64(is) != 0;
+  c.anomalies = read_i64(is);
+  c.skipped_batches = read_i64(is);
+  c.rollbacks = read_i64(is);
+  return c;
+}
+
+void quarantine_checkpoint(const fs::path& path) {
+  fs::path corrupt = path;
+  corrupt += ".corrupt";
+  std::error_code ec;
+  fs::rename(path, corrupt, ec);
+  if (ec) fs::remove(path, ec);
+  obs::count("ckpt.corrupt");
+  SB_LOG_WARN("ckpt", "corrupt training checkpoint quarantined to %s",
+              corrupt.string().c_str());
+}
+
+/// Epoch index encoded in a checkpoint filename, or -1 if the name does
+/// not match "ep<digits>.ckpt".
+int64_t checkpoint_epoch_of(const fs::path& path) {
+  const std::string name = path.filename().string();
+  if (name.size() < 8 || name.rfind("ep", 0) != 0) return -1;
+  if (path.extension() != ".ckpt") return -1;
+  const std::string digits = name.substr(2, name.size() - 2 - 5);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return -1;
+  }
+  return std::strtoll(digits.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+std::string train_checkpoint_path(const std::string& dir, int64_t epoch) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "ep%06lld.ckpt", static_cast<long long>(epoch));
+  return (fs::path(dir) / name).string();
+}
+
+bool save_train_checkpoint(const TrainCheckpoint& ckpt, const std::string& dir, int keep) {
+  SB_PROFILE_SCOPE("ckpt_save");
+  std::string payload;
+  {
+    SB_PROFILE_SCOPE("ckpt_serialize");
+    std::ostringstream os;
+    serialize_train_checkpoint(os, ckpt);
+    payload = os.str();
+  }
+  // Checksum before fault injection: a corrupted payload must fail its CRC
+  // on read, exactly like real bit rot.
+  uint64_t crc;
+  {
+    SB_PROFILE_SCOPE("ckpt_crc");
+    crc = obs::fnv1a64(payload);
+  }
+  if (obs::fault_point("ckpt.corrupt") && !payload.empty()) {
+    payload[payload.size() / 2] ^= 0x20;
+  }
+  char footer[8];
+  for (int i = 0; i < 8; ++i) footer[i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+  payload.append(footer, sizeof(footer));
+
+  const std::string path = train_checkpoint_path(dir, ckpt.epoch);
+  SB_PROFILE_SCOPE("ckpt_write");
+  if (!obs::atomic_write_file(path, payload)) {
+    obs::count("ckpt.write_failed");
+    SB_LOG_WARN("ckpt", "could not persist training checkpoint %s", path.c_str());
+    return false;
+  }
+  obs::count("ckpt.saved");
+
+  // Prune older checkpoints, newest `keep` survive (>= 2 keeps a fallback
+  // for the corruption path).
+  std::vector<int64_t> epochs;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const int64_t e = checkpoint_epoch_of(entry.path());
+    if (e >= 0) epochs.push_back(e);
+  }
+  std::sort(epochs.rbegin(), epochs.rend());
+  for (size_t i = static_cast<size_t>(std::max(keep, 1)); i < epochs.size(); ++i) {
+    fs::remove(train_checkpoint_path(dir, epochs[i]), ec);
+  }
+  return true;
+}
+
+bool load_train_checkpoint(const std::string& path, TrainCheckpoint& ckpt) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  std::string bytes = buf.str();
+  if (bytes.size() < 8) {
+    quarantine_checkpoint(path);
+    return false;
+  }
+  uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<uint64_t>(static_cast<unsigned char>(bytes[bytes.size() - 8 + i]))
+              << (8 * i);
+  }
+  bytes.resize(bytes.size() - 8);
+  if (obs::fnv1a64(bytes) != stored) {
+    quarantine_checkpoint(path);
+    return false;
+  }
+  try {
+    std::istringstream payload(bytes);
+    ckpt = parse_train_checkpoint(payload);
+  } catch (const std::exception& e) {
+    SB_LOG_WARN("ckpt", "checkpoint %s passed its CRC but failed to parse: %s", path.c_str(),
+                e.what());
+    quarantine_checkpoint(path);
+    return false;
+  }
+  return true;
+}
+
+bool load_latest_train_checkpoint(const std::string& dir, TrainCheckpoint& ckpt) {
+  std::vector<int64_t> epochs;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const int64_t e = checkpoint_epoch_of(entry.path());
+    if (e >= 0) epochs.push_back(e);
+  }
+  std::sort(epochs.rbegin(), epochs.rend());
+  for (const int64_t epoch : epochs) {
+    if (load_train_checkpoint(train_checkpoint_path(dir, epoch), ckpt)) return true;
+    SB_LOG_WARN("ckpt", "falling back past corrupt checkpoint for epoch %lld in %s",
+                static_cast<long long>(epoch), dir.c_str());
+  }
+  return false;
+}
+
+std::vector<std::pair<std::string, RngState>> layer_rng_states(Layer& model) {
+  std::vector<std::pair<std::string, RngState>> states;
+  visit_layers(model, [&](Layer& l) {
+    if (auto* drop = dynamic_cast<Dropout*>(&l)) {
+      states.emplace_back(drop->name(), drop->rng_state());
+    }
+  });
+  return states;
+}
+
+void load_layer_rng_states(Layer& model,
+                           const std::vector<std::pair<std::string, RngState>>& states) {
+  visit_layers(model, [&](Layer& l) {
+    auto* drop = dynamic_cast<Dropout*>(&l);
+    if (!drop) return;
+    for (const auto& [name, state] : states) {
+      if (name == drop->name()) {
+        drop->set_rng_state(state);
+        return;
+      }
+    }
+    throw std::runtime_error("load_layer_rng_states: missing stream for '" + drop->name() + "'");
+  });
 }
 
 }  // namespace shrinkbench

@@ -9,8 +9,12 @@
 
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "nn/layer.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/rng.hpp"
 
 namespace shrinkbench {
 
@@ -29,5 +33,81 @@ StateDict state_dict(Layer& model);
 /// Restores a snapshot; throws std::runtime_error on missing keys or shape
 /// mismatches.
 void load_state_dict(Layer& model, const StateDict& state);
+
+// ---- full training checkpoints ----
+//
+// A TrainCheckpoint captures *everything* a training loop needs to resume
+// bit-identically at an epoch boundary: model StateDict (parameters +
+// masks + batchnorm running stats), best-so-far weights, optimizer slots
+// (SGD velocity / Adam moments + step count), the data loader's RNG
+// streams, per-layer RNG streams (dropout mask draws), the training curve
+// so far, and early-stopping / anomaly-recovery bookkeeping.
+//
+// On-disk format (version 1): binary payload via tensor/serialize,
+// followed by an 8-byte little-endian fnv1a64 checksum of the payload —
+// the same CRC discipline as the result cache. Files are written through
+// obs::atomic_write_file, so a crash leaves the previous checkpoint
+// intact; a torn or bit-rotted file fails its checksum on read, is
+// quarantined to `<file>.corrupt`, and the loader falls back to the
+// previous checkpoint in the directory.
+
+struct TrainCheckpoint {
+  /// History record mirroring core's EpochRecord (redeclared here so the
+  /// nn layer does not depend on core).
+  struct Epoch {
+    int64_t epoch = 0;
+    double train_loss = 0.0;
+    double val_top1 = 0.0;
+    double val_loss = 0.0;
+  };
+
+  int64_t epoch = -1;     ///< last completed epoch index
+  double lr_scale = 1.0;  ///< anomaly-recovery LR multiplier (1 = untouched)
+
+  StateDict model;
+  StateDict best_state;  ///< empty when restore_best is off
+  OptimizerState optimizer;
+  RngState loader_shuffle_rng;
+  RngState loader_augment_rng;
+  /// Per-layer RNG streams (currently dropout), keyed by layer name.
+  std::vector<std::pair<std::string, RngState>> layer_rng;
+
+  std::vector<Epoch> history;
+  double best_val_top1 = 0.0;
+  int64_t best_epoch = -1;
+  int64_t epochs_since_best = 0;
+  bool stopped_early = false;
+
+  // Anomaly bookkeeping (monotone across rollbacks).
+  int64_t anomalies = 0;
+  int64_t skipped_batches = 0;
+  int64_t rollbacks = 0;
+};
+
+/// Path of the checkpoint file for `epoch` inside `dir`.
+std::string train_checkpoint_path(const std::string& dir, int64_t epoch);
+
+/// Atomically writes `ckpt` to train_checkpoint_path(dir, ckpt.epoch) and
+/// prunes older checkpoints, keeping the newest `keep` (>= 1; the
+/// previous one survives as the corruption fallback). Returns false if
+/// the write failed (training continues, only durability is lost).
+bool save_train_checkpoint(const TrainCheckpoint& ckpt, const std::string& dir, int keep = 2);
+
+/// Loads one checkpoint file. Returns false on missing file; a corrupt
+/// file (bad checksum / truncated / unparseable) is quarantined to
+/// `<path>.corrupt` and also returns false.
+bool load_train_checkpoint(const std::string& path, TrainCheckpoint& ckpt);
+
+/// Scans `dir` for checkpoints and loads the newest valid one,
+/// quarantining corrupt files and falling back to older epochs. Returns
+/// false when no valid checkpoint exists.
+bool load_latest_train_checkpoint(const std::string& dir, TrainCheckpoint& ckpt);
+
+/// Snapshot / restore of every RNG-bearing layer's stream (dropout mask
+/// draws), keyed by layer name — part of the bit-identical-resume
+/// contract for architectures with stochastic layers.
+std::vector<std::pair<std::string, RngState>> layer_rng_states(Layer& model);
+void load_layer_rng_states(Layer& model,
+                           const std::vector<std::pair<std::string, RngState>>& states);
 
 }  // namespace shrinkbench

@@ -27,6 +27,11 @@ class Dropout : public Layer {
 
   float p() const { return p_; }
 
+  /// Mask-draw stream snapshot/restore: training checkpoints capture it so
+  /// a resumed run draws the same masks an uninterrupted one would.
+  RngState rng_state() const { return rng_.state(); }
+  void set_rng_state(const RngState& state) { rng_.set_state(state); }
+
  private:
   float p_;
   Rng rng_;

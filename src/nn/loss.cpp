@@ -13,18 +13,26 @@ float SoftmaxCrossEntropy::forward(const Tensor& logits, const std::vector<int>&
   }
   probs_ = Tensor({n, c});
   labels_ = labels;
+  exp_scratch_.resize(static_cast<size_t>(c));
   double total = 0.0;
   for (int64_t i = 0; i < n; ++i) {
     const float* row = logits.data() + i * c;
     float m = row[0];
     for (int64_t j = 1; j < c; ++j) m = std::max(m, row[j]);
+    // Single exp pass: stash each exp(row[j] - m) while accumulating the
+    // partition sum (exp dominates this loop; computing it again for the
+    // probabilities would double the cost).
     double z = 0.0;
-    for (int64_t j = 0; j < c; ++j) z += std::exp(static_cast<double>(row[j] - m));
+    for (int64_t j = 0; j < c; ++j) {
+      const double e = std::exp(static_cast<double>(row[j] - m));
+      exp_scratch_[static_cast<size_t>(j)] = e;
+      z += e;
+    }
     const int label = labels[static_cast<size_t>(i)];
     if (label < 0 || label >= c) throw std::invalid_argument("SoftmaxCrossEntropy: bad label");
     float* prow = probs_.data() + i * c;
     for (int64_t j = 0; j < c; ++j) {
-      prow[j] = static_cast<float>(std::exp(static_cast<double>(row[j] - m)) / z);
+      prow[j] = static_cast<float>(exp_scratch_[static_cast<size_t>(j)] / z);
     }
     total += -(static_cast<double>(row[label] - m) - std::log(z));
   }

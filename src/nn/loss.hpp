@@ -22,6 +22,7 @@ class SoftmaxCrossEntropy {
  private:
   Tensor probs_;
   std::vector<int> labels_;
+  std::vector<double> exp_scratch_;  // per-row exp values, reused across calls
 };
 
 }  // namespace shrinkbench

@@ -1,8 +1,72 @@
 #include "nn/optimizer.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace shrinkbench {
+
+namespace {
+
+/// Fetches the slot tensors for `suffix` out of a checkpointed state in
+/// parameter order, validating names and shapes.
+void load_slots(const OptimizerState& state, const std::vector<Parameter*>& params,
+                const std::string& suffix, std::vector<Tensor>& out) {
+  for (size_t i = 0; i < params.size(); ++i) {
+    const std::string key = params[i]->name + suffix;
+    const Tensor* found = nullptr;
+    for (const auto& [name, tensor] : state.slots) {
+      if (name == key) {
+        found = &tensor;
+        break;
+      }
+    }
+    if (!found) throw std::runtime_error("Optimizer::load_state: missing slot '" + key + "'");
+    if (!found->same_shape(params[i]->data)) {
+      throw std::runtime_error("Optimizer::load_state: shape mismatch for slot '" + key + "'");
+    }
+    out[i] = *found;
+  }
+}
+
+}  // namespace
+
+void Optimizer::load_state(const OptimizerState& state) {
+  if (state.kind != "stateless") {
+    throw std::runtime_error("Optimizer::load_state: expected kind 'stateless', got '" +
+                             state.kind + "'");
+  }
+}
+
+double Optimizer::clip_global_grad_norm(float max_norm) {
+  double sum_sq = 0.0;
+  for (const Parameter* p : params_) {
+    const float* g = p->grad.data();
+    for (int64_t j = 0, n = p->numel(); j < n; ++j) {
+      sum_sq += static_cast<double>(g[j]) * static_cast<double>(g[j]);
+    }
+  }
+  const double norm = std::sqrt(sum_sq);
+  if (max_norm > 0.0f && std::isfinite(norm) && norm > static_cast<double>(max_norm)) {
+    const float scale = static_cast<float>(static_cast<double>(max_norm) / norm);
+    for (Parameter* p : params_) {
+      float* g = p->grad.data();
+      for (int64_t j = 0, n = p->numel(); j < n; ++j) g[j] *= scale;
+    }
+  }
+  return norm;
+}
+
+bool Optimizer::grads_finite() const {
+  // Branch-free scan: x * 0 is 0 for every finite x and NaN for NaN/Inf,
+  // so the accumulator stays exactly 0 iff every element is finite. The
+  // loop has no branches or calls and auto-vectorizes.
+  float acc = 0.0f;
+  for (const Parameter* p : params_) {
+    const float* g = p->grad.data();
+    for (int64_t j = 0, n = p->numel(); j < n; ++j) acc += g[j] * 0.0f;
+  }
+  return acc == 0.0f;
+}
 
 SGD::SGD(std::vector<Parameter*> params, SgdOptions opts)
     : Optimizer(std::move(params), opts.lr), opts_(opts) {
@@ -30,6 +94,23 @@ void SGD::step() {
     }
   }
   enforce_masks();
+}
+
+OptimizerState SGD::state() const {
+  OptimizerState s;
+  s.kind = "sgd";
+  s.slots.reserve(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    s.slots.emplace_back(params_[i]->name + ".velocity", velocity_[i]);
+  }
+  return s;
+}
+
+void SGD::load_state(const OptimizerState& state) {
+  if (state.kind != "sgd") {
+    throw std::runtime_error("SGD::load_state: expected kind 'sgd', got '" + state.kind + "'");
+  }
+  load_slots(state, params_, ".velocity", velocity_);
 }
 
 Adam::Adam(std::vector<Parameter*> params, AdamOptions opts)
@@ -62,6 +143,34 @@ void Adam::step() {
     }
   }
   enforce_masks();
+}
+
+OptimizerState Adam::state() const {
+  OptimizerState s;
+  s.kind = "adam";
+  s.slots.reserve(2 * params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    s.slots.emplace_back(params_[i]->name + ".m", m_[i]);
+    s.slots.emplace_back(params_[i]->name + ".v", v_[i]);
+  }
+  s.scalars.emplace_back("t", static_cast<double>(t_));
+  return s;
+}
+
+void Adam::load_state(const OptimizerState& state) {
+  if (state.kind != "adam") {
+    throw std::runtime_error("Adam::load_state: expected kind 'adam', got '" + state.kind + "'");
+  }
+  load_slots(state, params_, ".m", m_);
+  load_slots(state, params_, ".v", v_);
+  bool have_t = false;
+  for (const auto& [name, value] : state.scalars) {
+    if (name == "t") {
+      t_ = static_cast<int64_t>(value);
+      have_t = true;
+    }
+  }
+  if (!have_t) throw std::runtime_error("Adam::load_state: missing scalar 't'");
 }
 
 }  // namespace shrinkbench

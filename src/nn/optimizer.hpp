@@ -10,11 +10,23 @@
 // Nesterov momentum 0.9 and lr 1e-3.
 #pragma once
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "nn/parameter.hpp"
 
 namespace shrinkbench {
+
+/// Serializable optimizer state for full training checkpoints: per-slot
+/// tensors (SGD velocity, Adam first/second moments) keyed by
+/// "<param name>.<slot>", plus named scalars (Adam's step count). `kind`
+/// guards against loading one optimizer's state into another.
+struct OptimizerState {
+  std::string kind;
+  std::vector<std::pair<std::string, Tensor>> slots;
+  std::vector<std::pair<std::string, double>> scalars;
+};
 
 class Optimizer {
  public:
@@ -27,9 +39,26 @@ class Optimizer {
 
   virtual void step() = 0;
 
+  /// Snapshot / restore all mutable optimizer state (for training
+  /// checkpoints). The base implementation covers stateless optimizers;
+  /// load_state throws std::runtime_error on kind/shape mismatch.
+  virtual OptimizerState state() const { return {"stateless", {}, {}}; }
+  virtual void load_state(const OptimizerState& state);
+
   void zero_grad() {
     for (Parameter* p : params_) p->zero_grad();
   }
+
+  /// Global L2 norm of all gradients (accumulated in double). If
+  /// `max_norm` > 0 and the norm is finite and exceeds it, every gradient
+  /// is scaled by max_norm/norm. Returns the pre-clip norm — callers use
+  /// a non-finite return as a divergence signal.
+  double clip_global_grad_norm(float max_norm);
+
+  /// Vectorizable finiteness scan over every gradient element: true iff
+  /// no gradient holds a NaN/Inf. Cheap enough to run periodically as a
+  /// training health check.
+  bool grads_finite() const;
 
   float lr() const { return lr_; }
   void set_lr(float lr) { lr_ = lr; }
@@ -54,6 +83,8 @@ class SGD : public Optimizer {
  public:
   SGD(std::vector<Parameter*> params, SgdOptions opts);
   void step() override;
+  OptimizerState state() const override;
+  void load_state(const OptimizerState& state) override;
 
  private:
   SgdOptions opts_;
@@ -72,6 +103,8 @@ class Adam : public Optimizer {
  public:
   Adam(std::vector<Parameter*> params, AdamOptions opts);
   void step() override;
+  OptimizerState state() const override;
+  void load_state(const OptimizerState& state) override;
 
  private:
   AdamOptions opts_;

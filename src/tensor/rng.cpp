@@ -89,6 +89,20 @@ std::vector<int64_t> Rng::permutation(int64_t n) {
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
+RngState Rng::state() const {
+  RngState s;
+  for (int i = 0; i < 4; ++i) s.s[i] = state_[i];
+  s.cached_normal = cached_normal_;
+  s.has_cached_normal = has_cached_normal_;
+  return s;
+}
+
+void Rng::set_state(const RngState& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 void Rng::fill_uniform(Tensor& t, float lo, float hi) {
   for (float& x : t.flat()) x = static_cast<float>(uniform(lo, hi));
 }

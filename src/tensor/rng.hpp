@@ -16,6 +16,16 @@
 
 namespace shrinkbench {
 
+/// Complete serializable generator state: the xoshiro256++ words plus the
+/// Box-Muller cache. Restoring it resumes the stream exactly where it
+/// left off — the basis for bit-identical training resume (training
+/// checkpoints capture the loader's shuffle/augment streams this way).
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+};
+
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x5b);
@@ -40,6 +50,10 @@ class Rng {
 
   /// Derive an independent child stream (for per-worker / per-class seeds).
   Rng fork();
+
+  /// Snapshot / restore the full generator state (see RngState).
+  RngState state() const;
+  void set_state(const RngState& state);
 
   void fill_uniform(Tensor& t, float lo, float hi);
   void fill_normal(Tensor& t, float mean, float stddev);

@@ -21,6 +21,28 @@ int64_t read_i64(std::istream& is) {
   return v;
 }
 
+void write_u64(std::ostream& os, uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint64_t read_u64(std::istream& is) {
+  uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("read_u64: truncated stream");
+  return v;
+}
+
+void write_f64(std::ostream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+double read_f64(std::istream& is) {
+  double v = 0.0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("read_f64: truncated stream");
+  return v;
+}
+
 void write_string(std::ostream& os, const std::string& s) {
   write_i64(os, static_cast<int64_t>(s.size()));
   os.write(s.data(), static_cast<std::streamsize>(s.size()));

@@ -6,6 +6,7 @@
 // float32 payload, all little-endian.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -21,5 +22,11 @@ std::string read_string(std::istream& is);
 
 void write_i64(std::ostream& os, int64_t v);
 int64_t read_i64(std::istream& is);
+
+void write_u64(std::ostream& os, uint64_t v);
+uint64_t read_u64(std::istream& is);
+
+void write_f64(std::ostream& os, double v);
+double read_f64(std::istream& is);
 
 }  // namespace shrinkbench

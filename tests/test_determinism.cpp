@@ -10,11 +10,15 @@
 #include <string>
 #include <vector>
 
+#include <cstring>
+
 #include "core/experiment.hpp"
 #include "data/synthetic.hpp"
 #include "metrics/metrics.hpp"
 #include "models/zoo.hpp"
+#include "nn/checkpoint.hpp"
 #include "nn/init.hpp"
+#include "obs/io.hpp"
 #include "tensor/threadpool.hpp"
 
 namespace shrinkbench {
@@ -90,6 +94,79 @@ TEST_F(PoolFixture, EvaluateBitIdenticalAcrossThreadCounts) {
   const EvalResult ragged_threaded = evaluate(*model, bundle.test, 40);
   EXPECT_EQ(ragged_serial.loss, ragged_threaded.loss);
   EXPECT_EQ(ragged_serial.top1, ragged_threaded.top1);
+}
+
+// ---- Crash-and-resume bit-identity ----
+
+// The auto-resume contract: a run that crashes mid-training and restarts
+// from its checkpoints must produce the same training curve and the same
+// final weights, to the bit, as a run that was never interrupted — under
+// any thread count. Uses the dropout VGG variant so the per-layer RNG
+// streams are part of the contract too.
+TEST_F(PoolFixture, ResumeMatchesUninterruptedRunBitIdentical) {
+  const DatasetBundle bundle = make_synthetic(tiny_spec());
+  const std::string dir = ::testing::TempDir() + "/sb_det_resume";
+  const auto dropout_model = [&bundle]() {
+    ModelPtr model = make_model("cifar-vgg-dropout", bundle.train.sample_shape(),
+                                bundle.train.num_classes, /*base_width=*/4);
+    Rng rng(17);
+    init_model(*model, rng);
+    return model;
+  };
+
+  for (const int threads : {1, 4}) {
+    ThreadPool::instance().set_threads(threads);
+    std::filesystem::remove_all(dir);
+    TrainOptions opts = tiny_train_options();
+    opts.epochs = 4;
+
+    ModelPtr control = dropout_model();
+    const TrainHistory uninterrupted = train_model(*control, bundle, opts);
+
+    opts.checkpoint_dir = dir;
+    opts.checkpoint_every = 1;
+    ModelPtr crashed = dropout_model();
+    obs::set_fault_spec("train.crash_epoch:3");  // kill at epoch 2
+    EXPECT_THROW(train_model(*crashed, bundle, opts), std::runtime_error);
+    obs::set_fault_spec("");
+
+    ModelPtr resumed_model = dropout_model();
+    const TrainHistory resumed = train_model(*resumed_model, bundle, opts);
+    EXPECT_EQ(resumed.resumed_from_epoch, 2) << "threads=" << threads;
+
+    ASSERT_EQ(resumed.epochs.size(), uninterrupted.epochs.size());
+    for (size_t i = 0; i < resumed.epochs.size(); ++i) {
+      EXPECT_EQ(resumed.epochs[i].train_loss, uninterrupted.epochs[i].train_loss)
+          << "threads=" << threads << " epoch " << i;
+      EXPECT_EQ(resumed.epochs[i].val_loss, uninterrupted.epochs[i].val_loss)
+          << "threads=" << threads << " epoch " << i;
+      EXPECT_EQ(resumed.epochs[i].val_top1, uninterrupted.epochs[i].val_top1)
+          << "threads=" << threads << " epoch " << i;
+    }
+    EXPECT_EQ(resumed.best_epoch, uninterrupted.best_epoch);
+    EXPECT_EQ(resumed.best_val_top1, uninterrupted.best_val_top1);
+
+    const StateDict a = state_dict(*control);
+    const StateDict b = state_dict(*resumed_model);
+    ASSERT_EQ(a.size(), b.size());
+    for (const auto& [key, tensor] : a) {
+      const auto it = b.find(key);
+      ASSERT_NE(it, b.end()) << key;
+      ASSERT_EQ(tensor.numel(), it->second.numel()) << key;
+      EXPECT_EQ(std::memcmp(tensor.data(), it->second.data(),
+                            sizeof(float) * static_cast<size_t>(tensor.numel())),
+                0)
+          << "threads=" << threads << " tensor " << key;
+    }
+
+    // Re-running against a directory whose training already finished is a
+    // pure no-op resume: same history, no extra epochs.
+    ModelPtr again = dropout_model();
+    const TrainHistory noop = train_model(*again, bundle, opts);
+    EXPECT_EQ(noop.resumed_from_epoch, opts.epochs);
+    ASSERT_EQ(noop.epochs.size(), uninterrupted.epochs.size());
+    std::filesystem::remove_all(dir);
+  }
 }
 
 // ---- Sweep CSV determinism across SB_SWEEP_PARALLEL ----

@@ -75,6 +75,23 @@ TEST(SoftmaxCrossEntropy, NumericallyStableAtLargeLogits) {
   EXPECT_NEAR(l, std::log(1.0f + std::exp(-1.0f)), 1e-4f);
 }
 
+TEST(SoftmaxCrossEntropy, StableAtExtremeLogitMagnitudes) {
+  SoftmaxCrossEntropy loss;
+  // +-1e4 logits: naive exp would overflow/underflow; the max-shifted
+  // single-pass form must stay finite in loss, probs, and gradient.
+  Tensor logits({2, 3}, {1e4f, -1e4f, 0.0f, -1e4f, -1e4f, -1e4f});
+  const float l = loss.forward(logits, {0, 1});
+  EXPECT_TRUE(std::isfinite(l));
+  // Row 0: the max logit dominates -> loss ~0; row 1: uniform -> log(3).
+  EXPECT_NEAR(l, 0.5f * std::log(3.0f), 1e-4f);
+  const Tensor& p = loss.probs();
+  for (int64_t i = 0; i < p.numel(); ++i) EXPECT_TRUE(std::isfinite(p.data()[i]));
+  EXPECT_NEAR(p.data()[0], 1.0f, 1e-6f);
+  EXPECT_NEAR(p.data()[3], 1.0f / 3.0f, 1e-6f);
+  const Tensor d = loss.backward();
+  for (int64_t i = 0; i < d.numel(); ++i) EXPECT_TRUE(std::isfinite(d.data()[i]));
+}
+
 // ---- Optimizers on a quadratic: f(w) = 0.5 * ||w - target||^2 ----
 
 struct QuadParam {

@@ -7,12 +7,20 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <filesystem>
+#include <limits>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "data/loader.hpp"
+#include "models/zoo.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/init.hpp"
+#include "nn/loss.hpp"
 #include "obs/io.hpp"
 #include "obs/profile.hpp"
 #include "tensor/gemm.hpp"
@@ -336,6 +344,407 @@ TEST_F(RobustnessFixture, PendingInterruptStopsSweepBeforeWork) {
   clear_sweep_interrupt();
   EXPECT_TRUE(results.empty());
   EXPECT_TRUE(summary.interrupted);
+}
+
+// ---- training checkpoints ----
+
+// Small but representative model: conv + batchnorm (running stats) +
+// dropout (layer RNG stream) + prunable weights (masks).
+SyntheticSpec ckpt_spec() {
+  SyntheticSpec spec = synth_mnist();
+  spec.train_size = 128;
+  spec.val_size = 64;
+  spec.test_size = 64;
+  return spec;
+}
+
+ModelPtr ckpt_model(const DatasetBundle& bundle) {
+  ModelPtr model = make_model("cifar-vgg-dropout", bundle.train.sample_shape(),
+                              bundle.train.num_classes, /*base_width=*/4);
+  Rng rng(7);
+  init_model(*model, rng);
+  return model;
+}
+
+void expect_tensors_equal(const Tensor& a, const Tensor& b, const std::string& what) {
+  ASSERT_EQ(a.numel(), b.numel()) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), sizeof(float) * static_cast<size_t>(a.numel())), 0)
+      << what;
+}
+
+void expect_state_dicts_equal(const StateDict& a, const StateDict& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [key, tensor] : a) {
+    const auto it = b.find(key);
+    ASSERT_NE(it, b.end()) << key;
+    expect_tensors_equal(tensor, it->second, key);
+  }
+}
+
+void expect_rng_states_equal(const RngState& a, const RngState& b) {
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(a.s[i], b.s[i]);
+  EXPECT_EQ(a.has_cached_normal, b.has_cached_normal);
+}
+
+TEST(TrainCheckpointTest, RoundTripsAllState) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "sb_ckpt_roundtrip";
+  fs::remove_all(dir);
+  const DatasetBundle bundle = make_synthetic(ckpt_spec());
+  ModelPtr model = ckpt_model(bundle);
+
+  // Give every piece of state a non-default value: masks via pruning, BN
+  // stats + dropout RNG via a training step, Adam moments + t via step().
+  Rng prune_rng(3);
+  prune_model(*model, strategy_from_name("global-weight"), 0.5, bundle.train, {}, prune_rng);
+  DataLoader loader(bundle.train, 32, /*shuffle=*/true, /*seed=*/5, {});
+  Adam opt(parameters_of(*model), {});
+  SoftmaxCrossEntropy loss;
+  Batch batch;
+  ASSERT_TRUE(loader.next(batch));
+  opt.zero_grad();
+  loss.forward(model->forward(batch.x, /*train=*/true), batch.y);
+  model->backward(loss.backward());
+  opt.step();
+
+  TrainCheckpoint ck;
+  ck.epoch = 3;
+  ck.lr_scale = 0.25;
+  ck.model = state_dict(*model);
+  ck.best_state = ck.model;
+  ck.optimizer = opt.state();
+  const DataLoaderState ls = loader.state();
+  ck.loader_shuffle_rng = ls.shuffle_rng;
+  ck.loader_augment_rng = ls.augment_rng;
+  ck.layer_rng = layer_rng_states(*model);
+  ck.history = {{0, 2.0, 0.3, 1.9}, {1, 1.5, 0.4, 1.6}};
+  ck.best_val_top1 = 0.4;
+  ck.best_epoch = 1;
+  ck.epochs_since_best = 2;
+  ck.anomalies = 5;
+  ck.skipped_batches = 2;
+  ck.rollbacks = 1;
+  ASSERT_TRUE(save_train_checkpoint(ck, dir.string()));
+
+  TrainCheckpoint out;
+  ASSERT_TRUE(load_latest_train_checkpoint(dir.string(), out));
+  EXPECT_EQ(out.epoch, 3);
+  EXPECT_DOUBLE_EQ(out.lr_scale, 0.25);
+  // The StateDict carries masks and batchnorm running stats by key.
+  EXPECT_GT(std::count_if(out.model.begin(), out.model.end(),
+                          [](const auto& kv) {
+                            return kv.first.find(".mask") != std::string::npos;
+                          }),
+            0);
+  EXPECT_GT(std::count_if(out.model.begin(), out.model.end(),
+                          [](const auto& kv) {
+                            return kv.first.find(".running_mean") != std::string::npos;
+                          }),
+            0);
+  expect_state_dicts_equal(ck.model, out.model);
+  expect_state_dicts_equal(ck.best_state, out.best_state);
+  EXPECT_EQ(out.optimizer.kind, "adam");
+  ASSERT_EQ(out.optimizer.slots.size(), ck.optimizer.slots.size());
+  for (size_t i = 0; i < ck.optimizer.slots.size(); ++i) {
+    EXPECT_EQ(out.optimizer.slots[i].first, ck.optimizer.slots[i].first);
+    expect_tensors_equal(out.optimizer.slots[i].second, ck.optimizer.slots[i].second,
+                         ck.optimizer.slots[i].first);
+  }
+  ASSERT_EQ(out.optimizer.scalars.size(), 1u);
+  EXPECT_EQ(out.optimizer.scalars[0].first, "t");
+  EXPECT_DOUBLE_EQ(out.optimizer.scalars[0].second, 1.0);  // one step taken
+  expect_rng_states_equal(out.loader_shuffle_rng, ck.loader_shuffle_rng);
+  expect_rng_states_equal(out.loader_augment_rng, ck.loader_augment_rng);
+  ASSERT_EQ(out.layer_rng.size(), ck.layer_rng.size());
+  ASSERT_GE(out.layer_rng.size(), 1u);  // the dropout layer
+  for (size_t i = 0; i < ck.layer_rng.size(); ++i) {
+    EXPECT_EQ(out.layer_rng[i].first, ck.layer_rng[i].first);
+    expect_rng_states_equal(out.layer_rng[i].second, ck.layer_rng[i].second);
+  }
+  ASSERT_EQ(out.history.size(), 2u);
+  EXPECT_DOUBLE_EQ(out.history[1].train_loss, 1.5);
+  EXPECT_DOUBLE_EQ(out.best_val_top1, 0.4);
+  EXPECT_EQ(out.best_epoch, 1);
+  EXPECT_EQ(out.epochs_since_best, 2);
+  EXPECT_EQ(out.anomalies, 5);
+  EXPECT_EQ(out.skipped_batches, 2);
+  EXPECT_EQ(out.rollbacks, 1);
+  fs::remove_all(dir);
+}
+
+// best_state is usually a byte copy of the model dict (validation just
+// improved); the writer collapses that to a flag. Both the deduplicated
+// and the distinct encoding must round-trip, and the dedup must shrink
+// the file.
+TEST(TrainCheckpointTest, DedupesBestStateWhenIdenticalToModel) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "sb_ckpt_dedup";
+  fs::remove_all(dir);
+  const DatasetBundle bundle = make_synthetic(ckpt_spec());
+  ModelPtr model = ckpt_model(bundle);
+
+  TrainCheckpoint same;
+  same.epoch = 0;
+  same.model = state_dict(*model);
+  same.best_state = same.model;
+  same.optimizer = {"stateless", {}, {}};
+  ASSERT_TRUE(save_train_checkpoint(same, dir.string(), /*keep=*/4));
+
+  TrainCheckpoint distinct = same;
+  distinct.epoch = 1;
+  distinct.best_state.begin()->second.data()[0] += 1.0f;
+  ASSERT_TRUE(save_train_checkpoint(distinct, dir.string(), /*keep=*/4));
+
+  const auto size_of = [&](int64_t epoch) {
+    return fs::file_size(train_checkpoint_path(dir.string(), epoch));
+  };
+  EXPECT_LT(size_of(0), size_of(1));
+
+  TrainCheckpoint out;
+  ASSERT_TRUE(load_train_checkpoint(train_checkpoint_path(dir.string(), 0), out));
+  expect_state_dicts_equal(same.best_state, out.best_state);
+  ASSERT_TRUE(load_train_checkpoint(train_checkpoint_path(dir.string(), 1), out));
+  expect_state_dicts_equal(distinct.best_state, out.best_state);
+  expect_state_dicts_equal(distinct.model, out.model);
+  fs::remove_all(dir);
+}
+
+TEST(TrainCheckpointTest, CorruptNewestFallsBackToPrevious) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "sb_ckpt_fallback";
+  fs::remove_all(dir);
+  const DatasetBundle bundle = make_synthetic(ckpt_spec());
+  ModelPtr model = ckpt_model(bundle);
+  TrainCheckpoint ck;
+  ck.model = state_dict(*model);
+  ck.optimizer = {"stateless", {}, {}};
+  ck.epoch = 0;
+  ASSERT_TRUE(save_train_checkpoint(ck, dir.string()));
+  ck.epoch = 1;
+  ASSERT_TRUE(save_train_checkpoint(ck, dir.string()));
+
+  // Bit-flip the newest checkpoint: its checksum fails, it is quarantined,
+  // and the loader falls back to the epoch-0 file.
+  const fs::path newest = train_checkpoint_path(dir.string(), 1);
+  std::string bytes = slurp(newest);
+  ASSERT_GT(bytes.size(), 100u);
+  bytes[bytes.size() / 2] ^= 0x01;
+  {
+    std::ofstream os(newest, std::ios::binary | std::ios::trunc);
+    os << bytes;
+  }
+  TrainCheckpoint out;
+  ASSERT_TRUE(load_latest_train_checkpoint(dir.string(), out));
+  EXPECT_EQ(out.epoch, 0);
+  EXPECT_EQ(count_files_with(dir, ".corrupt"), 1u);
+
+  // Truncate the survivor too: nothing valid remains.
+  const fs::path oldest = train_checkpoint_path(dir.string(), 0);
+  bytes = slurp(oldest);
+  {
+    std::ofstream os(oldest, std::ios::binary | std::ios::trunc);
+    os << bytes.substr(0, bytes.size() / 3);
+  }
+  EXPECT_FALSE(load_latest_train_checkpoint(dir.string(), out));
+  EXPECT_EQ(count_files_with(dir, ".corrupt"), 2u);
+  fs::remove_all(dir);
+}
+
+TEST(TrainCheckpointTest, WriteTimeCorruptionInjectionIsCaught) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "sb_ckpt_writecorrupt";
+  fs::remove_all(dir);
+  const DatasetBundle bundle = make_synthetic(ckpt_spec());
+  ModelPtr model = ckpt_model(bundle);
+  TrainCheckpoint ck;
+  ck.model = state_dict(*model);
+  ck.optimizer = {"stateless", {}, {}};
+  ck.epoch = 0;
+  ASSERT_TRUE(save_train_checkpoint(ck, dir.string()));
+  obs::set_fault_spec("ckpt.corrupt:1");  // bit-rot epoch 1 as it is written
+  ck.epoch = 1;
+  ASSERT_TRUE(save_train_checkpoint(ck, dir.string()));
+  obs::set_fault_spec("");
+  TrainCheckpoint out;
+  ASSERT_TRUE(load_latest_train_checkpoint(dir.string(), out));
+  EXPECT_EQ(out.epoch, 0);
+  EXPECT_EQ(count_files_with(dir, ".corrupt"), 1u);
+  fs::remove_all(dir);
+}
+
+// ---- numeric-anomaly detection and recovery ----
+
+TrainOptions anomaly_train_options() {
+  TrainOptions opts;
+  opts.epochs = 2;
+  opts.batch_size = 32;
+  opts.patience = 0;
+  opts.grad_check_every = 1;
+  return opts;
+}
+
+TEST(TrainAnomaly, ThrowPolicyFailsFastOnNanLoss) {
+  const DatasetBundle bundle = make_synthetic(ckpt_spec());
+  ModelPtr model = ckpt_model(bundle);
+  obs::set_fault_spec("train.nan_loss:2");
+  EXPECT_THROW(train_model(*model, bundle, anomaly_train_options()), NumericAnomalyError);
+  obs::set_fault_spec("");
+}
+
+TEST(TrainAnomaly, ThrowPolicyFailsFastOnNanGrad) {
+  const DatasetBundle bundle = make_synthetic(ckpt_spec());
+  ModelPtr model = ckpt_model(bundle);
+  obs::set_fault_spec("train.nan_grad:1");
+  EXPECT_THROW(train_model(*model, bundle, anomaly_train_options()), NumericAnomalyError);
+  obs::set_fault_spec("");
+}
+
+TEST(TrainAnomaly, SkipBatchDropsTheBatchAndFinishes) {
+  const DatasetBundle bundle = make_synthetic(ckpt_spec());
+  ModelPtr model = ckpt_model(bundle);
+  TrainOptions opts = anomaly_train_options();
+  opts.anomaly_policy = AnomalyPolicy::SkipBatch;
+  obs::set_fault_spec("train.nan_loss:2");
+  const TrainHistory hist = train_model(*model, bundle, opts);
+  obs::set_fault_spec("");
+  EXPECT_EQ(hist.anomalies, 1);
+  EXPECT_EQ(hist.skipped_batches, 1);
+  EXPECT_EQ(hist.rollbacks, 0);
+  EXPECT_EQ(static_cast<int>(hist.epochs.size()), opts.epochs);
+  EXPECT_TRUE(std::isfinite(hist.epochs.back().train_loss));
+}
+
+TEST(TrainAnomaly, RollbackRestoresLastGoodAndHalvesLr) {
+  const DatasetBundle bundle = make_synthetic(ckpt_spec());
+  ModelPtr model = ckpt_model(bundle);
+  TrainOptions opts = anomaly_train_options();
+  opts.epochs = 3;
+  opts.anomaly_policy = AnomalyPolicy::Rollback;
+  obs::set_fault_spec("train.nan_loss:6");  // mid-epoch, after a good epoch
+  const TrainHistory hist = train_model(*model, bundle, opts);
+  obs::set_fault_spec("");
+  EXPECT_EQ(hist.anomalies, 1);
+  EXPECT_EQ(hist.rollbacks, 1);
+  EXPECT_FLOAT_EQ(hist.lr_scale, 0.5f);
+  EXPECT_EQ(static_cast<int>(hist.epochs.size()), opts.epochs);
+}
+
+TEST(TrainAnomaly, RollbackBudgetExhaustionThrows) {
+  const DatasetBundle bundle = make_synthetic(ckpt_spec());
+  ModelPtr model = ckpt_model(bundle);
+  TrainOptions opts = anomaly_train_options();
+  opts.anomaly_policy = AnomalyPolicy::Rollback;
+  opts.anomaly_max_rollbacks = 2;
+  obs::set_fault_spec("train.nan_loss:*");  // every batch diverges
+  EXPECT_THROW(train_model(*model, bundle, opts), NumericAnomalyError);
+  obs::set_fault_spec("");
+}
+
+TEST(TrainAnomaly, GradClippingBoundsGlobalNormAndDetectsNan) {
+  const DatasetBundle bundle = make_synthetic(ckpt_spec());
+  ModelPtr model = ckpt_model(bundle);
+  auto params = parameters_of(*model);
+  int64_t n = 0;
+  for (Parameter* p : params) {
+    float* g = p->grad.data();
+    for (int64_t j = 0; j < p->numel(); ++j) g[j] = 3.0f;
+    n += p->numel();
+  }
+  SGD opt(params, {});
+  EXPECT_TRUE(opt.grads_finite());
+  const double pre_norm = opt.clip_global_grad_norm(1.0f);
+  EXPECT_NEAR(pre_norm, 3.0 * std::sqrt(static_cast<double>(n)), 1e-3);
+  double post_sq = 0.0;
+  for (const Parameter* p : params) {
+    const float* g = p->grad.data();
+    for (int64_t j = 0; j < p->numel(); ++j) post_sq += static_cast<double>(g[j]) * g[j];
+  }
+  EXPECT_NEAR(std::sqrt(post_sq), 1.0, 1e-4);
+  params[0]->grad.data()[0] = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(opt.grads_finite());
+  EXPECT_FALSE(std::isfinite(opt.clip_global_grad_norm(1.0f)));
+}
+
+// ---- train_model guards (satellites) ----
+
+TEST(TrainGuards, EmptySplitThrowsDescriptively) {
+  DatasetBundle bundle = make_synthetic(ckpt_spec());
+  ModelPtr model = ckpt_model(bundle);
+  DatasetBundle no_train = bundle;
+  no_train.train.images = Tensor();
+  EXPECT_THROW(train_model(*model, no_train, anomaly_train_options()), std::invalid_argument);
+  DatasetBundle no_val = bundle;
+  no_val.val.images = Tensor();
+  EXPECT_THROW(train_model(*model, no_val, anomaly_train_options()), std::invalid_argument);
+}
+
+TEST(TrainGuards, ZeroEpochRunNeverClobbersWeights) {
+  const DatasetBundle bundle = make_synthetic(ckpt_spec());
+  ModelPtr model = ckpt_model(bundle);
+  const StateDict before = state_dict(*model);
+  TrainOptions opts = anomaly_train_options();
+  opts.epochs = 0;
+  opts.restore_best = true;  // best_state stays empty — must not be loaded
+  const TrainHistory hist = train_model(*model, bundle, opts);
+  EXPECT_EQ(hist.best_epoch, -1);
+  expect_state_dicts_equal(before, state_dict(*model));
+}
+
+// ---- crash-and-resume through the experiment runner ----
+
+TEST_F(RobustnessFixture, CrashedExperimentResumesFromCheckpoints) {
+  obs::set_profiling_enabled(true);
+  obs::Profiler::instance().reset();
+  ExperimentConfig cfg = tiny_config();
+  cfg.pretrain.epochs = 4;
+
+  // Crash pretraining at epoch 2: epochs 0-1 are checkpointed.
+  obs::set_fault_spec("train.crash_epoch:3");
+  EXPECT_THROW(runner->run(cfg), std::runtime_error);
+  obs::set_fault_spec("");
+  auto snap = obs::Profiler::instance().snapshot();
+  EXPECT_EQ(snap.counters.at("train.epochs"), 2);
+
+  // The rerun resumes: only epochs 2-3 of pretraining plus the single
+  // fine-tune epoch actually execute.
+  obs::Profiler::instance().reset();
+  const ExperimentResult resumed = runner->run(cfg);
+  snap = obs::Profiler::instance().snapshot();
+  EXPECT_EQ(snap.counters.at("train.epochs"), 3);
+  EXPECT_GE(snap.counters.at("train.resume"), 1);
+  obs::set_profiling_enabled(false);
+
+  // Identical metrics to a run that never crashed (fresh cache).
+  const std::string control_cache = ::testing::TempDir() + "/sb_robust_cache_control";
+  fs::remove_all(control_cache);
+  ExperimentRunner control_runner(control_cache);
+  const ExperimentResult control = control_runner.run(cfg);
+  EXPECT_DOUBLE_EQ(resumed.post_top1, control.post_top1);
+  EXPECT_DOUBLE_EQ(resumed.post_top5, control.post_top5);
+  EXPECT_DOUBLE_EQ(resumed.pre_top1, control.pre_top1);
+  fs::remove_all(control_cache);
+
+  // Checkpoints are transient resume state: once the pretrained model and
+  // the result row are cached, the .ckpt files are cleaned up.
+  EXPECT_EQ(count_files_with(fs::path(cache_dir) / "ckpt", ".ckpt"), 0u);
+}
+
+TEST_F(RobustnessFixture, AnomalyCountsSurfaceInRunManifest) {
+  ExperimentResult r;
+  r.config = tiny_config();
+  r.anomalies = 3;
+  r.skipped_batches = 2;
+  r.rollbacks = 1;
+  r.resumed_rounds = 1;
+  const std::string path = out_dir + "/manifest.json";
+  write_run_manifest(path, "unit", {r});
+  const std::string json = slurp(path);
+  EXPECT_NE(json.find("\"anomalies\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"skipped_batches\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"rollbacks\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"resumed_rounds\": 1"), std::string::npos);
+
+  // Clean rows stay schema-stable: no anomaly keys at all.
+  ExperimentResult clean;
+  clean.config = tiny_config();
+  write_run_manifest(path, "unit", {clean});
+  EXPECT_EQ(slurp(path).find("anomalies"), std::string::npos);
 }
 
 // ---- satellite: gemm FLOP accounting ----
