@@ -18,6 +18,7 @@
 
 #include "core/experiment.hpp"
 #include "metrics/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "report/chart.hpp"
 #include "report/table.hpp"
 
@@ -201,8 +202,15 @@ inline void save_results(const BenchArgs& args, const std::string& name,
   // revision, per-phase timings, and the profiler counter snapshot.
   const std::string manifest_path = args.out_dir + "/" + name + ".manifest.json";
   write_run_manifest(manifest_path, name, results);
-  std::printf("wrote %s (%zu rows) + %s\n\n", path.c_str(), results.size(),
+  std::printf("wrote %s (%zu rows) + %s\n", path.c_str(), results.size(),
               manifest_path.c_str());
+  // write_run_manifest exports the telemetry time-series next to the
+  // manifest when SB_TELEMETRY ran; point the user at it.
+  if (obs::Telemetry::constructed()) {
+    std::printf("wrote %s/%s.telemetry.jsonl (SB_TELEMETRY time-series)\n",
+                args.out_dir.c_str(), name.c_str());
+  }
+  std::printf("\n");
 }
 
 }  // namespace shrinkbench::bench

@@ -9,10 +9,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "core/checklist.hpp"
 #include "core/experiment.hpp"
 #include "metrics/summary.hpp"
+#include "obs/telemetry.hpp"
 
 using namespace shrinkbench;
 
@@ -20,7 +22,8 @@ namespace {
 
 void usage(const char* argv0) {
   std::printf(
-      "usage: %s [options]\n"
+      "usage: %s [options]\n", argv0);
+  std::printf(
       "  --dataset NAME     synth-cifar10 | synth-imagenet | synth-mnist (default synth-cifar10)\n"
       "  --arch NAME        lenet-300-100 | lenet-5 | cifar-vgg | resnet-20/56/110 | resnet-18\n"
       "  --width N          base width override (0 = architecture default)\n"
@@ -32,6 +35,9 @@ void usage(const char* argv0) {
       "  --schedule NAME    one-shot | iterative | polynomial (default one-shot)\n"
       "  --steps N          pruning rounds for iterative/polynomial (default 3)\n"
       "  --seed N           run seed (default 1)\n"
+      "  --seeds A,B,...    run a mini-sweep over these seeds instead of one run\n"
+      "  --csv PATH         (with --seeds) stream rows to PATH and write the run\n"
+      "                     manifest next to it (PATH with .manifest.json)\n"
       "  --epochs N         fine-tune epochs (default 10)\n"
       "  --pretrain-epochs N  pretraining epochs (default 60; cached per config)\n"
       "  --prune-classifier include the classifier layer (off by default)\n"
@@ -48,6 +54,8 @@ int main(int argc, char** argv) {
   cfg.finetune.epochs = 10;
   cfg.finetune.patience = 4;
   std::string cache = default_cache_dir();
+  std::vector<uint64_t> seeds;
+  std::string csv_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -74,6 +82,18 @@ int main(int argc, char** argv) {
       cfg.schedule_steps = std::atoi(next().c_str());
     } else if (a == "--seed") {
       cfg.run_seed = static_cast<uint64_t>(std::atoll(next().c_str()));
+    } else if (a == "--seeds") {
+      std::string list = next();
+      seeds.clear();
+      for (size_t pos = 0; pos < list.size();) {
+        const size_t comma = list.find(',', pos);
+        const std::string tok = list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        if (!tok.empty()) seeds.push_back(static_cast<uint64_t>(std::atoll(tok.c_str())));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (a == "--csv") {
+      csv_path = next();
     } else if (a == "--epochs") {
       cfg.finetune.epochs = std::atoi(next().c_str());
     } else if (a == "--pretrain-epochs") {
@@ -90,12 +110,58 @@ int main(int argc, char** argv) {
   if (cfg.dataset == "synth-imagenet") cfg.finetune = imagenet_finetune_options();
 
   ExperimentRunner runner(cache);
+
+  // Mini-sweep mode: one strategy/ratio across several seeds through the
+  // real run_sweep path (heartbeat, incremental CSV, manifest) — the
+  // smallest end-to-end exercise of the sweep observability surface.
+  if (!seeds.empty()) {
+    SweepOptions opts;
+    opts.csv_path = csv_path;
+    SweepSummary sum;
+    std::vector<ExperimentResult> results;
+    try {
+      results = run_sweep(runner, cfg, {cfg.strategy}, {cfg.target_compression}, seeds, opts,
+                          &sum);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sb_run: sweep failed: %s\n", e.what());
+      return 1;
+    }
+    if (!csv_path.empty()) {
+      std::string manifest = csv_path;
+      if (manifest.size() > 4 && manifest.rfind(".csv") == manifest.size() - 4) {
+        manifest.erase(manifest.size() - 4);
+      }
+      manifest += ".manifest.json";
+      write_run_manifest(manifest, "sb_run.sweep", results);
+      std::printf("manifest: %s\n", manifest.c_str());
+    }
+    for (const ExperimentResult& r : results) {
+      std::printf("seed=%llu  %s  top1 %.4f -> %.4f  compression %.2fx\n",
+                  static_cast<unsigned long long>(r.config.run_seed),
+                  r.failed ? "FAILED" : "ok", r.pre_top1, r.post_top1, r.compression);
+    }
+    std::printf("sweep: %zu/%zu completed, %zu failures, %zu cache hits%s\n", sum.completed,
+                sum.total, sum.failures, sum.cache_hits,
+                sum.interrupted ? " (interrupted)" : "");
+    return sum.failures == 0 && !sum.interrupted ? 0 : 1;
+  }
+
+
   ExperimentResult r;
   try {
+    // Heartbeat for single runs too: the board/sampler start lazily on
+    // the first status call, and the bookend writes guarantee the file
+    // exists even when the run finishes inside one sampler period.
+    obs::status_set_phase("run");
+    obs::status_set_progress(0, 1, -1.0);
+    obs::write_status_now();
     ModelPtr model = runner.pretrained(cfg);
     const DatasetBundle& data = runner.dataset(cfg.dataset, cfg.data_seed);
     std::printf("%s\n", describe(*model, data.train.sample_shape()).c_str());
     r = runner.run(cfg);
+    obs::status_set_phase("done");
+    obs::status_set_progress(1, 1, 0.0);
+    obs::write_status_now();
   } catch (const std::exception& e) {
     // A crash (or injected fault) exits non-zero; rerunning resumes from
     // the result cache and the training checkpoints under <cache>/ckpt.

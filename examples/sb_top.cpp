@@ -1,0 +1,208 @@
+// sb_top: live terminal view of running shrinkbench jobs.
+//
+//   SB_STATUS_FILE=/tmp/sweep.json ./fig2_comparisons &     # the run
+//   ./sb_top /tmp/sweep.json                                # the watcher
+//
+// Tails one or more status.json heartbeats (written atomically by the
+// telemetry sampler, so a read never sees a torn file) and optionally a
+// telemetry JSONL stream, refreshing a compact dashboard: phase, stage,
+// progress bar + ETA, last-epoch metrics, anomaly/retry counts, RSS and
+// CPU, and per-worker pool utilization.
+//
+//   ./sb_top [options] STATUS.json [MORE.json ...]
+//     --interval S   refresh period in seconds (default 2)
+//     --jsonl PATH   also summarize a telemetry JSONL stream (last value
+//                    per series)
+//     --once         render a single frame and exit (scripts / CI)
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+using shrinkbench::obs::JsonValue;
+using shrinkbench::obs::json_parse;
+
+namespace {
+
+struct Options {
+  std::vector<std::string> status_files;
+  std::string jsonl;
+  double interval = 2.0;
+  bool once = false;
+};
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+std::string progress_bar(double fraction, int width) {
+  if (fraction < 0.0) fraction = 0.0;
+  if (fraction > 1.0) fraction = 1.0;
+  const int filled = static_cast<int>(std::lround(fraction * width));
+  std::string bar = "[";
+  for (int i = 0; i < width; ++i) bar += i < filled ? '#' : '.';
+  bar += "]";
+  return bar;
+}
+
+std::string format_eta(double seconds) {
+  if (seconds <= 0.0) return "--";
+  char buf[32];
+  if (seconds < 120) {
+    std::snprintf(buf, sizeof(buf), "%.0fs", seconds);
+  } else if (seconds < 7200) {
+    std::snprintf(buf, sizeof(buf), "%.1fm", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fh", seconds / 3600.0);
+  }
+  return buf;
+}
+
+void render_status(const std::string& path) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::printf("%s: (no status file yet)\n", path.c_str());
+    return;
+  }
+  JsonValue v;
+  try {
+    v = json_parse(text);
+  } catch (const std::exception& e) {
+    // Unreachable for files the sampler wrote (atomic rename), but the
+    // watcher must survive being pointed at arbitrary paths.
+    std::printf("%s: unparseable (%s)\n", path.c_str(), e.what());
+    return;
+  }
+
+  std::printf("%s  host=%s pid=%.0f  updated %s\n", path.c_str(),
+              v.str_or("host", "?").c_str(), v.num_or("pid", 0),
+              v.str_or("updated_utc", "?").c_str());
+  const std::string stage = v.str_or("stage", "");
+  std::printf("  phase %-12s%s%s", v.str_or("phase", "idle").c_str(),
+              stage.empty() ? "" : " / ", stage.c_str());
+
+  if (v.has("progress")) {
+    const JsonValue& p = v.at("progress");
+    const double done = p.num_or("done", 0);
+    const double total = p.num_or("total", 0);
+    const double frac = p.num_or("fraction", total > 0 ? done / total : 0.0);
+    std::printf("  %s %.0f/%.0f (%.0f%%)  eta %s", progress_bar(frac, 24).c_str(), done, total,
+                frac * 100.0, format_eta(p.num_or("eta_seconds", -1)).c_str());
+  }
+  std::printf("\n");
+
+  if (v.has("train")) {
+    const JsonValue& t = v.at("train");
+    std::printf("  epoch %-4.0f train_loss %-9.4f val_top1 %.4f\n", t.num_or("epoch", -1),
+                t.num_or("train_loss", 0), t.num_or("val_top1", 0));
+  }
+  if (v.has("counts")) {
+    const JsonValue& c = v.at("counts");
+    std::printf("  anomalies %-5.0f retries %-5.0f failures %-5.0f cache_hits %.0f\n",
+                c.num_or("anomalies", 0), c.num_or("retries", 0), c.num_or("failures", 0),
+                c.num_or("cache_hits", 0));
+  }
+  if (v.has("resources")) {
+    const JsonValue& r = v.at("resources");
+    std::printf("  rss %.1f MB (peak %.1f)  cpu %.1fs user / %.1fs sys  threads %.0f\n",
+                r.num_or("rss_mb", 0), r.num_or("peak_rss_mb", 0),
+                r.num_or("user_cpu_seconds", 0), r.num_or("sys_cpu_seconds", 0),
+                r.num_or("os_threads", 0));
+  }
+  if (v.has("pool")) {
+    const JsonValue& p = v.at("pool");
+    std::printf("  pool (%.0f threads) jobs %.0f pending %.0f  busy", p.num_or("threads", 0),
+                p.num_or("jobs", 0), p.num_or("pending_chunks", 0));
+    if (p.has("busy_frac")) {
+      for (const JsonValue& b : p.at("busy_frac").array) {
+        std::printf(" %3.0f%%", b.number * 100.0);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+// Last value per series from a telemetry JSONL stream — enough to show
+// where the curves currently sit without loading the history.
+void render_jsonl(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::printf("%s: (no telemetry stream yet)\n", path.c_str());
+    return;
+  }
+  std::vector<std::pair<std::string, double>> last;
+  std::string line;
+  size_t samples = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    JsonValue v;
+    try {
+      v = json_parse(line);
+    } catch (const std::exception&) {
+      continue;  // torn tail line of a live stream
+    }
+    ++samples;
+    const std::string series = v.str_or("series", "?");
+    const double value = v.num_or("value", 0);
+    bool found = false;
+    for (auto& [name, val] : last) {
+      if (name == series) {
+        val = value;
+        found = true;
+        break;
+      }
+    }
+    if (!found) last.emplace_back(series, value);
+  }
+  std::printf("%s: %zu samples, %zu series\n", path.c_str(), samples, last.size());
+  for (const auto& [name, val] : last) std::printf("  %-28s %g\n", name.c_str(), val);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--interval" && i + 1 < argc) {
+      opt.interval = std::atof(argv[++i]);
+      if (opt.interval < 0.1) opt.interval = 0.1;
+    } else if (a == "--jsonl" && i + 1 < argc) {
+      opt.jsonl = argv[++i];
+    } else if (a == "--once") {
+      opt.once = true;
+    } else if (a == "--help" || a[0] == '-') {
+      std::printf("usage: %s [--interval S] [--jsonl PATH] [--once] STATUS.json ...\n",
+                  argv[0]);
+      return a == "--help" ? 0 : 1;
+    } else {
+      opt.status_files.push_back(a);
+    }
+  }
+  if (opt.status_files.empty() && opt.jsonl.empty()) {
+    std::fprintf(stderr, "sb_top: no status or jsonl files given (--help for usage)\n");
+    return 1;
+  }
+
+  for (;;) {
+    if (!opt.once) std::printf("\x1b[2J\x1b[H");  // clear + home
+    for (const std::string& path : opt.status_files) render_status(path);
+    if (!opt.jsonl.empty()) render_jsonl(opt.jsonl);
+    std::fflush(stdout);
+    if (opt.once) return 0;
+    std::this_thread::sleep_for(std::chrono::duration<double>(opt.interval));
+  }
+}

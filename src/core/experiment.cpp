@@ -20,6 +20,9 @@
 #include "obs/log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/profile.hpp"
+#include "obs/resource.hpp"
+#include "obs/telemetry.hpp"
+#include "tensor/simd.hpp"
 #include "tensor/threadpool.hpp"
 
 namespace shrinkbench {
@@ -224,6 +227,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) {
   {
     obs::ScopedTimer span("pretrain");
     PhaseClock phase(result.phases.pretrain);
+    obs::status_set_stage("pretrain");
     bundle_ptr = &dataset(config.dataset, config.data_seed);
     model = pretrained(config);
   }
@@ -233,6 +237,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) {
   {
     obs::ScopedTimer span("eval");
     PhaseClock phase(result.phases.eval);
+    obs::status_set_stage("eval");
     const EvalResult pre = evaluate(*model, bundle.test, config.finetune.batch_size);
     result.pre_top1 = pre.top1;
     result.pre_top5 = pre.top5;
@@ -271,11 +276,13 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) {
     {
       obs::ScopedTimer span("prune");
       PhaseClock phase(result.phases.prune);
+      obs::status_set_stage("prune");
       prune_model(*model, strategy, fraction, bundle.train, config.prune, rng);
     }
     if (no_op_control) break;
     obs::ScopedTimer span("finetune");
     PhaseClock phase(result.phases.finetune);
+    obs::status_set_stage("finetune");
     ft.checkpoint_dir = (ckpt_root / ("r" + std::to_string(round))).string();
     const TrainHistory hist = train_model(*model, bundle, ft);
     result.finetune_epochs += static_cast<int>(hist.epochs.size());
@@ -290,6 +297,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) {
   {
     obs::ScopedTimer span("eval");
     PhaseClock phase(result.phases.eval);
+    obs::status_set_stage("eval");
     const EvalResult post = evaluate(*model, bundle.test, config.finetune.batch_size);
     result.post_top1 = post.top1;
     result.post_top5 = post.top5;
@@ -372,6 +380,7 @@ ExperimentResult run_one_config(ExperimentRunner& runner, const ExperimentConfig
       obs::count("sweep.attempt_failures");
       if (attempt < retries) {
         obs::count("sweep.retries");
+        obs::status_add_retries(1);
         SB_LOG_WARN("sweep", "experiment %s x%.0f seed=%llu failed (attempt %d/%d): "
                     "%s — retrying",
                     config.strategy.c_str(), config.target_compression,
@@ -447,6 +456,14 @@ std::vector<ExperimentResult> run_sweep(ExperimentRunner& runner, const Experime
   sum.total = strategies.size() * compressions.size() * run_seeds.size();
   const int retries = sweep_retries(options);
   IncrementalCsv csv(options.csv_path, options.append);
+
+  // Heartbeat: publish the sweep shape immediately so a freshly started
+  // run is visible to sb_top before the first experiment finishes. The
+  // background sampler owns the rewrite cadence from here on.
+  obs::status_set_phase("sweep");
+  obs::status_set_progress(0, sum.total, -1.0);
+  obs::write_status_now();
+  if (obs::telemetry_enabled()) obs::Telemetry::instance().start_sampler();
 
   // Flatten the grid in (strategy, compression, seed) order — the row
   // order of the sequential sweep, which the parallel path preserves by
@@ -560,6 +577,9 @@ std::vector<ExperimentResult> run_sweep(ExperimentRunner& runner, const Experime
                     r.config.target_compression,
                     static_cast<unsigned long long>(r.config.run_seed), outcome, r.compression,
                     elapsed, eta);
+        obs::status_set_progress(sum.completed, sum.total, eta > 0.0 ? eta : -1.0);
+        obs::status_set_failures(static_cast<int64_t>(sum.failures),
+                                 static_cast<int64_t>(sum.cache_hits));
       }
     }
   };
@@ -581,7 +601,34 @@ std::vector<ExperimentResult> run_sweep(ExperimentRunner& runner, const Experime
     SB_LOG_WARN("sweep", "interrupted after %zu/%zu experiments — flushed state is "
                 "complete; rerun to resume from the result cache",
                 sum.completed, sum.total);
+    // Drain-path flush: a Ctrl-C'ed sweep still leaves its observability
+    // artifacts behind. The atexit trace writer would cover a clean exit,
+    // but callers often keep running (or re-enter run_sweep), so flush
+    // the Chrome trace and a partial manifest here, next to the CSV.
+    if (obs::Profiler::constructed()) {
+      const std::string trace = obs::trace_path();
+      if (!trace.empty() && !obs::Profiler::instance().write_trace(trace)) {
+        SB_LOG_WARN("sweep", "could not flush trace to %s on interrupt", trace.c_str());
+      }
+    }
+    if (!options.csv_path.empty()) {
+      std::string manifest_path = options.csv_path;
+      if (manifest_path.size() > 4 && manifest_path.rfind(".csv") == manifest_path.size() - 4) {
+        manifest_path.erase(manifest_path.size() - 4);
+      }
+      manifest_path += ".manifest.json";
+      try {
+        write_run_manifest(manifest_path, "sweep.interrupted", results);
+      } catch (const std::exception& e) {
+        SB_LOG_WARN("sweep", "could not flush manifest on interrupt: %s", e.what());
+      }
+    }
   }
+  obs::status_set_phase(sum.interrupted ? "interrupted" : "done");
+  obs::status_set_progress(sum.completed, sum.total, 0.0);
+  obs::status_set_failures(static_cast<int64_t>(sum.failures),
+                           static_cast<int64_t>(sum.cache_hits));
+  obs::write_status_now();
   return results;
 }
 
@@ -641,18 +688,21 @@ void write_run_manifest(const std::string& path, const std::string& bench_name,
                         const std::vector<ExperimentResult>& results) {
   std::ostringstream os;
 
-  const auto now = std::chrono::system_clock::now();
-  const std::time_t t = std::chrono::system_clock::to_time_t(now);
-  char stamp[32] = "unknown";
-  if (std::tm tm_utc{}; gmtime_r(&t, &tm_utc) != nullptr) {
-    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
-  }
-
   os << "{\n"
      << "  \"schema\": \"shrinkbench.run_manifest/v1\",\n"
      << "  \"bench\": " << obs::json_str(bench_name) << ",\n"
      << "  \"git\": " << obs::json_str(obs::git_describe()) << ",\n"
-     << "  \"created_utc\": " << obs::json_str(stamp) << ",\n"
+     // started = library load (process start), created = manifest write:
+     // the pair brackets the run without threading a clock through callers.
+     << "  \"started_utc\": " << obs::json_str(obs::process_start_utc()) << ",\n"
+     << "  \"created_utc\": " << obs::json_str(obs::utc_timestamp()) << ",\n"
+     // Machine + effective runtime knobs: the provenance the paper found
+     // missing from most published results ("what actually ran?").
+     << "  \"host\": {\"hostname\": " << obs::json_str(obs::hostname())
+     << ", \"cpu_model\": " << obs::json_str(obs::cpu_model())
+     << ", \"cpu_cores\": " << obs::cpu_cores()
+     << ", \"threads\": " << ThreadPool::default_threads()
+     << ", \"simd\": " << obs::json_str(simd::level_name(simd::active_level())) << "},\n"
      << "  \"results\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const ExperimentResult& r = results[i];
@@ -687,6 +737,22 @@ void write_run_manifest(const std::string& path, const std::string& bench_name,
      << "}\n";
   if (!obs::atomic_write_file(path, os.str())) {
     throw std::runtime_error("write_run_manifest: write failed for " + path);
+  }
+
+  // When telemetry ran, drop its full time-series next to the manifest
+  // (<run>.telemetry.jsonl) so the resource/utilization curves share the
+  // manifest's lifetime and naming. Never constructs the singleton.
+  if (obs::Telemetry::constructed()) {
+    std::string jsonl = path;
+    const std::string suffix = ".manifest.json";
+    if (jsonl.size() > suffix.size() &&
+        jsonl.compare(jsonl.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      jsonl.erase(jsonl.size() - suffix.size());
+    }
+    jsonl += ".telemetry.jsonl";
+    if (!obs::Telemetry::instance().write_series_jsonl(jsonl)) {
+      SB_LOG_WARN("obs", "could not write telemetry series to %s", jsonl.c_str());
+    }
   }
 }
 

@@ -12,6 +12,7 @@
 #include "obs/io.hpp"
 #include "obs/log.hpp"
 #include "obs/profile.hpp"
+#include "obs/telemetry.hpp"
 
 namespace shrinkbench {
 
@@ -266,6 +267,7 @@ TrainHistory train_model(Model& model, const DatasetBundle& bundle, const TrainO
       if (bad) {
         ++anomalies;
         obs::count(bad[0] == 'l' ? "train.anomaly.loss" : "train.anomaly.grad");
+        obs::status_add_anomalies(1);
         SB_LOG_WARN("train", "non-finite %s at epoch %d step %lld (policy=%s)", bad, epoch,
                     static_cast<long long>(step), policy_name(opts.anomaly_policy));
         if (opts.anomaly_policy == AnomalyPolicy::Throw) {
@@ -324,6 +326,7 @@ TrainHistory train_model(Model& model, const DatasetBundle& bundle, const TrainO
     rec.val_top1 = val.top1;
     rec.val_loss = val.loss;
     history.epochs.push_back(rec);
+    obs::status_set_epoch(epoch, rec.train_loss, rec.val_top1);
     if (obs::profiling_enabled()) {
       obs::observe("train.epoch_seconds", epoch_span.seconds());
       obs::set_gauge("train.last_train_loss", rec.train_loss);

@@ -9,6 +9,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/json.hpp"
+
 namespace shrinkbench::obs {
 
 namespace {
@@ -16,11 +18,15 @@ namespace {
 struct LogState {
   std::mutex mu;
   LogLevel level;
+  bool json;
   std::ofstream file;
 
   LogState() {
     const char* env = std::getenv("SB_LOG_LEVEL");
     level = env ? parse_log_level(env) : LogLevel::Info;
+    const char* json_env = std::getenv("SB_LOG_JSON");
+    json = json_env && *json_env && std::string(json_env) != "0" &&
+           std::string(json_env) != "false";
     if (const char* path = std::getenv("SB_LOG_FILE")) {
       file.open(path, std::ios::app);
     }
@@ -78,17 +84,34 @@ void set_log_file(const std::string& path) {
   if (!path.empty()) s.file.open(path, std::ios::app);
 }
 
+bool log_json() { return state().json; }
+
+void set_log_json(bool enabled) {
+  LogState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.json = enabled;
+}
+
 void log_message(LogLevel level, const char* tag, const std::string& message) {
   if (!log_enabled(level)) return;
-  char prefix[64];
-  std::snprintf(prefix, sizeof(prefix), "[%9.3f] %-5s %s: ", elapsed_seconds(), to_string(level),
-                tag);
   LogState& s = state();
+  std::string line;
+  if (s.json) {
+    char t[24];
+    std::snprintf(t, sizeof(t), "%.3f", elapsed_seconds());
+    line = std::string("{\"t\":") + t + ",\"level\":\"" + to_string(level) + "\",\"tag\":\"" +
+           json_escape(tag) + "\",\"msg\":\"" + json_escape(message) + "\"}";
+  } else {
+    char prefix[64];
+    std::snprintf(prefix, sizeof(prefix), "[%9.3f] %-5s %s: ", elapsed_seconds(),
+                  to_string(level), tag);
+    line = prefix + message;
+  }
   std::lock_guard<std::mutex> lock(s.mu);
   // The one console sink in the library: everything user-visible flows
   // through this std::cerr write.
-  std::cerr << prefix << message << '\n';
-  if (s.file.is_open()) s.file << prefix << message << '\n' << std::flush;
+  std::cerr << line << '\n';
+  if (s.file.is_open()) s.file << line << '\n' << std::flush;
 }
 
 void logf(LogLevel level, const char* tag, const char* fmt, ...) {

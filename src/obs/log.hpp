@@ -5,6 +5,9 @@
 //
 //   SB_LOG_LEVEL = trace | debug | info | warn | error | off   (default info)
 //   SB_LOG_FILE  = path       (mirror every emitted line to a file sink)
+//   SB_LOG_JSON  = 1          (emit one JSON object per line instead of
+//                              the human text format; same level filter
+//                              and sinks)
 //
 // There is exactly one formatting path (log_message); the printf-style
 // logf() and the SB_LOG_* macros all funnel into it. The macros evaluate
@@ -33,6 +36,12 @@ void set_log_level(LogLevel level);
 /// sink from SB_LOG_FILE is installed automatically). Empty path closes
 /// the file sink.
 void set_log_file(const std::string& path);
+
+/// JSON-lines mode: each record becomes
+///   {"t":<elapsed_s>,"level":"INFO","tag":"core","msg":"..."}
+/// on both sinks. SB_LOG_JSON=1 on first use, until overridden.
+bool log_json();
+void set_log_json(bool enabled);
 
 inline bool log_enabled(LogLevel level) { return level >= log_level(); }
 

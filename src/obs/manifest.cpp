@@ -1,6 +1,8 @@
 #include "obs/manifest.hpp"
 
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <sstream>
 
 #include "obs/json.hpp"
@@ -8,6 +10,9 @@
 namespace shrinkbench::obs {
 
 namespace {
+
+// Captured at static-init (library load), i.e. effectively process start.
+const std::string g_process_start_utc = [] { return utc_timestamp(); }();
 
 std::string run_git_describe() {
 #if defined(_WIN32)
@@ -32,6 +37,19 @@ const std::string& git_describe() {
   return described;
 }
 
+std::string utc_timestamp() {
+  const std::time_t t = std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  char stamp[32] = "unknown";
+#if !defined(_WIN32)
+  if (std::tm tm_utc{}; gmtime_r(&t, &tm_utc) != nullptr) {
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  }
+#endif
+  return stamp;
+}
+
+const std::string& process_start_utc() { return g_process_start_utc; }
+
 std::string metrics_json(const MetricsSnapshot& snap) {
   std::ostringstream os;
   os << "{\"counters\":{";
@@ -55,7 +73,8 @@ std::string metrics_json(const MetricsSnapshot& snap) {
     first = false;
     os << json_str(name) << ":{\"count\":" << h.count << ",\"sum\":" << json_num(h.sum)
        << ",\"min\":" << json_num(h.min) << ",\"max\":" << json_num(h.max)
-       << ",\"mean\":" << json_num(h.mean()) << '}';
+       << ",\"mean\":" << json_num(h.mean()) << ",\"p50\":" << json_num(h.p50)
+       << ",\"p90\":" << json_num(h.p90) << ",\"p99\":" << json_num(h.p99) << '}';
   }
   os << "},\"spans\":{";
   first = true;

@@ -16,9 +16,17 @@ namespace shrinkbench::obs {
 /// the process; "unknown" when git or the repo is unavailable.
 const std::string& git_describe();
 
+/// Current UTC wall clock as ISO-8601 ("2026-08-07T12:34:56Z").
+std::string utc_timestamp();
+
+/// UTC wall clock captured when this library was loaded — the closest
+/// portable stand-in for process start, so manifests can report
+/// start/end timestamps without threading a value through every caller.
+const std::string& process_start_utc();
+
 /// Serializes a snapshot as a JSON object:
 ///   {"counters":{...},"gauges":{...},
-///    "histograms":{name:{count,sum,min,max,mean}},
+///    "histograms":{name:{count,sum,min,max,mean,p50,p90,p99}},
 ///    "spans":{path:{count,total_seconds,child_seconds,self_seconds}}}
 std::string metrics_json(const MetricsSnapshot& snapshot);
 

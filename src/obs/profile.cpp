@@ -112,11 +112,13 @@ void Profiler::set_gauge(const std::string& name, double value) {
 
 void Profiler::observe(const std::string& name, double value) {
   std::lock_guard<std::mutex> lock(mu_);
-  HistogramStats& h = histograms_[name];
+  Histogram& hist = histograms_[name];
+  HistogramStats& h = hist.stats;
   if (h.count == 0 || value < h.min) h.min = value;
   if (h.count == 0 || value > h.max) h.max = value;
   h.sum += value;
   ++h.count;
+  hist.quantiles.observe(value);
 }
 
 void Profiler::record_span(const std::string& path, const std::string& name, double start_seconds,
@@ -140,7 +142,13 @@ MetricsSnapshot Profiler::snapshot() const {
   MetricsSnapshot snap;
   snap.counters = counters_;
   snap.gauges = gauges_;
-  snap.histograms = histograms_;
+  for (const auto& [name, hist] : histograms_) {
+    HistogramStats h = hist.stats;
+    h.p50 = hist.quantiles.quantile(0.50);
+    h.p90 = hist.quantiles.quantile(0.90);
+    h.p99 = hist.quantiles.quantile(0.99);
+    snap.histograms[name] = h;
+  }
   snap.spans = spans_;
   return snap;
 }

@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.hpp"  // QuantileHistogram backing observe()
+
 namespace shrinkbench::obs {
 
 /// True when SB_PROF/SB_TRACE enables profiling (cached on first call)
@@ -56,6 +58,11 @@ struct HistogramStats {
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
+  /// Streaming quantile estimates from the fixed log-bucket histogram
+  /// (obs::QuantileHistogram, < 4% relative error); filled by snapshot().
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
   double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
 };
 
@@ -107,11 +114,18 @@ class Profiler {
     double duration_seconds;
   };
 
+  /// Running min/max/sum plus the log-bucket estimator behind the p50/
+  /// p90/p99 a snapshot reports.
+  struct Histogram {
+    HistogramStats stats;
+    QuantileHistogram quantiles;
+  };
+
   mutable std::mutex mu_;
   std::chrono::steady_clock::time_point epoch_;
   std::map<std::string, int64_t> counters_;
   std::map<std::string, double> gauges_;
-  std::map<std::string, HistogramStats> histograms_;
+  std::map<std::string, Histogram> histograms_;
   std::map<std::string, SpanStats> spans_;
   std::vector<TraceEvent> events_;
 };

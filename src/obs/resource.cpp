@@ -1,0 +1,119 @@
+#include "obs/resource.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#if !defined(_WIN32)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace shrinkbench::obs {
+
+namespace {
+
+/// Parses a "VmRSS:   123456 kB" style line from /proc/self/status.
+bool parse_kb_line(const std::string& line, const char* key, double& out_mb) {
+  const size_t key_len = std::strlen(key);
+  if (line.compare(0, key_len, key) != 0) return false;
+  long kb = 0;
+  if (std::sscanf(line.c_str() + key_len, " %ld", &kb) != 1) return false;
+  out_mb = static_cast<double>(kb) / 1024.0;
+  return true;
+}
+
+bool parse_int_line(const std::string& line, const char* key, int& out) {
+  const size_t key_len = std::strlen(key);
+  if (line.compare(0, key_len, key) != 0) return false;
+  return std::sscanf(line.c_str() + key_len, " %d", &out) == 1;
+}
+
+std::string read_cpu_model() {
+#if !defined(_WIN32)
+  std::ifstream is("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const size_t colon = line.find(':');
+      if (colon == std::string::npos) break;
+      size_t start = colon + 1;
+      while (start < line.size() && line[start] == ' ') ++start;
+      if (start < line.size()) return line.substr(start);
+    }
+  }
+#endif
+  return "unknown";
+}
+
+std::string read_hostname() {
+#if !defined(_WIN32)
+  char buf[256] = {0};
+  if (::gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') return buf;
+#endif
+  return "unknown";
+}
+
+}  // namespace
+
+ResourceSample sample_resources() {
+  ResourceSample s;
+#if !defined(_WIN32)
+  if (std::ifstream is("/proc/self/status"); is) {
+    std::string line;
+    int seen = 0;
+    while (seen < 3 && std::getline(is, line)) {
+      if (parse_kb_line(line, "VmRSS:", s.rss_mb) ||
+          parse_kb_line(line, "VmHWM:", s.peak_rss_mb) ||
+          parse_int_line(line, "Threads:", s.os_threads)) {
+        ++seen;
+        s.valid = true;
+      }
+    }
+  }
+  if (rusage ru{}; ::getrusage(RUSAGE_SELF, &ru) == 0) {
+    s.user_cpu_seconds =
+        static_cast<double>(ru.ru_utime.tv_sec) + static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
+    s.sys_cpu_seconds =
+        static_cast<double>(ru.ru_stime.tv_sec) + static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
+    s.valid = true;
+    // getrusage's maxrss (kB on Linux) backstops hosts whose /proc lacks
+    // VmHWM.
+    if (s.peak_rss_mb == 0.0 && ru.ru_maxrss > 0) {
+      s.peak_rss_mb = static_cast<double>(ru.ru_maxrss) / 1024.0;
+    }
+  }
+#endif
+  return s;
+}
+
+const std::string& hostname() {
+  static const std::string name = read_hostname();
+  return name;
+}
+
+const std::string& cpu_model() {
+  static const std::string model = read_cpu_model();
+  return model;
+}
+
+int cpu_cores() {
+  static const int cores = [] {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc > 0 ? static_cast<int>(hc) : 0;
+  }();
+  return cores;
+}
+
+int process_id() {
+#if !defined(_WIN32)
+  return static_cast<int>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+}  // namespace shrinkbench::obs

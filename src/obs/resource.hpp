@@ -1,0 +1,41 @@
+// Process resource sampling + host identification.
+//
+// ResourceSample reads the numbers a live monitor (and the run manifest)
+// needs to judge a run's health: resident set size and its high-water
+// mark from /proc/self/status, cumulative user/system CPU time from
+// getrusage, and the kernel's thread count. One sample is a handful of
+// syscalls — cheap enough for a 1 Hz telemetry tick, far too slow for a
+// hot loop (don't call it per batch).
+//
+// Host identification (hostname, CPU model string, core count) feeds the
+// manifest-enrichment the paper's §6 checklist asks for: results from
+// two hosts are only comparable when both manifests say what hardware
+// produced them.
+#pragma once
+
+#include <string>
+
+namespace shrinkbench::obs {
+
+struct ResourceSample {
+  double rss_mb = 0.0;        // VmRSS, resident set size
+  double peak_rss_mb = 0.0;   // VmHWM, peak resident set size
+  double user_cpu_seconds = 0.0;
+  double sys_cpu_seconds = 0.0;
+  int os_threads = 0;         // kernel thread count for the process
+  bool valid = false;         // false on platforms without /proc + getrusage
+};
+
+/// Current process resources; `valid` is false when neither source could
+/// be read (non-Linux /proc layouts degrade gracefully: CPU times from
+/// getrusage may be present while the RSS fields stay 0).
+ResourceSample sample_resources();
+
+/// Cached host identity for manifests. Never fails: unknown fields come
+/// back as "unknown" / 0.
+const std::string& hostname();
+const std::string& cpu_model();   // /proc/cpuinfo "model name" (first entry)
+int cpu_cores();                  // hardware_concurrency
+int process_id();                 // getpid (0 where unavailable)
+
+}  // namespace shrinkbench::obs

@@ -1,6 +1,8 @@
 #include "tensor/threadpool.hpp"
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -10,6 +12,7 @@
 #include <vector>
 
 #include "obs/profile.hpp"
+#include "obs/telemetry.hpp"
 
 namespace shrinkbench {
 
@@ -17,14 +20,53 @@ namespace {
 
 thread_local bool tl_in_parallel = false;
 
+constexpr int kMaxPoolThreads = 256;
+
 int env_threads() {
   if (const char* env = std::getenv("SB_THREADS"); env != nullptr && *env != '\0') {
     const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<int>(v > 256 ? 256 : v);
+    if (v >= 1) return static_cast<int>(v > kMaxPoolThreads ? kMaxPoolThreads : v);
   }
   const unsigned hc = std::thread::hardware_concurrency();
   return hc > 0 ? static_cast<int>(hc) : 1;
 }
+
+// ---- telemetry accounting (obs cannot link tensor, so the pool pushes
+// its utilization out through obs::set_pool_sampler) -------------------
+//
+// All relaxed atomics, touched only behind a telemetry_enabled() branch
+// (plus the busy-clock reads) so the pool's overhead with telemetry off
+// stays a single cached-flag check per fan-out.
+std::atomic<int> g_pool_threads{0};  // 0 until the pool is constructed
+std::atomic<int64_t> g_jobs{0};
+std::atomic<int64_t> g_chunks{0};
+std::atomic<int> g_pending_chunks{0};
+std::array<std::atomic<int64_t>, kMaxPoolThreads> g_slot_busy_ns{};
+
+obs::PoolSample collect_pool_sample() {
+  obs::PoolSample s;
+  s.threads = g_pool_threads.load(std::memory_order_relaxed);
+  if (s.threads == 0) s.threads = ThreadPool::default_threads();
+  s.jobs = g_jobs.load(std::memory_order_relaxed);
+  s.chunks = g_chunks.load(std::memory_order_relaxed);
+  // Clamp: enabling telemetry mid-job can skew the counter by one job.
+  const int pending = g_pending_chunks.load(std::memory_order_relaxed);
+  s.pending_chunks = pending > 0 ? pending : 0;
+  s.in_flight = s.pending_chunks > 0 ? 1 : 0;
+  const int slots = s.threads < kMaxPoolThreads ? s.threads : kMaxPoolThreads;
+  s.slot_busy_seconds.reserve(static_cast<size_t>(slots));
+  for (int i = 0; i < slots; ++i) {
+    s.slot_busy_seconds.push_back(static_cast<double>(g_slot_busy_ns[static_cast<size_t>(i)].load(
+                                      std::memory_order_relaxed)) *
+                                  1e-9);
+  }
+  return s;
+}
+
+[[maybe_unused]] const bool g_sampler_registered = [] {
+  obs::set_pool_sampler(&collect_pool_sample);
+  return true;
+}();
 
 }  // namespace
 
@@ -61,10 +103,23 @@ struct ThreadPool::Impl {
   void run_chunk(int c) {
     const int64_t lo = begin + c * base + (c < rem ? c : rem);
     const int64_t hi = lo + base + (c < rem ? 1 : 0);
+    // Busy-clock accounting only while telemetry is on; the sampler
+    // reads the per-slot totals to derive busy fractions.
+    const bool timed = obs::telemetry_enabled();
+    const auto t0 = timed ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
     try {
       fn(ctx, lo, hi);
     } catch (...) {
       record_error();
+    }
+    if (timed) {
+      const auto busy = std::chrono::steady_clock::now() - t0;
+      const size_t slot = static_cast<size_t>(c < kMaxPoolThreads ? c : kMaxPoolThreads - 1);
+      g_slot_busy_ns[slot].fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(busy).count(),
+          std::memory_order_relaxed);
+      g_pending_chunks.fetch_sub(1, std::memory_order_relaxed);
     }
   }
 
@@ -114,7 +169,9 @@ struct ThreadPool::Impl {
   }
 };
 
-ThreadPool::ThreadPool() : impl_(new Impl), threads_(default_threads()) {}
+ThreadPool::ThreadPool() : impl_(new Impl), threads_(default_threads()) {
+  g_pool_threads.store(threads_, std::memory_order_relaxed);
+}
 
 ThreadPool::~ThreadPool() {
   impl_->join_workers();
@@ -138,6 +195,7 @@ void ThreadPool::set_threads(int n) {
   std::lock_guard<std::mutex> submit_lock(impl_->submit_mu);
   impl_->join_workers();
   threads_ = n;
+  g_pool_threads.store(threads_, std::memory_order_relaxed);
 }
 
 bool ThreadPool::parallel_viable(int64_t n, int64_t grain) const {
@@ -158,6 +216,11 @@ void ThreadPool::run_impl(int64_t begin, int64_t end, int64_t grain, RangeFn fn,
   if (obs::profiling_enabled()) {
     obs::count("threadpool.jobs");
     obs::count("threadpool.chunks", chunks);
+  }
+  if (obs::telemetry_enabled()) {
+    g_jobs.fetch_add(1, std::memory_order_relaxed);
+    g_chunks.fetch_add(chunks, std::memory_order_relaxed);
+    g_pending_chunks.fetch_add(chunks, std::memory_order_relaxed);
   }
   {
     std::lock_guard<std::mutex> lock(im.mu);

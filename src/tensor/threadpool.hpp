@@ -26,7 +26,11 @@
 // "pool.chunk" span on the worker's own thread-local span stack, so
 // parallel work is attributed per thread; the metric registry itself is
 // mutex-protected, so counters merge correctly when the pool quiesces.
-// With profiling off the pool adds a single cached-flag branch — the
+// When SB_TELEMETRY is on, the pool additionally keeps job/chunk/queue
+// counters and per-slot busy clocks, exported to the telemetry sampler
+// through the obs::set_pool_sampler hook this TU registers at load (so
+// sb_obs never links against sb_tensor). With profiling and telemetry
+// off the pool adds a single cached-flag branch per fan-out — the
 // zero-overhead contract of src/obs holds.
 #pragma once
 

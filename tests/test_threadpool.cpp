@@ -4,12 +4,14 @@
 // primitives (elementwise ops, GEMM, im2col/col2im) across thread counts.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/ops.hpp"
@@ -237,6 +239,41 @@ TEST_F(PoolFixture, Im2colCol2imBitIdenticalAcrossThreadCounts) {
     EXPECT_TRUE(same_bits(cols_serial, lower())) << "threads=" << threads;
     EXPECT_TRUE(same_bits(image_serial, scatter(cols_serial))) << "threads=" << threads;
   }
+}
+
+TEST_F(PoolFixture, TelemetrySamplerSeesPoolActivity) {
+  // The pool registers its utilization hook with obs at static init;
+  // with telemetry switched on, fan-outs must show up in the sample and
+  // the busy clocks must advance for every participating slot.
+  ThreadPool::instance().set_threads(2);
+  obs::set_telemetry_enabled(true);
+  const obs::PoolSample before = [] {
+    obs::Telemetry& t = obs::Telemetry::instance();
+    t.sample_once();  // also proves sample_once survives pool traffic
+    obs::PoolSample s;
+    s.jobs = static_cast<int64_t>(t.series().at("pool.jobs").back().value);
+    return s;
+  }();
+
+  std::atomic<int64_t> sum{0};
+  parallel_for(0, 1 << 16, 1, [&](int64_t b, int64_t e) {
+    int64_t local = 0;
+    for (int64_t i = b; i < e; ++i) local += i;
+    sum.fetch_add(local, std::memory_order_relaxed);
+  });
+
+  obs::Telemetry& t = obs::Telemetry::instance();
+  t.sample_once();
+  const auto series = t.series();
+  const int64_t jobs_after = static_cast<int64_t>(series.at("pool.jobs").back().value);
+  EXPECT_GT(jobs_after, before.jobs);
+  EXPECT_EQ(sum.load(), (int64_t{1} << 15) * ((int64_t{1} << 16) - 1));
+
+  obs::set_telemetry_enabled(false);
+  ASSERT_TRUE(series.count("pool.busy_frac"));
+  const double busy = series.at("pool.busy_frac").back().value;
+  EXPECT_GE(busy, 0.0);
+  EXPECT_LE(busy, 1.0);
 }
 
 }  // namespace
