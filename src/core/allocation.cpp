@@ -22,21 +22,29 @@ int64_t target_keep(int64_t total, double fraction) {
 // (param order, index order).
 void keep_top_entries(std::vector<ScoredParam>& scored, int64_t k) {
   // Find the k-th largest score with nth_element over a pooled copy.
+  // NaN scores (gradient/Fisher scoring on a degenerate batch) are mapped
+  // to -inf here: a NaN in the pool breaks nth_element's strict-weak-
+  // ordering requirement (UB, silently mis-sized kept sets), and a weight
+  // whose score is unmeasurable is treated as prunable, same as an
+  // already-pruned entry.
   std::vector<float> pool;
   int64_t total = 0;
   for (const auto& sp : scored) total += sp.scores.numel();
   pool.reserve(static_cast<size_t>(total));
   for (const auto& sp : scored) {
-    pool.insert(pool.end(), sp.scores.flat().begin(), sp.scores.flat().end());
+    for (const float v : sp.scores.flat()) pool.push_back(std::isnan(v) ? kNegInf : v);
   }
   for (auto& sp : scored) sp.param->mask.zero();
   if (k <= 0) return;
   if (k >= total) {
     for (auto& sp : scored) {
-      // Keep everything not already pruned (-inf never resurrects).
+      // Keep everything not already pruned (-inf never resurrects; NaN
+      // stays prunable).
       const float* s = sp.scores.data();
       float* m = sp.param->mask.data();
-      for (int64_t i = 0, n = sp.scores.numel(); i < n; ++i) m[i] = (s[i] == kNegInf) ? 0.f : 1.f;
+      for (int64_t i = 0, n = sp.scores.numel(); i < n; ++i) {
+        m[i] = (s[i] == kNegInf || std::isnan(s[i])) ? 0.f : 1.f;
+      }
     }
     return;
   }
@@ -99,7 +107,9 @@ std::vector<ChannelUnit> build_units(const std::vector<ScoredParam>& scored) {
       double total = 0.0;
       bool any_alive = false;
       for (int64_t i = 0; i < unit_size; ++i) {
-        if (base[i] != kNegInf) {
+        // NaN entry scores are prunable, like -inf (and must not leak
+        // into the sum: a NaN unit score breaks the sort comparator).
+        if (base[i] != kNegInf && !std::isnan(base[i])) {
           total += static_cast<double>(base[i]);
           any_alive = true;
         }
@@ -118,8 +128,9 @@ void set_channel(ScoredParam& sp, int64_t channel, float value) {
   float* m = sp.param->mask.data() + channel * unit_size;
   const float* s = sp.scores.data() + channel * unit_size;
   for (int64_t i = 0; i < unit_size; ++i) {
-    // Never resurrect individually-pruned entries inside a kept channel.
-    m[i] = (s[i] == kNegInf) ? 0.0f : value;
+    // Never resurrect individually-pruned (-inf) or unmeasurable (NaN)
+    // entries inside a kept channel.
+    m[i] = (s[i] == kNegInf || std::isnan(s[i])) ? 0.0f : value;
   }
 }
 
@@ -188,7 +199,6 @@ int64_t allocate_masks(std::vector<ScoredParam>& scored, AllocationScope scope,
     if (scope == AllocationScope::Global) {
       int64_t total = 0;
       for (const auto& sp : scored) total += sp.scores.numel();
-      std::vector<ScoredParam*> all;
       keep_top_entries(scored, target_keep(total, fraction_to_keep));
     } else {
       for (auto& sp : scored) {

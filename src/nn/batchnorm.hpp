@@ -19,6 +19,12 @@ class BatchNorm2d : public Layer {
   Tensor& running_mean() { return running_mean_; }
   Tensor& running_var() { return running_var_; }
 
+  /// Affine parameters and epsilon, exposed so the serving compiler can
+  /// fold eval-mode BN into the preceding conv/linear.
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+  float eps() const { return eps_; }
+
  private:
   int64_t channels_;
   float eps_, momentum_;

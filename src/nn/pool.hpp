@@ -15,6 +15,9 @@ class MaxPool2d : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   Shape output_sample_shape(const Shape& in) const override;
 
+  int64_t kernel() const { return kernel_; }
+  int64_t stride() const { return stride_; }
+
  private:
   int64_t kernel_, stride_;
   Shape cached_in_shape_;
@@ -28,6 +31,9 @@ class AvgPool2d : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   Shape output_sample_shape(const Shape& in) const override;
+
+  int64_t kernel() const { return kernel_; }
+  int64_t stride() const { return stride_; }
 
  private:
   int64_t kernel_, stride_;

@@ -32,6 +32,11 @@ class ResidualBlock : public Layer {
     if (shortcut_) shortcut_->set_forward_hook(hook);
   }
 
+  /// Structural accessors for compilers that re-emit the block (serve).
+  Sequential* main() { return main_.get(); }
+  Sequential* shortcut() { return shortcut_.get(); }  // null => identity
+  bool final_relu() const { return final_relu_; }
+
  private:
   std::unique_ptr<Sequential> main_;
   std::unique_ptr<Sequential> shortcut_;  // null => identity

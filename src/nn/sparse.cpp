@@ -1,13 +1,28 @@
 #include "nn/sparse.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <string>
 
 #include "tensor/im2col.hpp"
+#include "tensor/threadpool.hpp"
+#include "tensor/workspace.hpp"
 
 namespace shrinkbench {
+
+namespace {
+
+// Same fan-out floor as the dense conv path: chunks below this many
+// touched elements stay on the calling thread.
+constexpr int64_t kMinElemsPerChunk = int64_t{1} << 16;
+
+int64_t work_grain(int64_t per_index_elems) {
+  return std::max<int64_t>(1, kMinElemsPerChunk / std::max<int64_t>(per_index_elems, 1));
+}
+
+}  // namespace
 
 CsrMatrix csr_from_dense(const float* dense, int64_t rows, int64_t cols, float tol) {
   // col_idx is int32_t; wider matrices would silently wrap the indices.
@@ -44,17 +59,26 @@ CsrMatrix csr_from_parameter(const Parameter& param) {
 }
 
 void csr_matmul(const CsrMatrix& csr, const float* dense_in, int64_t n, float* dense_out) {
-  for (int64_t r = 0; r < csr.rows; ++r) {
-    float* out_row = dense_out + r * n;
-    std::fill(out_row, out_row + n, 0.0f);
-    const int64_t begin = csr.row_ptr[static_cast<size_t>(r)];
-    const int64_t end = csr.row_ptr[static_cast<size_t>(r) + 1];
-    for (int64_t e = begin; e < end; ++e) {
-      const float v = csr.values[static_cast<size_t>(e)];
-      const float* in_row = dense_in + csr.col_idx[static_cast<size_t>(e)] * n;
-      for (int64_t j = 0; j < n; ++j) out_row[j] += v * in_row[j];
+  // Rows are independent (each writes only its own out_row and reduces in
+  // ascending-entry order within itself), so fanning out over static
+  // contiguous row blocks is bit-identical to the serial loop for every
+  // SB_THREADS — the thread-pool determinism contract. Grain is sized by
+  // the average row's multiply-add work.
+  const int64_t avg_row_work =
+      csr.rows == 0 ? 0 : (csr.nnz() * n) / std::max<int64_t>(csr.rows, 1) + n;
+  parallel_for(0, csr.rows, work_grain(avg_row_work), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      float* out_row = dense_out + r * n;
+      std::fill(out_row, out_row + n, 0.0f);
+      const int64_t begin = csr.row_ptr[static_cast<size_t>(r)];
+      const int64_t end = csr.row_ptr[static_cast<size_t>(r) + 1];
+      for (int64_t e = begin; e < end; ++e) {
+        const float v = csr.values[static_cast<size_t>(e)];
+        const float* in_row = dense_in + csr.col_idx[static_cast<size_t>(e)] * n;
+        for (int64_t j = 0; j < n; ++j) out_row[j] += v * in_row[j];
+      }
     }
-  }
+  });
 }
 
 Tensor csr_to_dense(const CsrMatrix& csr) {
@@ -88,28 +112,35 @@ Tensor SparseConv2dInference::forward(const Tensor& x) const {
   const int64_t spatial = oh * ow;
   const int64_t image_numel = in_c_ * h * w;
 
-  std::vector<float> cols(static_cast<size_t>(g.col_rows() * ld));
-  for (int64_t i = 0; i < n; ++i) {
-    im2col_ld(g, x.data() + i * image_numel, cols.data() + i * g.col_cols(), ld);
-  }
-  std::vector<float> out_cm(static_cast<size_t>(out_c_ * ld));
-  csr_matmul(weights_, cols.data(), ld, out_cm.data());
+  // Scratch lives in the thread-local arena (PR 3's dense-path pattern):
+  // after warm-up, steady-state forwards perform zero heap allocations.
+  Workspace::Scope scope;
+  Workspace& ws = Workspace::tls();
+  float* cols = ws.floats(static_cast<size_t>(g.col_rows() * ld));
+  parallel_for(0, n, work_grain(g.col_rows() * g.col_cols()), [&](int64_t n0, int64_t n1) {
+    for (int64_t i = n0; i < n1; ++i) {
+      im2col_ld(g, x.data() + i * image_numel, cols + i * g.col_cols(), ld);
+    }
+  });
+  float* out_cm = ws.floats(static_cast<size_t>(out_c_ * ld));
+  csr_matmul(weights_, cols, ld, out_cm);
 
   Tensor y({n, out_c_, oh, ow});
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t c = 0; c < out_c_; ++c) {
-      const float* src = out_cm.data() + c * ld + i * spatial;
-      std::copy(src, src + spatial, y.data() + (i * out_c_ + c) * spatial);
-    }
-  }
-  if (const Parameter* bias = conv_.bias()) {
-    for (int64_t i = 0; i < n; ++i) {
+  const float* bias = conv_.bias() != nullptr ? conv_.bias()->data.data() : nullptr;
+  parallel_for(0, n, work_grain(out_c_ * spatial), [&](int64_t n0, int64_t n1) {
+    for (int64_t i = n0; i < n1; ++i) {
       for (int64_t c = 0; c < out_c_; ++c) {
+        const float* src = out_cm + c * ld + i * spatial;
         float* dst = y.data() + (i * out_c_ + c) * spatial;
-        for (int64_t s = 0; s < spatial; ++s) dst[s] += bias->data.at(c);
+        if (bias == nullptr) {
+          std::copy(src, src + spatial, dst);
+        } else {
+          const float b = bias[c];
+          for (int64_t s = 0; s < spatial; ++s) dst[s] = src[s] + b;
+        }
       }
     }
-  }
+  });
   return y;
 }
 
@@ -121,13 +152,16 @@ Tensor SparseLinearInference::forward(const Tensor& x) const {
     throw std::invalid_argument("SparseLinearInference: bad input " + to_string(x.shape()));
   }
   const int64_t n = x.size(0), in = weights_.cols, out = weights_.rows;
+  // Workspace scratch: steady-state forwards allocate nothing on the heap.
+  Workspace::Scope scope;
+  Workspace& ws = Workspace::tls();
   // Transpose x to [in, n] so CSR rows stream over the batch dimension.
-  std::vector<float> xt(static_cast<size_t>(in * n));
+  float* xt = ws.floats(static_cast<size_t>(in * n));
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t j = 0; j < in; ++j) xt[static_cast<size_t>(j * n + i)] = x(i, j);
   }
-  std::vector<float> yt(static_cast<size_t>(out * n));
-  csr_matmul(weights_, xt.data(), n, yt.data());
+  float* yt = ws.floats(static_cast<size_t>(out * n));
+  csr_matmul(weights_, xt, n, yt);
 
   Tensor y({n, out});
   for (int64_t i = 0; i < n; ++i) {

@@ -31,15 +31,25 @@ bool env_truthy(const char* value) {
   return std::string(value) != "0" && std::string(value) != "false";
 }
 
-void resolve_from_env() {
-  const char* prof = std::getenv("SB_PROF");
-  const char* trace = std::getenv("SB_TRACE");
-  bool enabled = env_truthy(prof);
-  if (trace && *trace) {
-    enabled = true;  // tracing implies profiling
+// SB_TRACE is consulted independently of the SB_PROF on/off state so a
+// program that calls set_profiling_enabled(true) before any
+// profiling_enabled() check (skipping the lazy env resolve) still picks
+// up a trace destination from the environment.
+bool consult_trace_env() {
+  static const bool found = [] {
+    const char* trace = std::getenv("SB_TRACE");
+    if (!trace || !*trace) return false;
     std::lock_guard<std::mutex> lock(trace_path_mutex());
     if (trace_path_storage().empty()) trace_path_storage() = trace;
-  }
+    return true;
+  }();
+  return found;
+}
+
+void resolve_from_env() {
+  const char* prof = std::getenv("SB_PROF");
+  bool enabled = env_truthy(prof);
+  if (consult_trace_env()) enabled = true;  // tracing implies profiling
   int expected = -1;
   g_enabled.compare_exchange_strong(expected, enabled ? 1 : 0);
 }
@@ -70,7 +80,7 @@ bool profiling_enabled() {
 void set_profiling_enabled(bool enabled) { g_enabled.store(enabled ? 1 : 0); }
 
 std::string trace_path() {
-  profiling_enabled();  // make sure SB_TRACE has been consulted
+  consult_trace_env();
   std::lock_guard<std::mutex> lock(trace_path_mutex());
   return trace_path_storage();
 }
@@ -131,6 +141,7 @@ void Profiler::record_span(const std::string& path, const std::string& name, dou
   {
     // Trace events only when a destination is configured; aggregated
     // stats above are bounded, the event list is not.
+    consult_trace_env();
     std::lock_guard<std::mutex> tlock(trace_path_mutex());
     if (trace_path_storage().empty()) return;
   }

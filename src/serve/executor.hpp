@@ -1,0 +1,86 @@
+// Serving compiler: pruned Sequential -> packed inference executor.
+//
+// The paper reports *theoretical* speedup (effective FLOPs); this module
+// is where that proxy becomes measurable. compile() snapshots a trained,
+// pruned model into an immutable executor in one of three modes:
+//
+//   Dense   the faithful baseline: dense weights, standalone BN, the
+//           exact kernels the eval-mode Sequential runs (bit-identical
+//           output) — the denominator of measured speedup.
+//   Csr     unstructured sparsity: effective weights (data ⊙ mask)
+//           compiled to CSR, executed with the nn/sparse kernels; batch
+//           norm is folded into the preceding conv so the sparse matmul
+//           is the only per-layer matrix work.
+//   Shrunk  channel sparsity: BN folded, then all-zero output-channel
+//           rows are physically dropped from the GEMM. Dead channels
+//           still appear in the output, filled with their folded bias
+//           constant — (0 - mean) * inv_std * gamma + beta is *not* zero,
+//           so naive channel deletion would be wrong anywhere a BN
+//           follows a pruned conv. Packing rows instead of rewriting the
+//           graph keeps residual shapes and downstream layers intact
+//           while the GEMM cost tracks effective FLOPs.
+//
+// Executors hold copies of all weights: the source model can keep
+// training or be destroyed. forward() is eval-only, write-free and
+// thread-safe (scratch lives in the thread-local workspace arena), so
+// one executor is shared by all server workers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "tensor/tensor.hpp"
+
+namespace shrinkbench::serve {
+
+enum class ExecMode { Dense, Csr, Shrunk };
+
+std::string to_string(ExecMode mode);
+ExecMode exec_mode_from_name(const std::string& name);
+
+/// One compiled operation. Implementations live in executor.cpp.
+class Op {
+ public:
+  virtual ~Op() = default;
+  /// x: [N, ...]; must not mutate any state (thread-safety contract).
+  virtual Tensor run(const Tensor& x) const = 0;
+};
+
+class Executor {
+ public:
+  /// x: [N, ...sample_shape]. Thread-safe; scratch comes from the
+  /// calling thread's workspace arena.
+  Tensor forward(const Tensor& x) const;
+
+  ExecMode mode() const { return mode_; }
+  const Shape& sample_shape() const { return sample_shape_; }
+  size_t op_count() const { return ops_.size(); }
+
+  /// Per-sample multiply-adds of the dense / pruned model, captured at
+  /// compile time — the paper's theoretical-speedup inputs.
+  int64_t flops_dense() const { return flops_dense_; }
+  int64_t flops_effective() const { return flops_effective_; }
+  double theoretical_speedup() const {
+    return flops_effective_ > 0 ? static_cast<double>(flops_dense_) / flops_effective_ : 1.0;
+  }
+
+ private:
+  friend Executor compile(Sequential& model, const Shape& sample_shape, ExecMode mode);
+
+  ExecMode mode_ = ExecMode::Dense;
+  Shape sample_shape_;
+  int64_t flops_dense_ = 0;
+  int64_t flops_effective_ = 0;
+  std::vector<std::unique_ptr<Op>> ops_;
+};
+
+/// Compiles the model for the given per-sample input shape. Csr/Shrunk
+/// use effective weights (data ⊙ mask) and fold eval-mode batch norm
+/// into the preceding conv/linear; Dense replays the model verbatim.
+/// Throws std::invalid_argument on layer types the compiler doesn't know.
+Executor compile(Sequential& model, const Shape& sample_shape, ExecMode mode);
+
+}  // namespace shrinkbench::serve

@@ -1,0 +1,169 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+
+#include "obs/profile.hpp"
+#include "obs/telemetry.hpp"
+#include "tensor/threadpool.hpp"
+
+namespace shrinkbench::serve {
+
+InferenceServer::InferenceServer(const Executor& exec, ServerOptions opts)
+    : exec_(exec), opts_(opts) {
+  if (opts_.workers < 1 || opts_.max_batch < 1 || opts_.queue_capacity < 1) {
+    throw std::invalid_argument("InferenceServer: workers, max_batch and queue_capacity must be >= 1");
+  }
+  workers_.reserve(static_cast<size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::future<Tensor> InferenceServer::submit(Tensor sample) {
+  if (sample.shape() != exec_.sample_shape()) {
+    throw std::invalid_argument("submit: sample shape " + shrinkbench::to_string(sample.shape()) +
+                                " != compiled shape " + shrinkbench::to_string(exec_.sample_shape()));
+  }
+  Request req;
+  req.sample = std::move(sample);
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<Tensor> fut = req.promise.get_future();
+
+  size_t depth;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    queue_has_space_.wait(lk, [&] { return stopping_ || queue_.size() < opts_.queue_capacity; });
+    if (stopping_) {
+      ++stats_.rejected;
+      throw std::runtime_error("InferenceServer: shutting down, request rejected");
+    }
+    queue_.push_back(std::move(req));
+    ++stats_.submitted;
+    depth = queue_.size();
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, depth);
+  }
+  queue_nonempty_.notify_one();
+  if (obs::profiling_enabled()) obs::set_gauge("serve.queue_depth", static_cast<double>(depth));
+  if (obs::telemetry_enabled()) {
+    obs::Telemetry::instance().record("serve.queue_depth", static_cast<double>(depth));
+  }
+  return fut;
+}
+
+void InferenceServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  queue_nonempty_.notify_all();
+  queue_has_space_.notify_all();
+  // call_once also makes concurrent shutdown() calls block until the
+  // drain + join has actually finished, not just been started.
+  std::call_once(join_once_, [this] {
+    for (std::thread& t : workers_) t.join();
+  });
+}
+
+bool InferenceServer::accepting() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return !stopping_;
+}
+
+ServerStats InferenceServer::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void InferenceServer::worker_loop() {
+  // With several workers, parallelism lives at the batch level and the
+  // kernels inside run inline-serial (the run_sweep shard-crew pattern);
+  // a single worker instead lets each kernel fan out over the pool.
+  std::optional<ThreadPool::SerialGuard> guard;
+  if (opts_.workers > 1) guard.emplace();
+
+  std::vector<Request> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      queue_nonempty_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+
+      // Dynamic batching: flush when full, or when the oldest request
+      // has waited max_wait_us.
+      const auto deadline =
+          queue_.front().enqueued + std::chrono::microseconds(opts_.max_wait_us);
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      queue_has_space_.notify_one();
+      while (static_cast<int64_t>(batch.size()) < opts_.max_batch) {
+        if (!queue_.empty()) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+          queue_has_space_.notify_one();
+          continue;
+        }
+        if (stopping_) break;  // draining: never wait for more arrivals
+        if (queue_nonempty_.wait_until(lk, deadline) == std::cv_status::timeout) break;
+      }
+    }
+    run_batch(batch);
+  }
+}
+
+void InferenceServer::run_batch(std::vector<Request>& batch) {
+  const int64_t b = static_cast<int64_t>(batch.size());
+  Shape in_shape{b};
+  in_shape.insert(in_shape.end(), exec_.sample_shape().begin(), exec_.sample_shape().end());
+  Tensor x(in_shape);
+  const int64_t sample_numel = x.numel() / b;
+  for (int64_t i = 0; i < b; ++i) {
+    const Tensor& s = batch[static_cast<size_t>(i)].sample;
+    std::copy(s.data(), s.data() + sample_numel, x.data() + i * sample_numel);
+  }
+
+  Tensor y;
+  try {
+    y = exec_.forward(x);
+  } catch (...) {
+    for (Request& r : batch) r.promise.set_exception(std::current_exception());
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.failed += b;
+    ++stats_.batches;
+    return;
+  }
+
+  Shape row_shape(y.shape().begin() + 1, y.shape().end());
+  const int64_t row_numel = y.numel() / b;
+  const auto now = std::chrono::steady_clock::now();
+  const bool prof = obs::profiling_enabled();
+  for (int64_t i = 0; i < b; ++i) {
+    Request& r = batch[static_cast<size_t>(i)];
+    Tensor row(row_shape);
+    std::copy(y.data() + i * row_numel, y.data() + (i + 1) * row_numel, row.data());
+    r.promise.set_value(std::move(row));
+    if (prof) {
+      const double us =
+          std::chrono::duration<double, std::micro>(now - r.enqueued).count();
+      obs::observe("serve.latency_us", us);
+    }
+  }
+  if (prof) {
+    obs::observe("serve.batch_size", static_cast<double>(b));
+    obs::count("serve.requests", b);
+    obs::count("serve.batches");
+  }
+  if (obs::telemetry_enabled()) {
+    obs::Telemetry::instance().record("serve.batch_size", static_cast<double>(b));
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.completed += b;
+  ++stats_.batches;
+}
+
+}  // namespace shrinkbench::serve

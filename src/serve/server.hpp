@@ -1,0 +1,96 @@
+// Async inference server over a compiled Executor.
+//
+// Architecture: callers submit() single samples into a bounded queue
+// (blocking when full — closed-loop backpressure, no silent drops); N
+// worker threads pull, assemble dynamic batches (flush on max_batch or
+// max_wait_us, whichever first), run the executor, and fulfill one
+// future per request.
+//
+// Shutdown mirrors run_sweep's SIGINT drain semantics: shutdown() stops
+// admissions (late submit() throws), wakes everything, lets workers
+// drain the queue to empty, then joins. Every accepted request's future
+// is fulfilled — drain loses zero requests — and shutdown is idempotent,
+// so signal handlers and destructors can race it safely.
+//
+// Observability (zero-overhead when off, like the rest of src/obs):
+//   SB_PROF      histograms serve.latency_us / serve.batch_size (the
+//                p50/p90/p99 that land in run manifests), counters
+//                serve.requests / serve.batches, gauge serve.queue_depth
+//   SB_TELEMETRY time series serve.queue_depth / serve.batch_size
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/executor.hpp"
+
+namespace shrinkbench::serve {
+
+struct ServerOptions {
+  int workers = 1;            // batch-executing threads
+  size_t queue_capacity = 256;
+  int64_t max_batch = 8;      // flush when a batch reaches this size...
+  int64_t max_wait_us = 2000; // ...or when its oldest request is this old
+};
+
+struct ServerStats {
+  int64_t submitted = 0;  // accepted into the queue
+  int64_t completed = 0;  // futures fulfilled with a result
+  int64_t failed = 0;     // futures fulfilled with an exception
+  int64_t rejected = 0;   // submit() calls refused after shutdown began
+  int64_t batches = 0;
+  size_t max_queue_depth = 0;
+};
+
+class InferenceServer {
+ public:
+  /// The executor must outlive the server. Workers start immediately.
+  InferenceServer(const Executor& exec, ServerOptions opts);
+  ~InferenceServer();  // implies shutdown()
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// sample: one input of exactly sample_shape (no batch dimension).
+  /// Blocks while the queue is full; throws std::runtime_error once
+  /// shutdown has begun.
+  std::future<Tensor> submit(Tensor sample);
+
+  /// Stop admissions, drain, join. Idempotent and safe to call from
+  /// multiple threads; returns once all workers have exited.
+  void shutdown();
+
+  bool accepting() const;
+  ServerStats stats() const;
+  const Executor& executor() const { return exec_; }
+
+ private:
+  struct Request {
+    Tensor sample;
+    std::promise<Tensor> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  void run_batch(std::vector<Request>& batch);
+
+  const Executor& exec_;
+  const ServerOptions opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_nonempty_;
+  std::condition_variable queue_has_space_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  ServerStats stats_;
+
+  std::vector<std::thread> workers_;
+  std::once_flag join_once_;
+};
+
+}  // namespace shrinkbench::serve

@@ -33,6 +33,21 @@ class Phenomenology : public ::testing::Test {
     cfg.pretrain_tag = "phenomenology-cosine3e-3-e50";
     cfg.finetune.epochs = 5;
     cfg.finetune.patience = 0;
+    // The default finetune LR (3e-4, cifar_finetune_options) is tuned for a
+    // 20-epoch budget with early stopping; truncated to 5 epochs it leaves
+    // recovery unfinished. Measured at ratio 4 (global-weight, seed 1):
+    //   3e-4 x5 fixed: drop 0.151   (the seed failure: bound is 0.15)
+    //   3e-4 x10 fixed: drop 0.120  (so recovery is budget-limited, and)
+    //   1.5e-4 x5 fixed: drop 0.190 (colder LR hurts -> not a schedule
+    //   cosine 3e-4 x5: drop 0.172   problem: annealing also hurts)
+    //   6e-4 x5 fixed: drop 0.107
+    //   1e-3 x5 fixed: drop 0.078   (hotter LR matched to the short budget)
+    // A 1e-3 fixed LR recovers within the same 5-epoch compute, with wide
+    // margin on every bound below; 10 epochs at 3e-4 also passes but doubles
+    // suite cost. LR is part of the result-cache fingerprint, so this change
+    // invalidates only the finetuned rows (the pretrain checkpoint is keyed
+    // by pretrain_tag and is reused).
+    cfg.finetune.lr = 1e-3f;
     return cfg;
   }
 

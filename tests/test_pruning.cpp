@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/pruner.hpp"
 #include "core/strategy.hpp"
@@ -134,6 +135,66 @@ TEST(Allocation, TiesBrokenDeterministically) {
   scored2.push_back({&q, score_parameter(ScoreKind::Magnitude, q, {}, rng)});
   allocate_masks(scored2, AllocationScope::Global, Structure::Unstructured, 0.5);
   EXPECT_TRUE(ops::allclose(p.mask, q.mask, 0, 0));
+}
+
+// NaN scores used to reach nth_element with std::greater<float>, where
+// they violate strict weak ordering (UB). The fix maps NaN to -inf before
+// selection: an unmeasurable score means "prunable", never "keep".
+TEST(Allocation, NanScoresArePrunedNotKept) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Parameter p("w", {8}, true);
+  p.data = Tensor::of({0.1f, 2.0f, 0.0f, 4.0f, 0.3f, 3.0f, 0.0f, 1.0f});
+  p.data.data()[2] = nan;
+  p.data.data()[6] = nan;
+  Rng rng(1);
+  std::vector<ScoredParam> scored;
+  scored.push_back({&p, score_parameter(ScoreKind::Magnitude, p, {}, rng)});
+  const int64_t kept = allocate_masks(scored, AllocationScope::Global,
+                                      Structure::Unstructured, 0.5);
+  EXPECT_EQ(kept, 4);
+  EXPECT_EQ(p.mask.at(2), 0.0f);
+  EXPECT_EQ(p.mask.at(6), 0.0f);
+  // The four largest finite magnitudes survive.
+  EXPECT_EQ(p.mask.at(1), 1.0f);
+  EXPECT_EQ(p.mask.at(3), 1.0f);
+  EXPECT_EQ(p.mask.at(5), 1.0f);
+  EXPECT_EQ(p.mask.at(7), 1.0f);
+}
+
+TEST(Allocation, NanScoresStayPrunedAtKeepEverything) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Parameter p("w", {6}, true);
+  p.data = Tensor::of({1.0f, 2.0f, 0.0f, 4.0f, 5.0f, 6.0f});
+  p.data.data()[2] = nan;
+  Rng rng(1);
+  std::vector<ScoredParam> scored;
+  scored.push_back({&p, score_parameter(ScoreKind::Magnitude, p, {}, rng)});
+  const int64_t kept = allocate_masks(scored, AllocationScope::Global,
+                                      Structure::Unstructured, 1.0);
+  EXPECT_EQ(kept, 5);  // the k >= total fast path must also drop NaN
+  EXPECT_EQ(p.mask.at(2), 0.0f);
+}
+
+TEST(Allocation, NanChannelScoresPruneTheChannel) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Parameter p("conv.weight", {4, 3}, true);
+  const float vals[12] = {9.0f, 9.0f, 9.0f,   // ch0: strong, kept
+                          nan,  nan,  nan,    // ch1: unmeasurable, pruned
+                          0.1f, 0.1f, 0.1f,   // ch2: weak, pruned
+                          5.0f, 5.0f, 5.0f};  // ch3: mid, kept
+  std::copy(vals, vals + 12, p.data.data());
+  Rng rng(1);
+  std::vector<ScoredParam> scored;
+  scored.push_back({&p, score_parameter(ScoreKind::Magnitude, p, {}, rng)});
+  const int64_t kept = allocate_masks(scored, AllocationScope::Global,
+                                      Structure::Channel, 0.5);
+  EXPECT_EQ(kept, 6);  // two whole channels
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(p.mask.at(0 * 3 + i), 1.0f);
+    EXPECT_EQ(p.mask.at(1 * 3 + i), 0.0f) << "NaN channel survived";
+    EXPECT_EQ(p.mask.at(2 * 3 + i), 0.0f);
+    EXPECT_EQ(p.mask.at(3 * 3 + i), 1.0f);
+  }
 }
 
 TEST(Allocation, NeverResurrectsPrunedWeights) {

@@ -1,0 +1,347 @@
+// Serving engine tests: compiler parity against the eval-mode model,
+// dynamic-batcher semantics (max-wait flush, full-batch flush, lossless
+// drain), parallel CSR matmul determinism, and steady-state zero-growth
+// of the sparse inference scratch paths.
+//
+// Registered in CMake under SB_THREADS={1,4} as well as the default, so
+// every parity assertion here doubles as a determinism check: compiled
+// executors must produce the same bits at any thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/pruner.hpp"
+#include "core/scoring.hpp"
+#include "models/zoo.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/init.hpp"
+#include "nn/layer.hpp"
+#include "nn/linear.hpp"
+#include "nn/sparse.hpp"
+#include "serve/executor.hpp"
+#include "serve/server.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/threadpool.hpp"
+#include "tensor/workspace.hpp"
+
+namespace shrinkbench {
+namespace {
+
+using serve::ExecMode;
+using serve::InferenceServer;
+using serve::ServerOptions;
+using serve::ServerStats;
+
+// Builds a trained-looking pruned zoo model: Kaiming weights, off-default
+// biases and BN affine params (so folding mistakes can't hide behind
+// gamma=1/beta=0), BN running stats populated by train-mode forwards, and
+// global magnitude masks applied at the given structure/keep fraction.
+ModelPtr pruned_zoo_model(const std::string& arch, const Shape& sample, Structure structure,
+                          double keep) {
+  Rng rng(17);
+  ModelPtr model = make_model(arch, sample, /*num_classes=*/10, /*base_width=*/8);
+  init_model(*model, rng);
+  for (Parameter* p : parameters_of(*model)) {
+    if (!p->prunable) rng.fill_normal(p->data, 0.2f, 0.6f);
+  }
+  for (int i = 0; i < 2; ++i) {
+    Shape in{4};
+    in.insert(in.end(), sample.begin(), sample.end());
+    Tensor x(in);
+    rng.fill_normal(x, 0, 1);
+    model->forward(x, /*train=*/true);
+  }
+  PruneOptions opts;
+  std::vector<ScoredParam> scored;
+  for (Parameter* p : prunable_params(*model, opts)) {
+    scored.push_back({p, score_parameter(ScoreKind::Magnitude, *p, {}, rng)});
+  }
+  allocate_masks(scored, AllocationScope::Global, structure, keep);
+  apply_masks(*model);
+  return model;
+}
+
+// Compares the compiled executor against the eval-mode Sequential across
+// the issue's batch sizes. rtol/atol == 0 demands bit-identity (Dense
+// mode); Csr/Shrunk fold BN into the weights before the matmul, which
+// reorders the floating-point work per output element, so those modes get
+// a small documented tolerance instead.
+void expect_parity(Sequential& model, const Shape& sample, ExecMode mode, float rtol,
+                   float atol) {
+  const serve::Executor exec = serve::compile(model, sample, mode);
+  Rng rng(91);
+  for (const int64_t n : {int64_t{1}, int64_t{7}, int64_t{32}}) {
+    Shape in{n};
+    in.insert(in.end(), sample.begin(), sample.end());
+    Tensor x(in);
+    rng.fill_normal(x, 0, 1);
+    const Tensor ref = model.forward(x, /*train=*/false);
+    const Tensor got = exec.forward(x);
+    ASSERT_EQ(got.shape(), ref.shape());
+    EXPECT_TRUE(ops::allclose(got, ref, rtol, atol))
+        << serve::to_string(mode) << " diverged from eval forward at batch " << n;
+  }
+}
+
+const Shape kCifarSample{3, 32, 32};
+
+TEST(ServeExecutor, DenseBitMatchesVgg) {
+  ModelPtr m = pruned_zoo_model("cifar-vgg", kCifarSample, Structure::Unstructured, 0.25);
+  expect_parity(*m, kCifarSample, ExecMode::Dense, 0, 0);
+}
+
+TEST(ServeExecutor, CsrMatchesVgg) {
+  ModelPtr m = pruned_zoo_model("cifar-vgg", kCifarSample, Structure::Unstructured, 0.25);
+  expect_parity(*m, kCifarSample, ExecMode::Csr, 1e-3f, 1e-3f);
+}
+
+TEST(ServeExecutor, ShrunkMatchesChannelPrunedVgg) {
+  ModelPtr m = pruned_zoo_model("cifar-vgg", kCifarSample, Structure::Channel, 0.5);
+  expect_parity(*m, kCifarSample, ExecMode::Shrunk, 1e-3f, 1e-3f);
+}
+
+TEST(ServeExecutor, DenseBitMatchesResnet20) {
+  ModelPtr m = pruned_zoo_model("resnet-20", kCifarSample, Structure::Unstructured, 0.25);
+  expect_parity(*m, kCifarSample, ExecMode::Dense, 0, 0);
+}
+
+TEST(ServeExecutor, CsrMatchesResnet20) {
+  ModelPtr m = pruned_zoo_model("resnet-20", kCifarSample, Structure::Unstructured, 0.25);
+  expect_parity(*m, kCifarSample, ExecMode::Csr, 2e-3f, 2e-3f);
+}
+
+TEST(ServeExecutor, ShrunkMatchesChannelPrunedResnet20) {
+  ModelPtr m = pruned_zoo_model("resnet-20", kCifarSample, Structure::Channel, 0.5);
+  expect_parity(*m, kCifarSample, ExecMode::Shrunk, 2e-3f, 2e-3f);
+}
+
+TEST(ServeExecutor, TheoreticalSpeedupTracksEffectiveFlops) {
+  ModelPtr m = pruned_zoo_model("cifar-vgg", kCifarSample, Structure::Unstructured, 0.25);
+  const serve::Executor dense = serve::compile(*m, kCifarSample, ExecMode::Dense);
+  const serve::Executor csr = serve::compile(*m, kCifarSample, ExecMode::Csr);
+  EXPECT_EQ(dense.flops_dense(), csr.flops_dense());
+  EXPECT_LT(csr.flops_effective(), csr.flops_dense());
+  EXPECT_GT(csr.theoretical_speedup(), 1.0);
+  EXPECT_EQ(m->flops(kCifarSample), csr.flops_dense());
+  EXPECT_EQ(m->effective_flops(kCifarSample), csr.flops_effective());
+}
+
+TEST(ServeExecutor, ForwardRejectsWrongSampleShape) {
+  ModelPtr m = pruned_zoo_model("cifar-vgg", kCifarSample, Structure::Unstructured, 0.5);
+  const serve::Executor exec = serve::compile(*m, kCifarSample, ExecMode::Dense);
+  Tensor bad({2, 3, 16, 16});
+  EXPECT_THROW(exec.forward(bad), std::invalid_argument);
+}
+
+TEST(ServeExecutor, ModeNamesRoundTrip) {
+  for (const ExecMode mode : {ExecMode::Dense, ExecMode::Csr, ExecMode::Shrunk}) {
+    EXPECT_EQ(serve::exec_mode_from_name(serve::to_string(mode)), mode);
+  }
+  EXPECT_THROW(serve::exec_mode_from_name("bogus"), std::invalid_argument);
+}
+
+// ---- parallel CSR matmul: bit-identical to serial at any SB_THREADS ----
+
+TEST(ServeKernels, CsrMatmulParallelBitMatchesSerial) {
+  Rng rng(5);
+  const int64_t rows = 512, cols = 256, n = 64;
+  Tensor dense({rows, cols});
+  rng.fill_normal(dense, 0, 1);
+  for (float& v : dense.flat()) {
+    if (rng.bernoulli(0.7)) v = 0.0f;
+  }
+  const CsrMatrix csr = csr_from_dense(dense.data(), rows, cols);
+  Tensor x({cols, n});
+  rng.fill_normal(x, 0, 1);
+  Tensor serial({rows, n}), threaded({rows, n});
+  {
+    ThreadPool::SerialGuard guard;  // forces the row loop inline-serial
+    csr_matmul(csr, x.data(), n, serial.data());
+  }
+  csr_matmul(csr, x.data(), n, threaded.data());  // fans out per SB_THREADS
+  EXPECT_TRUE(ops::allclose(serial, threaded, 0, 0));
+}
+
+// ---- sparse inference scratch: steady-state zero growth ----
+
+TEST(ServeWorkspace, SparseInferencePathsReachSteadyState) {
+  Rng rng(7);
+  Conv2d conv("c", 4, 8, 3, 1, 1, /*bias=*/true);
+  Linear lin("l", 48, 16);
+  init_model(conv, rng);
+  init_model(lin, rng);
+  for (float& v : conv.weight().data.flat()) {
+    if (rng.bernoulli(0.6)) v = 0.0f;
+  }
+  for (float& v : lin.weight().data.flat()) {
+    if (rng.bernoulli(0.6)) v = 0.0f;
+  }
+  const SparseConv2dInference sconv(conv);
+  const SparseLinearInference slin(lin);
+  Tensor xc({2, 4, 10, 10}), xl({5, 48});
+  rng.fill_normal(xc, 0, 1);
+  rng.fill_normal(xl, 0, 1);
+  for (int i = 0; i < 3; ++i) {  // warm-up grows the arena once
+    sconv.forward(xc);
+    slin.forward(xl);
+  }
+  Workspace& ws = Workspace::tls();
+  const int64_t grows = ws.grow_count();
+  const size_t cap = ws.capacity();
+  for (int i = 0; i < 5; ++i) {
+    sconv.forward(xc);
+    slin.forward(xl);
+  }
+  EXPECT_EQ(ws.grow_count(), grows) << "sparse forward allocated scratch per call";
+  EXPECT_EQ(ws.capacity(), cap);
+}
+
+TEST(ServeWorkspace, ExecutorForwardReachesSteadyState) {
+  ModelPtr m = pruned_zoo_model("cifar-vgg", kCifarSample, Structure::Unstructured, 0.25);
+  const serve::Executor exec = serve::compile(*m, kCifarSample, ExecMode::Csr);
+  Rng rng(9);
+  Tensor x({4, 3, 32, 32});
+  rng.fill_normal(x, 0, 1);
+  for (int i = 0; i < 3; ++i) exec.forward(x);
+  Workspace& ws = Workspace::tls();
+  const int64_t grows = ws.grow_count();
+  for (int i = 0; i < 3; ++i) exec.forward(x);
+  EXPECT_EQ(ws.grow_count(), grows) << "executor grew the arena after warm-up";
+}
+
+// ---- dynamic batcher ----
+
+ModelPtr tiny_model(Rng& rng) {
+  auto m = std::make_unique<Sequential>("tiny");
+  m->emplace<Linear>("fc", 8, 4);
+  init_model(*m, rng);
+  return m;
+}
+
+Tensor random_sample(Rng& rng) {
+  Tensor s({8});
+  rng.fill_normal(s, 0, 1);
+  return s;
+}
+
+TEST(ServeBatcher, FullBatchFlushesWithoutWaitingForTheTimer) {
+  Rng rng(3);
+  ModelPtr m = tiny_model(rng);
+  const serve::Executor exec = serve::compile(*m, {8}, ExecMode::Dense);
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 4;
+  opts.max_wait_us = 10'000'000;  // 10 s: only a full batch can flush fast
+  InferenceServer server(exec, opts);
+  std::vector<std::future<Tensor>> futs;
+  for (int i = 0; i < 4; ++i) futs.push_back(server.submit(random_sample(rng)));
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(5)), std::future_status::ready)
+        << "full batch did not flush before the max-wait timer";
+    EXPECT_EQ(f.get().shape(), (Shape{4}));
+  }
+  server.shutdown();
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.completed, 4);
+  EXPECT_EQ(st.failed, 0);
+  EXPECT_EQ(st.batches, 1);  // one full batch, not four timer flushes
+}
+
+TEST(ServeBatcher, MaxWaitFlushesPartialBatch) {
+  Rng rng(4);
+  ModelPtr m = tiny_model(rng);
+  const serve::Executor exec = serve::compile(*m, {8}, ExecMode::Dense);
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 64;       // never reached by 3 requests...
+  opts.max_wait_us = 20'000; // ...so only the 20 ms timer can flush them
+  InferenceServer server(exec, opts);
+  std::vector<std::future<Tensor>> futs;
+  for (int i = 0; i < 3; ++i) futs.push_back(server.submit(random_sample(rng)));
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(5)), std::future_status::ready)
+        << "partial batch never flushed on max-wait";
+    EXPECT_EQ(f.get().shape(), (Shape{4}));
+  }
+  // Futures are fulfilled before the worker's stats update lands, so
+  // quiesce (shutdown joins the workers) before reading counters.
+  server.shutdown();
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.completed, 3);
+  EXPECT_EQ(st.failed, 0);
+}
+
+TEST(ServeBatcher, DrainOnShutdownLosesZeroRequests) {
+  Rng rng(6);
+  ModelPtr m = tiny_model(rng);
+  const serve::Executor exec = serve::compile(*m, {8}, ExecMode::Dense);
+  ServerOptions opts;
+  opts.workers = 2;
+  opts.max_batch = 3;
+  opts.max_wait_us = 60'000'000;  // 60 s: a lossy drain would visibly hang
+  InferenceServer server(exec, opts);
+  std::vector<std::future<Tensor>> futs;
+  for (int i = 0; i < 40; ++i) futs.push_back(server.submit(random_sample(rng)));
+  server.shutdown();  // returns only after the queue is fully drained
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_EQ(f.get().shape(), (Shape{4}));
+  }
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.submitted, 40);
+  EXPECT_EQ(st.completed, 40);
+  EXPECT_EQ(st.failed, 0);
+  EXPECT_EQ(st.rejected, 0);
+
+  // Late submissions are rejected, not silently dropped.
+  EXPECT_FALSE(server.accepting());
+  EXPECT_THROW(server.submit(random_sample(rng)), std::runtime_error);
+  EXPECT_EQ(server.stats().rejected, 1);
+}
+
+TEST(ServeBatcher, SingleRequestBitMatchesExecutor) {
+  Rng rng(8);
+  ModelPtr m = tiny_model(rng);
+  const serve::Executor exec = serve::compile(*m, {8}, ExecMode::Dense);
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 1;  // server must form exactly the same batch-of-1
+  InferenceServer server(exec, opts);
+  const Tensor s = random_sample(rng);
+  std::future<Tensor> fut = server.submit(s.clone());
+  Tensor batch({1, 8});
+  std::copy(s.data(), s.data() + 8, batch.data());
+  const Tensor y = exec.forward(batch);
+  Tensor expect({4});
+  std::copy(y.data(), y.data() + 4, expect.data());
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(5)), std::future_status::ready);
+  EXPECT_TRUE(ops::allclose(fut.get(), expect, 0, 0));
+}
+
+TEST(ServeBatcher, SubmitRejectsWrongSampleShape) {
+  Rng rng(10);
+  ModelPtr m = tiny_model(rng);
+  const serve::Executor exec = serve::compile(*m, {8}, ExecMode::Dense);
+  InferenceServer server(exec, ServerOptions{});
+  Tensor bad({4});
+  EXPECT_THROW(server.submit(std::move(bad)), std::invalid_argument);
+}
+
+TEST(ServeBatcher, OptionsAreValidated) {
+  Rng rng(11);
+  ModelPtr m = tiny_model(rng);
+  const serve::Executor exec = serve::compile(*m, {8}, ExecMode::Dense);
+  ServerOptions opts;
+  opts.workers = 0;
+  EXPECT_THROW(InferenceServer(exec, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shrinkbench
