@@ -59,6 +59,37 @@ void BM_GemmMT(benchmark::State& state) {
 // run, so the default CPU-time metric would overstate throughput.
 BENCHMARK(BM_GemmMT)->Args({256, 1})->Args({256, 2})->Args({256, 4})->Args({512, 4})->UseRealTime();
 
+// Per-tier block-kernel microbenchmark: drives each SIMD tier's packed
+// kernel directly through simd::block_kernel (bypassing SB_SIMD
+// dispatch), so one run reports every tier side by side. An unsupported
+// tier skips with an error note instead of silently falling back —
+// check_regression records the skip rather than comparing bogus numbers.
+void BM_GemmKernel(benchmark::State& state) {
+  const auto level = static_cast<sb::simd::Level>(state.range(0));
+  const bool supported =
+      level == sb::simd::Level::Scalar ||
+      (level == sb::simd::Level::Avx2 && sb::simd::cpu_supports_avx2()) ||
+      (level == sb::simd::Level::Avx512 && sb::simd::cpu_supports_avx512());
+  state.SetLabel(sb::simd::level_name(level));
+  if (!supported) {
+    state.SkipWithError("simd level unsupported on this host/build");
+    return;
+  }
+  // One gemm.cpp cache block: the packed shapes the kernel actually sees.
+  const int64_t m = 64, n = 256, k = 256;
+  sb::Rng rng(1);
+  sb::Tensor a({m, k}), b({k, n}), c({m, n});
+  rng.fill_normal(a, 0, 1);
+  rng.fill_normal(b, 0, 1);
+  const sb::simd::BlockKernelFn kernel = sb::simd::block_kernel(level);
+  for (auto _ : state) {
+    kernel(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * n * k);
+}
+BENCHMARK(BM_GemmKernel)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_GemmSparseA(benchmark::State& state) {
   // The kernel skips zero A entries; measure the pruned-weight fast path.
   const int64_t n = 128;
@@ -105,13 +136,15 @@ void BM_ConvForward(benchmark::State& state) {
 }
 BENCHMARK(BM_ConvForward)->Arg(1)->Arg(16)->Arg(64);
 
-// Conv forward across pool widths: the batch dimension is the parallel
-// unit, so scaling shows up once batch >> threads.
+// Conv forward across (batch × pool width): the fused (sample ×
+// out-channel-tile) grid must scale with threads even at batch 1, where
+// the old per-sample split starved the pool — the batch axis tracks
+// exactly that small-batch starvation.
 void BM_ConvForwardMT(benchmark::State& state) {
   sb::ThreadPool& pool = sb::ThreadPool::instance();
   const int original = pool.threads();
-  pool.set_threads(static_cast<int>(state.range(0)));
-  const int64_t batch = 64;
+  const int64_t batch = state.range(0);
+  pool.set_threads(static_cast<int>(state.range(1)));
   sb::Conv2d conv("c", 16, 16, 3, 1, 1, false);
   sb::Rng rng(3);
   sb::kaiming_normal(conv.weight().data, rng);
@@ -124,7 +157,17 @@ void BM_ConvForwardMT(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * conv.flops({16, 8, 8}) * batch);
   pool.set_threads(original);
 }
-BENCHMARK(BM_ConvForwardMT)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+BENCHMARK(BM_ConvForwardMT)
+    ->Args({1, 1})
+    ->Args({1, 2})
+    ->Args({1, 4})
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4})
+    ->UseRealTime();
 
 void BM_ConvBackward(benchmark::State& state) {
   sb::Conv2d conv("c", 16, 16, 3, 1, 1, false);

@@ -29,6 +29,12 @@ bool cache_cols_enabled() {
 // chunk; samples are disjoint, so partitioning cannot change any value.
 constexpr int64_t kMinElemsPerChunk = int64_t{1} << 16;
 
+// Floor on output channels per fused-grid tile: below this the per-tile
+// GEMM degenerates to a few kernel rows and the restaged im2col columns
+// dominate. Only reached at batch sizes below the pool width, where the
+// channel axis is the only parallelism left.
+constexpr int64_t kMinOcPerTile = 4;
+
 int64_t sample_grain(int64_t per_sample_elems) {
   return std::max<int64_t>(1, kMinElemsPerChunk / std::max<int64_t>(per_sample_elems, 1));
 }
@@ -100,42 +106,90 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   }
   if (train) cached_input_ = x;
 
-  // Batched lowering: cols is [col_rows, n * col_cols]; image i occupies
-  // column block i. One GEMM computes the whole minibatch.
   const int64_t ld = n * g.col_cols();
   const int64_t image_numel = in_c_ * h * w;
   const int64_t spatial = oh * ow;
-  const size_t cols_numel = static_cast<size_t>(g.col_rows() * ld);
+  const int64_t col_rows = g.col_rows();
+  const float* bias = has_bias_ ? bias_.data.data() : nullptr;
+  Tensor y({n, out_c_, oh, ow});
 
-  Workspace::Scope scope;
-  Workspace& ws = Workspace::tls();
   const bool keep_cols = train && cache_cols_enabled();
-  float* cols;
   if (keep_cols) {
-    // Member storage (grow-only) so the buffer survives until backward.
-    cached_cols_.resize(cols_numel);
-    cols = cached_cols_.data();
+    // SB_CONV_CACHE_COLS=1 training forward: backward reuses the full
+    // batched column matrix, so the lowering stays monolithic — a fused
+    // tile would stage its columns into the thread-local arena and
+    // discard them. Member storage (grow-only) survives until backward.
+    Workspace::Scope scope;
+    Workspace& ws = Workspace::tls();
+    cached_cols_.resize(static_cast<size_t>(col_rows * ld));
+    float* cols = cached_cols_.data();
     cached_cols_valid_ = true;
-  } else {
-    cols = ws.floats(cols_numel);
-    // Only a training forward may touch the validity flag: eval-mode
-    // forward must stay write-free so concurrent evaluate() batches can
-    // share one model, and the (cached_input_, cached_cols_) pair from
-    // the last training forward stays mutually consistent for backward.
-    if (train) cached_cols_valid_ = false;
+    parallel_for(0, n, sample_grain(col_rows * spatial), [&](int64_t n0, int64_t n1) {
+      for (int64_t i = n0; i < n1; ++i) {
+        im2col_ld(g, x.data() + i * image_numel, cols + i * spatial, ld);
+      }
+    });
+    float* out_cm = ws.floats(static_cast<size_t>(out_c_ * ld));
+    gemm(false, false, out_c_, ld, col_rows, 1.0f, weight_.data.data(), col_rows, cols, ld, 0.0f,
+         out_cm, ld);
+    scatter_channel_major(out_cm, n, out_c_, spatial, y.data(), bias);
+    return y;
   }
-  parallel_for(0, n, sample_grain(g.col_rows() * g.col_cols()), [&](int64_t n0, int64_t n1) {
-    for (int64_t i = n0; i < n1; ++i) {
-      im2col_ld(g, x.data() + i * image_numel, cols + i * g.col_cols(), ld);
+  // Only a training forward may touch the validity flag: eval-mode
+  // forward must stay write-free so concurrent evaluate() batches can
+  // share one model, and the (cached_input_, cached_cols_) pair from
+  // the last training forward stays mutually consistent for backward.
+  if (train) cached_cols_valid_ = false;
+
+  // Fused (sample × out-channel-tile) grid. Each tile stages im2col for
+  // its samples into the thread-local arena and immediately runs its
+  // weight rows' sub-GEMM plus the bias scatter while the columns are
+  // cache-hot. The channel axis splits only when samples alone cannot
+  // fill the pool (the batch-1 serving case the old per-sample split
+  // starved). Bit-identity: tile outputs are disjoint y regions, the k
+  // reduction stays whole inside every tile, and the block kernel
+  // accumulates k in the same ascending order for any (m, n) subrange —
+  // so y matches the monolithic GEMM bit for bit at every thread count.
+  const Grid2d grid(n, out_c_, 1, kMinOcPerTile, ThreadPool::instance().threads());
+  parallel_for(0, grid.tiles(), 1, [&](int64_t t_lo, int64_t t_hi) {
+    Workspace& ws = Workspace::tls();
+    int64_t t = t_lo;
+    while (t < t_hi) {
+      // Tile ids are channel-fastest, so consecutive tiles of one sample
+      // range arrive back to back: stage that range's columns once and
+      // reuse them for every channel tile this chunk owns in the row.
+      const int64_t i0 = grid.tile0(t);
+      const Grid2d::Range s = grid.range0(i0);
+      const int64_t row_end = std::min(t_hi, (i0 + 1) * grid.tiles1());
+      const int64_t tile_ld = (s.hi - s.lo) * spatial;
+      Workspace::Scope stage;  // LIFO: reclaimed before the next sample range
+      float* cols = ws.floats(static_cast<size_t>(col_rows * tile_ld));
+      for (int64_t i = s.lo; i < s.hi; ++i) {
+        im2col_ld(g, x.data() + i * image_numel, cols + (i - s.lo) * spatial, tile_ld);
+      }
+      for (; t < row_end; ++t) {
+        const Grid2d::Range cr = grid.range1(grid.tile1(t));
+        Workspace::Scope out_scope;
+        float* out_cm = ws.floats(static_cast<size_t>((cr.hi - cr.lo) * tile_ld));
+        gemm(false, false, cr.hi - cr.lo, tile_ld, col_rows, 1.0f,
+             weight_.data.data() + cr.lo * col_rows, col_rows, cols, tile_ld, 0.0f, out_cm,
+             tile_ld);
+        for (int64_t c = cr.lo; c < cr.hi; ++c) {
+          const float* src_c = out_cm + (c - cr.lo) * tile_ld;
+          for (int64_t i = s.lo; i < s.hi; ++i) {
+            const float* src = src_c + (i - s.lo) * spatial;
+            float* dst = y.data() + (i * out_c_ + c) * spatial;
+            if (bias == nullptr) {
+              std::copy(src, src + spatial, dst);
+            } else {
+              const float b = bias[c];
+              for (int64_t sp = 0; sp < spatial; ++sp) dst[sp] = src[sp] + b;
+            }
+          }
+        }
+      }
     }
   });
-  float* out_cm = ws.floats(static_cast<size_t>(out_c_ * ld));
-  gemm(false, false, out_c_, ld, g.col_rows(), 1.0f, weight_.data.data(), g.col_rows(), cols, ld,
-       0.0f, out_cm, ld);
-
-  Tensor y({n, out_c_, oh, ow});
-  scatter_channel_major(out_cm, n, out_c_, spatial, y.data(),
-                        has_bias_ ? bias_.data.data() : nullptr);
   return y;
 }
 
@@ -172,18 +226,44 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   float* dy_cm = ws.floats(static_cast<size_t>(out_c_ * ld));
   gather_channel_major(grad_out.data(), n, out_c_, spatial, dy_cm);
 
-  // dW += dY [out_c, n*ohw] * cols^T [n*ohw, cK2]
+  // dW += dY [out_c, n*ohw] * cols^T [n*ohw, cK2]. Every dW element
+  // reduces over the full n*ohw axis — the k axis spans all samples —
+  // so this product cannot join the sample-tiled grid below without
+  // splitting a reduction; it stays the monolithic block-grid GEMM.
   gemm(false, /*trans_b=*/true, out_c_, g.col_rows(), ld, 1.0f, dy_cm, ld, cols, ld, 1.0f,
        weight_.grad.data(), g.col_rows());
-  // dcols = W^T [cK2, out_c] * dY [out_c, n*ohw]
-  float* dcols = ws.floats(static_cast<size_t>(g.col_rows() * ld));
-  gemm(/*trans_a=*/true, false, g.col_rows(), ld, out_c_, 1.0f, weight_.data.data(),
-       g.col_rows(), dy_cm, ld, 0.0f, dcols, ld);
 
+  // dX: dcols = Wᵀ·dY and its col2im scatter fused over a (sample ×
+  // in-channel-tile) grid. Each tile computes only its own rows and
+  // sample columns of dcols into the thread-local arena and scatters
+  // them while cache-hot, instead of materialising the full [col_rows,
+  // n*ohw] matrix and re-walking it. The out_c reduction stays whole
+  // inside every tile and col2im's per-(sample, channel) accumulation
+  // order is untouched, so dx is bit-identical to the monolithic product
+  // at every thread count.
   Tensor dx(x.shape());
-  parallel_for(0, n, sample_grain(g.col_rows() * g.col_cols()), [&](int64_t n0, int64_t n1) {
-    for (int64_t i = n0; i < n1; ++i) {
-      col2im_ld(g, dcols + i * g.col_cols(), ld, dx.data() + i * image_numel);
+  const int64_t kk = kernel_ * kernel_;
+  const int64_t plane = h * w;
+  const Grid2d grid(n, in_c_, 1, 1, ThreadPool::instance().threads());
+  parallel_for(0, grid.tiles(), 1, [&](int64_t t_lo, int64_t t_hi) {
+    Workspace& tws = Workspace::tls();
+    for (int64_t t = t_lo; t < t_hi; ++t) {
+      const Grid2d::Range s = grid.range0(grid.tile0(t));
+      const Grid2d::Range cr = grid.range1(grid.tile1(t));
+      const int64_t tile_ld = (s.hi - s.lo) * spatial;
+      const int64_t rows = (cr.hi - cr.lo) * kk;
+      Workspace::Scope tile_scope;
+      float* dcols = tws.floats(static_cast<size_t>(rows * tile_ld));
+      // op(A) = Wᵀ is [col_rows, out_c] with op(A)[r, p] = W[p*lda + r]:
+      // its row range [cr.lo*kk, cr.hi*kk) is the pointer offset
+      // weight + cr.lo*kk at the same lda.
+      gemm(/*trans_a=*/true, false, rows, tile_ld, out_c_, 1.0f,
+           weight_.data.data() + cr.lo * kk, g.col_rows(), dy_cm + s.lo * spatial, ld, 0.0f,
+           dcols, tile_ld);
+      for (int64_t i = s.lo; i < s.hi; ++i) {
+        col2im_channels_ld(g, dcols + (i - s.lo) * spatial, tile_ld,
+                           dx.data() + i * image_numel + cr.lo * plane, cr.hi - cr.lo);
+      }
     }
   });
   if (has_bias_) {

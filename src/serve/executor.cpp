@@ -32,6 +32,9 @@ int64_t work_grain(int64_t per_index_elems) {
   return std::max<int64_t>(1, kMinElemsPerChunk / std::max<int64_t>(per_index_elems, 1));
 }
 
+// Same per-tile channel floor as Conv2d's fused grid (see nn/conv2d.cpp).
+constexpr int64_t kMinOcPerTile = 4;
+
 // ---------------------------------------------------------------------------
 // Compiled convolution: one op covers all three modes. Weights are stored
 // flattened to [rows, in_c*k*k]; `row_of[c]` maps output channel c to its
@@ -56,41 +59,98 @@ class ConvOp : public Op {
     const int64_t spatial = oh * ow;
     const int64_t ld = n * g.col_cols();
     const int64_t image_numel = in_c * h * w;
-    const int64_t rows = mode == ExecMode::Csr ? csr_w.rows : dense_w.size(0);
-
-    Workspace::Scope scope;
-    Workspace& ws = Workspace::tls();
-    float* cols = ws.floats(static_cast<size_t>(g.col_rows() * ld));
-    parallel_for(0, n, work_grain(g.col_rows() * g.col_cols()), [&](int64_t n0, int64_t n1) {
-      for (int64_t i = n0; i < n1; ++i) {
-        im2col_ld(g, x.data() + i * image_numel, cols + i * g.col_cols(), ld);
-      }
-    });
-    float* out_cm = ws.floats(static_cast<size_t>(std::max<int64_t>(rows, 1) * ld));
-    if (mode == ExecMode::Csr) {
-      csr_matmul(csr_w, cols, ld, out_cm);
-    } else if (rows > 0) {
-      gemm(false, false, rows, ld, g.col_rows(), 1.0f, dense_w.data(), g.col_rows(), cols, ld,
-           0.0f, out_cm, ld);
-    }
-
+    const int64_t col_rows = g.col_rows();
     Tensor y({n, out_c, oh, ow});
     const float* b = bias.empty() ? nullptr : bias.data();
-    parallel_for(0, n, work_grain(out_c * spatial), [&](int64_t n0, int64_t n1) {
-      for (int64_t i = n0; i < n1; ++i) {
-        for (int64_t c = 0; c < out_c; ++c) {
-          float* dst = y.data() + (i * out_c + c) * spatial;
-          const int32_t r = row_of[static_cast<size_t>(c)];
-          if (r < 0) {
-            std::fill(dst, dst + spatial, fill[static_cast<size_t>(c)]);
-            continue;
+
+    if (mode == ExecMode::Csr) {
+      // CSR keeps the monolithic lowering: csr_matmul already
+      // parallelizes over its rows, so batch-1 saturates the pool
+      // without the fused grid.
+      Workspace::Scope scope;
+      Workspace& ws = Workspace::tls();
+      float* cols = ws.floats(static_cast<size_t>(col_rows * ld));
+      parallel_for(0, n, work_grain(col_rows * spatial), [&](int64_t n0, int64_t n1) {
+        for (int64_t i = n0; i < n1; ++i) {
+          im2col_ld(g, x.data() + i * image_numel, cols + i * spatial, ld);
+        }
+      });
+      float* out_cm = ws.floats(static_cast<size_t>(std::max<int64_t>(csr_w.rows, 1) * ld));
+      csr_matmul(csr_w, cols, ld, out_cm);
+      parallel_for(0, n, work_grain(out_c * spatial), [&](int64_t n0, int64_t n1) {
+        for (int64_t i = n0; i < n1; ++i) {
+          for (int64_t c = 0; c < out_c; ++c) {
+            float* dst = y.data() + (i * out_c + c) * spatial;
+            const int32_t r = row_of[static_cast<size_t>(c)];
+            if (r < 0) {
+              std::fill(dst, dst + spatial, fill[static_cast<size_t>(c)]);
+              continue;
+            }
+            const float* src = out_cm + static_cast<int64_t>(r) * ld + i * spatial;
+            if (b == nullptr) {
+              std::copy(src, src + spatial, dst);
+            } else {
+              const float bc = b[c];
+              for (int64_t s = 0; s < spatial; ++s) dst[s] = src[s] + bc;
+            }
           }
-          const float* src = out_cm + static_cast<int64_t>(r) * ld + i * spatial;
-          if (b == nullptr) {
-            std::copy(src, src + spatial, dst);
-          } else {
-            const float bc = b[c];
-            for (int64_t s = 0; s < spatial; ++s) dst[s] = src[s] + bc;
+        }
+      });
+      return y;
+    }
+
+    // Dense/Shrunk: the same fused (sample × out-channel-tile) schedule
+    // as Conv2d::forward, so serving inherits batch-1 scaling. row_of is
+    // monotone over live channels, so a channel tile's live rows form
+    // one contiguous span of the packed weight matrix and the tile GEMM
+    // runs over exactly that span; dead channels take the fill path.
+    const Grid2d grid(n, out_c, 1, kMinOcPerTile, ThreadPool::instance().threads());
+    parallel_for(0, grid.tiles(), 1, [&](int64_t t_lo, int64_t t_hi) {
+      Workspace& ws = Workspace::tls();
+      int64_t t = t_lo;
+      while (t < t_hi) {
+        const int64_t i0 = grid.tile0(t);
+        const Grid2d::Range s = grid.range0(i0);
+        const int64_t row_end = std::min(t_hi, (i0 + 1) * grid.tiles1());
+        const int64_t tile_ld = (s.hi - s.lo) * spatial;
+        Workspace::Scope stage;  // LIFO: reclaimed before the next sample range
+        float* cols = ws.floats(static_cast<size_t>(col_rows * tile_ld));
+        for (int64_t i = s.lo; i < s.hi; ++i) {
+          im2col_ld(g, x.data() + i * image_numel, cols + (i - s.lo) * spatial, tile_ld);
+        }
+        for (; t < row_end; ++t) {
+          const Grid2d::Range cr = grid.range1(grid.tile1(t));
+          int64_t r_lo = -1, r_hi = -1;
+          for (int64_t c = cr.lo; c < cr.hi; ++c) {
+            const int32_t r = row_of[static_cast<size_t>(c)];
+            if (r < 0) continue;
+            if (r_lo < 0) r_lo = r;
+            r_hi = r + 1;
+          }
+          Workspace::Scope out_scope;
+          float* out_cm = nullptr;
+          if (r_lo >= 0) {
+            out_cm = ws.floats(static_cast<size_t>((r_hi - r_lo) * tile_ld));
+            gemm(false, false, r_hi - r_lo, tile_ld, col_rows, 1.0f,
+                 dense_w.data() + r_lo * col_rows, col_rows, cols, tile_ld, 0.0f, out_cm,
+                 tile_ld);
+          }
+          for (int64_t c = cr.lo; c < cr.hi; ++c) {
+            const int32_t r = row_of[static_cast<size_t>(c)];
+            for (int64_t i = s.lo; i < s.hi; ++i) {
+              float* dst = y.data() + (i * out_c + c) * spatial;
+              if (r < 0) {
+                std::fill(dst, dst + spatial, fill[static_cast<size_t>(c)]);
+                continue;
+              }
+              const float* src = out_cm + (r - r_lo) * tile_ld + (i - s.lo) * spatial;
+              if (b == nullptr) {
+                std::copy(src, src + spatial, dst);
+              } else {
+                const float bc = b[c];
+                for (int64_t sp = 0; sp < spatial; ++sp) dst[sp] = src[sp] + bc;
+              }
+            }
           }
         }
       }

@@ -21,6 +21,60 @@ constexpr int64_t kBlockK = 256;
 // multiply-adds; below it the pool handoff costs more than it saves.
 constexpr int64_t kMinMaddsPerChunk = int64_t{1} << 19;
 
+// One contiguous range [g0, g1) of the jb-major (j0, i0) cache-block
+// grid: packs blocks of op(A) (scaled by alpha) and op(B) into the
+// thread-local arena and streams them through the block kernel. This is
+// the unit both parallel schedules feed — gemm()'s own block-grid
+// parallel_for, and the fused (sample × out-channel-tile) conv grid,
+// whose tiles call gemm() from inside a pool chunk where it degrades to
+// exactly this serial routine. Every C tile is produced whole, with p0
+// blocks accumulated in ascending order, so results are bit-identical
+// for any split.
+void gemm_block_range(simd::BlockKernelFn kernel, bool trans_a, bool trans_b, int64_t m,
+                      int64_t n, int64_t k, float alpha, const float* a, int64_t lda,
+                      const float* b, int64_t ldb, float* c, int64_t ldc, int64_t n_ib,
+                      int64_t g0, int64_t g1) {
+  Workspace::Scope scope;
+  Workspace& ws = Workspace::tls();
+  float* a_pack = ws.floats(static_cast<size_t>(kBlockM * kBlockK));
+  float* b_pack = ws.floats(static_cast<size_t>(kBlockK * kBlockN));
+
+  for (int64_t jb = g0 / n_ib; jb * n_ib < g1; ++jb) {
+    const int64_t j0 = jb * kBlockN;
+    const int64_t nb = std::min(kBlockN, n - j0);
+    const int64_t ib_lo = std::max<int64_t>(g0 - jb * n_ib, 0);
+    const int64_t ib_hi = std::min<int64_t>(g1 - jb * n_ib, n_ib);
+    for (int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const int64_t kb = std::min(kBlockK, k - p0);
+      // Pack op(B)[p0:p0+kb, j0:j0+nb].
+      for (int64_t p = 0; p < kb; ++p) {
+        float* dst = b_pack + p * nb;
+        if (!trans_b) {
+          const float* src = b + (p0 + p) * ldb + j0;
+          std::copy(src, src + nb, dst);
+        } else {
+          for (int64_t j = 0; j < nb; ++j) dst[j] = b[(j0 + j) * ldb + (p0 + p)];
+        }
+      }
+      for (int64_t ib = ib_lo; ib < ib_hi; ++ib) {
+        const int64_t i0 = ib * kBlockM;
+        const int64_t mb = std::min(kBlockM, m - i0);
+        // Pack alpha * op(A)[i0:i0+mb, p0:p0+kb].
+        for (int64_t i = 0; i < mb; ++i) {
+          float* dst = a_pack + i * kb;
+          if (!trans_a) {
+            const float* src = a + (i0 + i) * lda + p0;
+            for (int64_t p = 0; p < kb; ++p) dst[p] = alpha * src[p];
+          } else {
+            for (int64_t p = 0; p < kb; ++p) dst[p] = alpha * a[(p0 + p) * lda + (i0 + i)];
+          }
+        }
+        kernel(mb, nb, kb, a_pack, kb, b_pack, nb, c + i0 * ldc + j0, ldc);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha, const float* a,
@@ -62,6 +116,8 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alp
   // n_ib + ib) so a chunk holding several row blocks of one column
   // panel still packs op(B) once per (jb, p0), exactly like the serial
   // code; only panels split across chunks repack, a ~1/64 overhead.
+  // When this gemm already runs inside a fused-grid tile (conv fwd/bwd),
+  // parallel_for degrades to inline and the whole grid runs serial here.
   const int64_t n_jb = (n + kBlockN - 1) / kBlockN;
   const int64_t n_ib = (m + kBlockM - 1) / kBlockM;
   const int64_t madds_per_pair = std::min(kBlockM, m) * std::min(kBlockN, n) * k;
@@ -69,48 +125,8 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alp
       std::max<int64_t>(1, kMinMaddsPerChunk / std::max<int64_t>(madds_per_pair, 1));
 
   parallel_for(0, n_jb * n_ib, grain, [&](int64_t g0, int64_t g1) {
-    // Pack blocks of op(A) (scaled by alpha) and op(B) into contiguous
-    // scratch so the kernel always streams unit-stride rows. The arena
-    // is thread-local and allocation-free after warm-up.
-    Workspace::Scope scope;
-    Workspace& ws = Workspace::tls();
-    float* a_pack = ws.floats(static_cast<size_t>(kBlockM * kBlockK));
-    float* b_pack = ws.floats(static_cast<size_t>(kBlockK * kBlockN));
-
-    for (int64_t jb = g0 / n_ib; jb * n_ib < g1; ++jb) {
-      const int64_t j0 = jb * kBlockN;
-      const int64_t nb = std::min(kBlockN, n - j0);
-      const int64_t ib_lo = std::max<int64_t>(g0 - jb * n_ib, 0);
-      const int64_t ib_hi = std::min<int64_t>(g1 - jb * n_ib, n_ib);
-      for (int64_t p0 = 0; p0 < k; p0 += kBlockK) {
-        const int64_t kb = std::min(kBlockK, k - p0);
-        // Pack op(B)[p0:p0+kb, j0:j0+nb].
-        for (int64_t p = 0; p < kb; ++p) {
-          float* dst = b_pack + p * nb;
-          if (!trans_b) {
-            const float* src = b + (p0 + p) * ldb + j0;
-            std::copy(src, src + nb, dst);
-          } else {
-            for (int64_t j = 0; j < nb; ++j) dst[j] = b[(j0 + j) * ldb + (p0 + p)];
-          }
-        }
-        for (int64_t ib = ib_lo; ib < ib_hi; ++ib) {
-          const int64_t i0 = ib * kBlockM;
-          const int64_t mb = std::min(kBlockM, m - i0);
-          // Pack alpha * op(A)[i0:i0+mb, p0:p0+kb].
-          for (int64_t i = 0; i < mb; ++i) {
-            float* dst = a_pack + i * kb;
-            if (!trans_a) {
-              const float* src = a + (i0 + i) * lda + p0;
-              for (int64_t p = 0; p < kb; ++p) dst[p] = alpha * src[p];
-            } else {
-              for (int64_t p = 0; p < kb; ++p) dst[p] = alpha * a[(p0 + p) * lda + (i0 + i)];
-            }
-          }
-          kernel(mb, nb, kb, a_pack, kb, b_pack, nb, c + i0 * ldc + j0, ldc);
-        }
-      }
-    }
+    gemm_block_range(kernel, trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, n_ib, g0,
+                     g1);
   });
 }
 

@@ -57,20 +57,10 @@ void im2col(const ConvGeometry& g, const float* image, float* cols) {
   im2col_ld(g, image, cols, g.col_cols());
 }
 
-void col2im_ld(const ConvGeometry& g, const float* cols, int64_t ld, float* image) {
-  if (obs::profiling_enabled()) {
-    obs::count("col2im.calls");
-    obs::count("col2im.elements", g.col_rows() * g.col_cols());
-  }
+void col2im_channels_ld(const ConvGeometry& g, const float* cols, int64_t ld, float* image,
+                        int64_t channels) {
   const int64_t oh = g.out_h(), ow = g.out_w();
-  // Different (kh, kw) rows of one channel accumulate into overlapping
-  // image pixels, so the channel — whose image plane is private — is the
-  // finest partition that keeps both the writes disjoint and the
-  // accumulation order identical to the sequential loop.
-  const int64_t per_channel = g.kernel_h * g.kernel_w * oh * ow;
-  const int64_t grain = std::max<int64_t>(1, kMinElemsPerChunk / std::max<int64_t>(per_channel, 1));
-  parallel_for(0, g.in_c, grain, [&](int64_t c0, int64_t c1) {
-  for (int64_t c = c0; c < c1; ++c) {
+  for (int64_t c = 0; c < channels; ++c) {
     float* chan = image + c * g.in_h * g.in_w;
     int64_t row = c * g.kernel_h * g.kernel_w;
     for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
@@ -95,6 +85,23 @@ void col2im_ld(const ConvGeometry& g, const float* cols, int64_t ld, float* imag
       }
     }
   }
+}
+
+void col2im_ld(const ConvGeometry& g, const float* cols, int64_t ld, float* image) {
+  if (obs::profiling_enabled()) {
+    obs::count("col2im.calls");
+    obs::count("col2im.elements", g.col_rows() * g.col_cols());
+  }
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  // Different (kh, kw) rows of one channel accumulate into overlapping
+  // image pixels, so the channel — whose image plane is private — is the
+  // finest partition that keeps both the writes disjoint and the
+  // accumulation order identical to the sequential loop.
+  const int64_t per_channel = g.kernel_h * g.kernel_w * oh * ow;
+  const int64_t grain = std::max<int64_t>(1, kMinElemsPerChunk / std::max<int64_t>(per_channel, 1));
+  parallel_for(0, g.in_c, grain, [&](int64_t c0, int64_t c1) {
+    col2im_channels_ld(g, cols + c0 * g.kernel_h * g.kernel_w * ld, ld,
+                       image + c0 * g.in_h * g.in_w, c1 - c0);
   });
 }
 

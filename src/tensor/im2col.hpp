@@ -40,4 +40,12 @@ void col2im(const ConvGeometry& g, const float* cols, float* image);
 void im2col_ld(const ConvGeometry& g, const float* image, float* cols, int64_t ld);
 void col2im_ld(const ConvGeometry& g, const float* cols, int64_t ld, float* image);
 
+/// Serial channel-range col2im for fused-grid tiles whose caller owns the
+/// parallelism: scatters `channels` consecutive channels' column rows
+/// into their image planes. `cols` points at the tile's first row — the
+/// (first channel, kh=0, kw=0) row — and `image` at the first channel's
+/// plane, so the tile is self-contained and geometry-relative.
+void col2im_channels_ld(const ConvGeometry& g, const float* cols, int64_t ld, float* image,
+                        int64_t channels);
+
 }  // namespace shrinkbench

@@ -5,12 +5,15 @@
 #include <mutex>
 
 #include "obs/log.hpp"
+#include "obs/telemetry.hpp"
 
 namespace shrinkbench::simd {
 
-// Defined in simd_avx2.cpp (compiled with -mavx2 -mfma); null on targets
-// where that TU compiles empty.
+// Defined in simd_avx2.cpp (compiled with -mavx2 -mfma) and
+// simd_avx512.cpp (compiled with -mavx512f -mavx512bw); null on targets
+// where those TUs compile empty.
 extern const BlockKernelFn kAvx2BlockKernel;
+extern const BlockKernelFn kAvx512BlockKernel;
 
 namespace {
 
@@ -56,6 +59,13 @@ void scalar_block_kernel(int64_t mb, int64_t nb, int64_t kb, const float* a, int
   }
 }
 
+// Best kernel the CPU (and this build) actually supports.
+Level best_supported() {
+  if (cpu_supports_avx512()) return Level::Avx512;
+  if (cpu_supports_avx2()) return Level::Avx2;
+  return Level::Scalar;
+}
+
 Level detect_level() {
   const char* env = std::getenv("SB_SIMD");
   if (env != nullptr && *env != '\0') {
@@ -65,10 +75,26 @@ Level detect_level() {
       SB_LOG_WARN("simd", "SB_SIMD=avx2 requested but unavailable (cpu or build); using scalar");
       return Level::Scalar;
     }
-    SB_LOG_WARN("simd", "unknown SB_SIMD value '%s' (expected avx2|scalar); autodetecting", env);
+    if (std::strcmp(env, "avx512") == 0) {
+      if (cpu_supports_avx512()) return Level::Avx512;
+      const Level fb = best_supported();
+      SB_LOG_WARN("simd", "SB_SIMD=avx512 requested but unavailable (cpu or build); using %s",
+                  level_name(fb));
+      return fb;
+    }
+    SB_LOG_WARN("simd", "unknown SB_SIMD value '%s' (expected avx512|avx2|scalar); autodetecting",
+                env);
   }
-  return cpu_supports_avx2() ? Level::Avx2 : Level::Scalar;
+  return best_supported();
 }
+
+// Push the effective tier into the telemetry host block (sb_obs cannot
+// link sb_tensor; same hook pattern as the pool sampler). The callback
+// resolves the level lazily, so registration never forces detection.
+[[maybe_unused]] const bool g_simd_name_registered = [] {
+  obs::set_simd_name_fn(+[]() { return level_name(active_level()); });
+  return true;
+}();
 
 }  // namespace
 
@@ -81,6 +107,15 @@ bool cpu_supports_avx2() {
 #endif
 }
 
+bool cpu_supports_avx512() {
+  if (kAvx512BlockKernel == nullptr) return false;
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw");
+#else
+  return false;
+#endif
+}
+
 Level active_level() {
   static const Level level = detect_level();
   return level;
@@ -88,6 +123,7 @@ Level active_level() {
 
 const char* level_name(Level level) {
   switch (level) {
+    case Level::Avx512: return "avx512";
     case Level::Avx2: return "avx2";
     case Level::Scalar: return "scalar";
   }
@@ -95,7 +131,8 @@ const char* level_name(Level level) {
 }
 
 BlockKernelFn block_kernel(Level level) {
-  if (level == Level::Avx2 && cpu_supports_avx2()) return kAvx2BlockKernel;
+  if (level == Level::Avx512 && cpu_supports_avx512()) return kAvx512BlockKernel;
+  if (level >= Level::Avx2 && cpu_supports_avx2()) return kAvx2BlockKernel;
   return scalar_block_kernel;
 }
 

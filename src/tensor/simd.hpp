@@ -11,17 +11,22 @@
 //               the rest of the build stays baseline-portable. It skips
 //               packed A columns that are zero across the whole micro-row
 //               group (the pruned-weight fast path, vector edition).
+//   * Avx512  — the same design twice as wide (8x32 C tile in zmm
+//               registers), compiled in its own TU with -mavx512f
+//               -mavx512bw and entered only after its own cpuid check.
+//               Keeps the zero-column pruned-weight fast path.
 //
-// The active kernel is chosen once per process: SB_SIMD=avx2|scalar wins
-// if set (an unsatisfiable request falls back to scalar with a warning),
-// otherwise cpuid picks the best kernel the CPU supports.
+// The active kernel is chosen once per process: SB_SIMD=avx512|avx2|scalar
+// wins if set (an unsatisfiable request falls back to the best supported
+// lower tier with a warning), otherwise cpuid picks the best kernel the
+// CPU supports.
 #pragma once
 
 #include <cstdint>
 
 namespace shrinkbench::simd {
 
-enum class Level { Scalar = 0, Avx2 = 1 };
+enum class Level { Scalar = 0, Avx2 = 1, Avx512 = 2 };
 
 /// Block kernel contract: C[mb,nb] += A[mb,kb] * B[kb,nb], all row-major
 /// with the given leading dimensions. A and B point into packed scratch;
@@ -33,6 +38,10 @@ using BlockKernelFn = void (*)(int64_t mb, int64_t nb, int64_t kb, const float* 
 /// reports avx2+fma at runtime.
 bool cpu_supports_avx2();
 
+/// True when this build has an AVX-512 kernel compiled in AND the CPU
+/// reports avx512f+avx512bw at runtime.
+bool cpu_supports_avx512();
+
 /// The level selected for this process (env override or cpuid), cached
 /// after the first call.
 Level active_level();
@@ -40,7 +49,8 @@ Level active_level();
 const char* level_name(Level level);
 
 /// Kernel for a specific level (tests compare them against each other).
-/// Requesting Avx2 where unsupported returns the scalar kernel.
+/// Requesting an unsupported level returns the best supported kernel
+/// below it (Avx512 -> Avx2 -> Scalar).
 BlockKernelFn block_kernel(Level level);
 
 inline BlockKernelFn active_block_kernel() { return block_kernel(active_level()); }

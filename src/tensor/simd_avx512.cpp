@@ -1,0 +1,131 @@
+// AVX-512 GEMM block microkernel. This TU is compiled with
+// -mavx512f -mavx512bw (see src/tensor/CMakeLists.txt) and must only be
+// entered after the runtime cpuid check in simd.cpp — everything else in
+// the build stays baseline-portable.
+//
+// Same contract and structure as the AVX2 kernel, twice as wide: an 8x32
+// C tile lives in zmm registers across the k loop (16 accumulators + 2 B
+// vectors + 1 broadcast = 19 of the 32 zmm registers), and packed A
+// columns that are zero across the whole micro-row group are skipped —
+// the pruned-weight fast path, 512-bit edition. Each C element still
+// accumulates one fused multiply-add per k index in ascending order, the
+// same arithmetic sequence as the AVX2 kernel, so tiling cannot change
+// the bits a given kernel produces.
+#include "tensor/simd.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+namespace shrinkbench::simd {
+
+namespace {
+
+constexpr int kMr = 8;           // C tile rows held in registers
+constexpr int kNr = 32;          // C tile cols: two 16-float zmm vectors
+constexpr int64_t kMaxK = 1024;  // k-chunk bound so the column mask fits on the stack
+
+// 8x32 (or fewer rows) register-blocked tile: C[ROWS,32] += A[ROWS,kc] * B[kc,32].
+template <int ROWS, bool SKIP>
+void tile32(int64_t kc, const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
+            int64_t ldc, const uint8_t* colmask) {
+  __m512 lo[ROWS], hi[ROWS];
+  for (int r = 0; r < ROWS; ++r) {
+    lo[r] = _mm512_loadu_ps(c + r * ldc);
+    hi[r] = _mm512_loadu_ps(c + r * ldc + 16);
+  }
+  for (int64_t p = 0; p < kc; ++p) {
+    if (SKIP && colmask[p]) continue;
+    const __m512 b0 = _mm512_loadu_ps(b + p * ldb);
+    const __m512 b1 = _mm512_loadu_ps(b + p * ldb + 16);
+    for (int r = 0; r < ROWS; ++r) {
+      const __m512 av = _mm512_set1_ps(a[r * lda + p]);
+      lo[r] = _mm512_fmadd_ps(av, b0, lo[r]);
+      hi[r] = _mm512_fmadd_ps(av, b1, hi[r]);
+    }
+  }
+  for (int r = 0; r < ROWS; ++r) {
+    _mm512_storeu_ps(c + r * ldc, lo[r]);
+    _mm512_storeu_ps(c + r * ldc + 16, hi[r]);
+  }
+}
+
+using TileFn = void (*)(int64_t, const float*, int64_t, const float*, int64_t, float*, int64_t,
+                        const uint8_t*);
+
+template <int ROWS>
+constexpr TileFn pick_tile(bool skip) {
+  return skip ? &tile32<ROWS, true> : &tile32<ROWS, false>;
+}
+
+TileFn tile_for(int rows, bool skip) {
+  switch (rows) {
+    case 1: return pick_tile<1>(skip);
+    case 2: return pick_tile<2>(skip);
+    case 3: return pick_tile<3>(skip);
+    case 4: return pick_tile<4>(skip);
+    case 5: return pick_tile<5>(skip);
+    case 6: return pick_tile<6>(skip);
+    case 7: return pick_tile<7>(skip);
+    default: return pick_tile<8>(skip);
+  }
+}
+
+void avx512_block_kernel(int64_t mb, int64_t nb, int64_t kb, const float* a, int64_t lda,
+                         const float* b, int64_t ldb, float* c, int64_t ldc) {
+  uint8_t colmask[kMaxK];
+  for (int64_t k0 = 0; k0 < kb; k0 += kMaxK) {
+    const int64_t kc = std::min(kMaxK, kb - k0);
+    const float* ak = a + k0;
+    const float* bk = b + k0 * ldb;
+    for (int64_t i = 0; i < mb; i += kMr) {
+      const int rows = static_cast<int>(std::min<int64_t>(kMr, mb - i));
+      const float* ap = ak + i * lda;
+      // Column-zero scan over this micro-row group, shared by every j
+      // tile. A column contributes nothing when all `rows` entries are
+      // +0.0f; OR-ing the bit patterns detects that without FP compares.
+      int64_t zero_cols = 0;
+      for (int64_t p = 0; p < kc; ++p) {
+        uint32_t bits = 0;
+        for (int r = 0; r < rows; ++r) bits |= std::bit_cast<uint32_t>(ap[r * lda + p]);
+        colmask[p] = bits == 0 ? 1 : 0;
+        zero_cols += colmask[p];
+      }
+      const TileFn tile = tile_for(rows, zero_cols > 0);
+      float* ci = c + i * ldc;
+      int64_t j = 0;
+      for (; j + kNr <= nb; j += kNr) tile(kc, ap, lda, bk + j, ldb, ci + j, ldc, colmask);
+      if (j < nb) {
+        // Column tail (< 32 wide): scalar, still honoring the zero mask.
+        for (int64_t p = 0; p < kc; ++p) {
+          if (colmask[p]) continue;
+          const float* brow = bk + p * ldb;
+          for (int r = 0; r < rows; ++r) {
+            const float av = ap[r * lda + p];
+            if (av == 0.0f) continue;
+            float* crow = ci + r * ldc;
+            for (int64_t jj = j; jj < nb; ++jj) crow[jj] += av * brow[jj];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+extern const BlockKernelFn kAvx512BlockKernel = &avx512_block_kernel;
+
+}  // namespace shrinkbench::simd
+
+#else  // !(__AVX512F__ && __AVX512BW__): no kernel on this target; dispatch falls back.
+
+namespace shrinkbench::simd {
+extern const BlockKernelFn kAvx512BlockKernel = nullptr;
+}  // namespace shrinkbench::simd
+
+#endif

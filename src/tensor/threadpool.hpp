@@ -34,6 +34,7 @@
 // zero-overhead contract of src/obs holds.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 namespace shrinkbench {
@@ -118,6 +119,88 @@ class ThreadPool {
 template <typename Fn>
 inline void parallel_for(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
   ThreadPool::instance().parallel_for(begin, end, grain, static_cast<Fn&&>(fn));
+}
+
+/// Static 2-D tile grid for fused (sample × channel-tile) parallelism.
+///
+/// The conv hot paths parallelize over samples, which starves the pool
+/// at batch sizes below the thread count (the batch-1 serving case). A
+/// Grid2d splits axis 0 (samples) first — it is the cheap axis, since
+/// per-tile staging such as im2col is shared by everything in the tile —
+/// and only splits axis 1 (output channels) when axis 0 alone cannot
+/// occupy every pool slot. Tile boundaries never split a reduction, so
+/// any tiling produces bit-identical results; the grid only decides how
+/// the identical work is distributed.
+///
+/// Linear tile ids enumerate axis 1 fastest: ids t1()*i + j for one
+/// axis-0 tile i are consecutive, so a pool chunk holding several tiles
+/// revisits the same axis-0 range back to back and can stage it once.
+class Grid2d {
+ public:
+  struct Range {
+    int64_t lo, hi;
+  };
+
+  /// grain0/grain1 are per-tile floors: a tile never covers fewer than
+  /// grainX indices of axis X unless the whole axis is smaller (grain
+  /// <= 0 means 1). `threads` sizes the grid (usually
+  /// ThreadPool::instance().threads()); 1 yields a single tile — the
+  /// exact serial path.
+  Grid2d(int64_t n0, int64_t n1, int64_t grain0, int64_t grain1, int threads)
+      : n0_(n0 > 0 ? n0 : 0), n1_(n1 > 0 ? n1 : 0) {
+    const int64_t want = threads > 1 ? threads : 1;
+    const int64_t max0 = n0_ / (grain0 > 0 ? grain0 : 1);
+    const int64_t max1 = n1_ / (grain1 > 0 ? grain1 : 1);
+    t0_ = std::min<int64_t>(std::max<int64_t>(max0, 1), want);
+    t1_ = t0_ >= want ? 1
+                      : std::min<int64_t>(std::max<int64_t>(max1, 1), (want + t0_ - 1) / t0_);
+    if (n0_ == 0 || n1_ == 0) t0_ = t1_ = 0;
+  }
+
+  int64_t tiles() const { return t0_ * t1_; }
+  int64_t tiles0() const { return t0_; }
+  int64_t tiles1() const { return t1_; }
+
+  /// Linear tile id -> per-axis tile index (axis 1 fastest).
+  int64_t tile0(int64_t t) const { return t / t1_; }
+  int64_t tile1(int64_t t) const { return t % t1_; }
+
+  /// Contiguous balanced [lo, hi) covered by axis-X tile i — the same
+  /// base/remainder split the pool uses for its chunks.
+  Range range0(int64_t i) const { return axis_range(i, n0_, t0_); }
+  Range range1(int64_t i) const { return axis_range(i, n1_, t1_); }
+
+ private:
+  static Range axis_range(int64_t i, int64_t n, int64_t t) {
+    const int64_t base = n / t, rem = n % t;
+    const int64_t lo = i * base + (i < rem ? i : rem);
+    return {lo, lo + base + (i < rem ? 1 : 0)};
+  }
+
+  int64_t n0_, n1_;
+  int64_t t0_ = 0, t1_ = 0;
+};
+
+/// Fused 2-D parallel loop: fn(lo0, hi0, lo1, hi1) runs once per tile of
+/// `grid`, tiles statically assigned to pool chunks in linear-id order.
+/// Every (i, j) cell lands in exactly one tile, so disjoint-output work
+/// is bit-identical for any thread count, including 1.
+template <typename Fn>
+inline void parallel_for_2d(const Grid2d& grid, Fn&& fn) {
+  parallel_for(0, grid.tiles(), 1, [&](int64_t t_lo, int64_t t_hi) {
+    for (int64_t t = t_lo; t < t_hi; ++t) {
+      const Grid2d::Range r0 = grid.range0(grid.tile0(t));
+      const Grid2d::Range r1 = grid.range1(grid.tile1(t));
+      fn(r0.lo, r0.hi, r1.lo, r1.hi);
+    }
+  });
+}
+
+/// Convenience form: builds the grid from the live pool width.
+template <typename Fn>
+inline void parallel_for_2d(int64_t n0, int64_t n1, int64_t grain0, int64_t grain1, Fn&& fn) {
+  parallel_for_2d(Grid2d(n0, n1, grain0, grain1, ThreadPool::instance().threads()),
+                  static_cast<Fn&&>(fn));
 }
 
 }  // namespace shrinkbench

@@ -17,8 +17,10 @@
 #include "metrics/metrics.hpp"
 #include "models/zoo.hpp"
 #include "nn/checkpoint.hpp"
+#include "nn/conv2d.hpp"
 #include "nn/init.hpp"
 #include "obs/io.hpp"
+#include "obs/profile.hpp"
 #include "tensor/threadpool.hpp"
 
 namespace shrinkbench {
@@ -53,6 +55,108 @@ ModelPtr tiny_model(const DatasetBundle& bundle) {
   Rng rng(17);
   init_model(*model, rng);
   return model;
+}
+
+// ---- Fused conv grid determinism ----
+
+bool same_bits(const Tensor& a, const Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data(), b.data(), static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+// Conv forward/backward must be bit-identical across thread counts at
+// every batch size the fused (sample × out-channel-tile) grid tiles
+// differently: batch 1 splits channels only, batch 7 splits ragged
+// sample ranges, batch 32 splits samples only. Covers y, dx, dW and db.
+TEST_F(PoolFixture, ConvForwardBackwardBitIdenticalAcrossThreadsAndBatches) {
+  struct ConvOut {
+    Tensor y, dx, dw, db;
+  };
+  for (const int64_t batch : {int64_t{1}, int64_t{7}, int64_t{32}}) {
+    const auto run = [&](int threads) {
+      ThreadPool::instance().set_threads(threads);
+      Conv2d conv("c", 5, 12, 3, 1, 1, /*bias=*/true);
+      Rng rng(21);
+      rng.fill_normal(conv.weight().data, 0.0f, 1.0f);
+      rng.fill_normal(conv.bias()->data, 0.0f, 1.0f);
+      Tensor x({batch, 5, 9, 9}), dy({batch, 12, 9, 9});
+      Rng data_rng(22);
+      data_rng.fill_normal(x, 0.0f, 1.0f);
+      data_rng.fill_normal(dy, 0.0f, 1.0f);
+      ConvOut out;
+      out.y = conv.forward(x, /*train=*/true);
+      out.dx = conv.backward(dy);
+      out.dw = conv.weight().grad;
+      out.db = conv.bias()->grad;
+      return out;
+    };
+    const ConvOut serial = run(1);
+    for (const int threads : {2, 4}) {
+      const ConvOut threaded = run(threads);
+      EXPECT_TRUE(same_bits(serial.y, threaded.y)) << "batch=" << batch << " threads=" << threads;
+      EXPECT_TRUE(same_bits(serial.dx, threaded.dx))
+          << "batch=" << batch << " threads=" << threads;
+      EXPECT_TRUE(same_bits(serial.dw, threaded.dw))
+          << "batch=" << batch << " threads=" << threads;
+      EXPECT_TRUE(same_bits(serial.db, threaded.db))
+          << "batch=" << batch << " threads=" << threads;
+    }
+  }
+}
+
+// Small-batch training (batch below the pool width included) must stay
+// on the same loss curve to the bit for SB_THREADS in {1, 2, 4}: the
+// fused grid's channel-axis split may only change the work schedule,
+// never the arithmetic.
+TEST_F(PoolFixture, TrainingCurveBitIdenticalAcrossThreadsAndBatchSizes) {
+  SyntheticSpec spec = tiny_spec();
+  spec.train_size = 64;
+  spec.val_size = 32;
+  spec.test_size = 32;
+  const DatasetBundle bundle = make_synthetic(spec);
+  for (const int batch : {1, 7, 32}) {
+    TrainOptions opts;
+    opts.epochs = 1;
+    opts.batch_size = batch;
+    opts.patience = 0;
+    const auto run = [&](int threads) {
+      ThreadPool::instance().set_threads(threads);
+      ModelPtr model = tiny_model(bundle);
+      return train_model(*model, bundle, opts);
+    };
+    const TrainHistory serial = run(1);
+    for (const int threads : {2, 4}) {
+      const TrainHistory threaded = run(threads);
+      ASSERT_EQ(serial.epochs.size(), threaded.epochs.size());
+      for (size_t i = 0; i < serial.epochs.size(); ++i) {
+        EXPECT_EQ(serial.epochs[i].train_loss, threaded.epochs[i].train_loss)
+            << "batch=" << batch << " threads=" << threads << " epoch " << i;
+        EXPECT_EQ(serial.epochs[i].val_loss, threaded.epochs[i].val_loss)
+            << "batch=" << batch << " threads=" << threads << " epoch " << i;
+        EXPECT_EQ(serial.epochs[i].val_top1, threaded.epochs[i].val_top1)
+            << "batch=" << batch << " threads=" << threads << " epoch " << i;
+      }
+    }
+  }
+}
+
+// The point of the fused grid: a batch-1 conv forward must actually fan
+// out over the pool (the old per-sample split left threadpool.jobs flat
+// because one sample formed one chunk).
+TEST_F(PoolFixture, Batch1ConvForwardEngagesPool) {
+  ThreadPool::instance().set_threads(4);
+  Conv2d conv("c", 8, 16, 3, 1, 1, /*bias=*/false);
+  Rng rng(23);
+  rng.fill_normal(conv.weight().data, 0.0f, 1.0f);
+  Tensor x({1, 8, 12, 12});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  obs::set_profiling_enabled(true);
+  const int64_t jobs_before = obs::Profiler::instance().snapshot().counters["threadpool.jobs"];
+  Tensor y = conv.forward(x, /*train=*/false);
+  const int64_t jobs_after = obs::Profiler::instance().snapshot().counters["threadpool.jobs"];
+  obs::set_profiling_enabled(false);
+  ASSERT_GT(y.numel(), 0);
+  EXPECT_GT(jobs_after, jobs_before) << "batch-1 forward never fanned out over the pool";
 }
 
 TEST_F(PoolFixture, TrainingCurvesBitIdenticalAcrossThreadCounts) {

@@ -1,13 +1,15 @@
 // Exhaustive GEMM kernel correctness sweep.
 //
-// Both block kernels (scalar and, where available, AVX2) are validated
-// against a naive double-precision triple-loop reference across all four
-// transpose combinations, odd/tail sizes, the full alpha/beta grid, and
-// sparse (pruned-style) A inputs. The whole binary is registered twice
-// in ctest — once with SB_SIMD=scalar and once with SB_SIMD=avx2 — so
-// the public gemm() entry point is exercised under both dispatch
-// settings; the KernelParity suite additionally compares the two block
-// kernels against each other directly, independent of the environment.
+// Every block kernel (scalar and, where available, AVX2 and AVX-512) is
+// validated against a naive double-precision triple-loop reference
+// across all four transpose combinations, odd/tail sizes, the full
+// alpha/beta grid, and sparse (pruned-style) A inputs. The whole binary
+// is registered per SIMD tier in ctest — SB_SIMD=scalar, avx2, and
+// avx512 (the last auto-skips via cpuid fallback on hosts without
+// AVX-512, where dispatch warns and degrades) — so the public gemm()
+// entry point is exercised under every dispatch setting; the
+// KernelParity suite additionally compares the block kernels against
+// each other directly, independent of the environment.
 // Further registrations re-run the sweep under SB_THREADS=1/2/4 so the
 // threaded row-panel fan-out is covered for every kernel, and the
 // GemmThreads suite checks bit-identical output across thread counts
@@ -30,8 +32,9 @@ namespace {
 constexpr float kRelTol = 1e-4f;
 
 // Sizes chosen to hit every micro-tile edge case: below/at/above the
-// 4-row scalar grouping, the 6-row AVX2 grouping, the 16-wide vector
-// panel, and the 64/256 cache-block boundaries.
+// 4-row scalar grouping, the 6-row AVX2 and 8-row AVX-512 groupings,
+// the 16- and 32-wide vector panels, and the 64/256 cache-block
+// boundaries.
 const std::vector<int64_t> kSizes = {1, 2, 3, 5, 7, 17, 63, 64, 65, 257};
 
 void fill_uniform(Rng& rng, std::vector<float>& v, double sparsity = 0.0) {
@@ -174,25 +177,21 @@ TEST(GemmSweep, ReportsActiveKernel) {
 }
 
 // ---------------------------------------------------------------------
-// Kernel parity: scalar vs. AVX2 block kernels head to head, bypassing
-// dispatch entirely. Runs regardless of SB_SIMD; skips where the AVX2
-// kernel is unavailable.
+// Kernel parity: vector block kernels vs. scalar, head to head and
+// bypassing dispatch entirely. Runs regardless of SB_SIMD; skips where
+// the vector kernel is unavailable.
 // ---------------------------------------------------------------------
 
-TEST(KernelParity, Avx2MatchesScalarOnBlockShapes) {
-  if (!simd::cpu_supports_avx2()) {
-    GTEST_SKIP() << "AVX2 kernel unavailable on this host/build";
-  }
-  const simd::BlockKernelFn scalar = simd::block_kernel(simd::Level::Scalar);
-  const simd::BlockKernelFn avx2 = simd::block_kernel(simd::Level::Avx2);
-  ASSERT_NE(scalar, avx2);
-
+// Block-kernel contract shapes: C[mb,nb] += A[mb,kb] * B[kb,nb], all
+// row-major and dense-packed (ld == width). Covers tails in every
+// dimension (including the 8-row / 32-wide AVX-512 micro tile) and the
+// pruned (sparse) zero-column fast path.
+void expect_kernel_parity(simd::BlockKernelFn reference, simd::BlockKernelFn candidate,
+                          const char* candidate_name) {
   Rng rng(7);
-  // Block-kernel contract shapes: C[mb,nb] += A[mb,kb] * B[kb,nb], all
-  // row-major and dense-packed (ld == width). Covers tails in every
-  // dimension and the pruned (sparse) fast path.
-  const int64_t shapes[][3] = {{1, 1, 1},   {6, 16, 8},  {5, 15, 7},  {7, 17, 9},
-                               {64, 256, 256}, {13, 31, 63}, {2, 256, 1}, {64, 3, 17}};
+  const int64_t shapes[][3] = {{1, 1, 1},      {6, 16, 8},   {8, 32, 8},  {5, 15, 7},
+                               {7, 17, 9},     {9, 33, 11},  {2, 256, 1}, {64, 3, 17},
+                               {64, 256, 256}, {13, 31, 63}};
   for (const auto& s : shapes) {
     const int64_t mb = s[0], nb = s[1], kb = s[2];
     for (const double sparsity : {0.0, 0.9}) {
@@ -202,16 +201,47 @@ TEST(KernelParity, Avx2MatchesScalarOnBlockShapes) {
       fill_uniform(rng, a, sparsity);
       fill_uniform(rng, b);
       fill_uniform(rng, c0);
-      std::vector<float> c_scalar = c0, c_avx2 = c0;
-      scalar(mb, nb, kb, a.data(), kb, b.data(), nb, c_scalar.data(), nb);
-      avx2(mb, nb, kb, a.data(), kb, b.data(), nb, c_avx2.data(), nb);
-      for (size_t i = 0; i < c_scalar.size(); ++i) {
-        const double tol = kRelTol * (1.0 + std::abs(c_scalar[i]));
-        ASSERT_NEAR(c_avx2[i], c_scalar[i], tol)
-            << "mb=" << mb << " nb=" << nb << " kb=" << kb << " sparsity=" << sparsity
-            << " flat=" << i;
+      std::vector<float> c_ref = c0, c_cand = c0;
+      reference(mb, nb, kb, a.data(), kb, b.data(), nb, c_ref.data(), nb);
+      candidate(mb, nb, kb, a.data(), kb, b.data(), nb, c_cand.data(), nb);
+      for (size_t i = 0; i < c_ref.size(); ++i) {
+        const double tol = kRelTol * (1.0 + std::abs(c_ref[i]));
+        ASSERT_NEAR(c_cand[i], c_ref[i], tol)
+            << candidate_name << " mb=" << mb << " nb=" << nb << " kb=" << kb
+            << " sparsity=" << sparsity << " flat=" << i;
       }
     }
+  }
+}
+
+TEST(KernelParity, Avx2MatchesScalarOnBlockShapes) {
+  if (!simd::cpu_supports_avx2()) {
+    GTEST_SKIP() << "AVX2 kernel unavailable on this host/build";
+  }
+  const simd::BlockKernelFn scalar = simd::block_kernel(simd::Level::Scalar);
+  const simd::BlockKernelFn avx2 = simd::block_kernel(simd::Level::Avx2);
+  ASSERT_NE(scalar, avx2);
+  expect_kernel_parity(scalar, avx2, "avx2");
+}
+
+TEST(KernelParity, Avx512MatchesScalarOnBlockShapes) {
+  if (!simd::cpu_supports_avx512()) {
+    GTEST_SKIP() << "AVX-512 kernel unavailable on this host/build";
+  }
+  const simd::BlockKernelFn scalar = simd::block_kernel(simd::Level::Scalar);
+  const simd::BlockKernelFn avx512 = simd::block_kernel(simd::Level::Avx512);
+  ASSERT_NE(scalar, avx512);
+  expect_kernel_parity(scalar, avx512, "avx512");
+}
+
+TEST(KernelParity, UnsupportedLevelFallsBackToBestSupported) {
+  // block_kernel must never hand out a kernel the host cannot run: an
+  // unsupported request degrades down the tier ladder.
+  const simd::BlockKernelFn k = simd::block_kernel(simd::Level::Avx512);
+  ASSERT_NE(k, nullptr);
+  if (!simd::cpu_supports_avx512()) {
+    EXPECT_EQ(k, simd::block_kernel(simd::cpu_supports_avx2() ? simd::Level::Avx2
+                                                              : simd::Level::Scalar));
   }
 }
 

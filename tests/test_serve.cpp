@@ -3,7 +3,7 @@
 // drain), parallel CSR matmul determinism, and steady-state zero-growth
 // of the sparse inference scratch paths.
 //
-// Registered in CMake under SB_THREADS={1,4} as well as the default, so
+// Registered in CMake under SB_THREADS={1,2,4} as well as the default, so
 // every parity assertion here doubles as a determinism check: compiled
 // executors must produce the same bits at any thread count.
 #include <gtest/gtest.h>
@@ -145,6 +145,36 @@ TEST(ServeExecutor, ModeNamesRoundTrip) {
     EXPECT_EQ(serve::exec_mode_from_name(serve::to_string(mode)), mode);
   }
   EXPECT_THROW(serve::exec_mode_from_name("bogus"), std::invalid_argument);
+}
+
+// ---- fused-grid executors: bit-identical across thread counts ----
+
+TEST(ServeExecutor, ForwardBitIdenticalAcrossThreadCounts) {
+  // The conv ops fan out over a fused (sample x out-channel-tile) grid,
+  // so even batch-1 forwards engage the pool; the static partition must
+  // keep every mode's output bit-identical at any SB_THREADS.
+  ModelPtr m = pruned_zoo_model("cifar-vgg", kCifarSample, Structure::Channel, 0.5);
+  ThreadPool& pool = ThreadPool::instance();
+  const int original = pool.threads();
+  Rng rng(21);
+  for (const ExecMode mode : {ExecMode::Dense, ExecMode::Csr, ExecMode::Shrunk}) {
+    const serve::Executor exec = serve::compile(*m, kCifarSample, mode);
+    for (const int64_t n : {int64_t{1}, int64_t{7}}) {
+      Shape in{n};
+      in.insert(in.end(), kCifarSample.begin(), kCifarSample.end());
+      Tensor x(in);
+      rng.fill_normal(x, 0, 1);
+      pool.set_threads(1);
+      const Tensor ref = exec.forward(x);
+      for (const int threads : {2, 4}) {
+        pool.set_threads(threads);
+        const Tensor got = exec.forward(x);
+        EXPECT_TRUE(ops::allclose(got, ref, 0, 0))
+            << serve::to_string(mode) << " batch " << n << " diverged at threads=" << threads;
+      }
+    }
+  }
+  pool.set_threads(original);
 }
 
 // ---- parallel CSR matmul: bit-identical to serial at any SB_THREADS ----

@@ -4,6 +4,7 @@
 // primitives (elementwise ops, GEMM, im2col/col2im) across thread counts.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstring>
 #include <mutex>
@@ -238,6 +239,89 @@ TEST_F(PoolFixture, Im2colCol2imBitIdenticalAcrossThreadCounts) {
     ThreadPool::instance().set_threads(threads);
     EXPECT_TRUE(same_bits(cols_serial, lower())) << "threads=" << threads;
     EXPECT_TRUE(same_bits(image_serial, scatter(cols_serial))) << "threads=" << threads;
+  }
+}
+
+// ---- Fused 2-D grid (Grid2d / parallel_for_2d) ----
+
+TEST_F(PoolFixture, Grid2dCoversEveryCellExactlyOnce) {
+  for (const int threads : {1, 2, 4, 7}) {
+    ThreadPool::instance().set_threads(threads);
+    for (const auto& [n0, n1, g0, g1] :
+         {std::array<int64_t, 4>{1, 16, 1, 4}, {7, 12, 1, 4}, {32, 5, 1, 1}, {4, 4, 2, 2},
+          {1, 1, 1, 1}, {13, 31, 3, 7}}) {
+      std::vector<int> hits(static_cast<size_t>(n0 * n1), 0);
+      // Tiles cover disjoint (i, j) rectangles, so these writes never race.
+      parallel_for_2d(n0, n1, g0, g1, [&](int64_t lo0, int64_t hi0, int64_t lo1, int64_t hi1) {
+        for (int64_t i = lo0; i < hi0; ++i) {
+          for (int64_t j = lo1; j < hi1; ++j) ++hits[static_cast<size_t>(i * n1 + j)];
+        }
+      });
+      for (const int h : hits) {
+        ASSERT_EQ(h, 1) << "n0=" << n0 << " n1=" << n1 << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST_F(PoolFixture, Grid2dSplitsAxis0First) {
+  // Enough samples for every pool slot: axis 1 must not split, so the
+  // per-tile staging cost is paid exactly once per sample.
+  const Grid2d batched(/*n0=*/32, /*n1=*/16, 1, 4, /*threads=*/4);
+  EXPECT_EQ(batched.tiles0(), 4);
+  EXPECT_EQ(batched.tiles1(), 1);
+
+  // Batch below the pool width: the channel axis supplies the missing
+  // parallelism (the batch-1 serving case).
+  const Grid2d starved(/*n0=*/1, /*n1=*/16, 1, 4, /*threads=*/4);
+  EXPECT_EQ(starved.tiles0(), 1);
+  EXPECT_EQ(starved.tiles1(), 4);
+
+  const Grid2d half(/*n0=*/2, /*n1=*/16, 1, 4, /*threads=*/4);
+  EXPECT_EQ(half.tiles0(), 2);
+  EXPECT_EQ(half.tiles1(), 2);
+
+  // threads=1 is always the exact serial path: one tile.
+  const Grid2d serial(/*n0=*/32, /*n1=*/16, 1, 4, /*threads=*/1);
+  EXPECT_EQ(serial.tiles(), 1);
+}
+
+TEST_F(PoolFixture, Grid2dHonorsGrainFloors) {
+  // grain1=4 caps the channel split at n1/4 tiles even when the pool
+  // wants more; no tile may cover fewer than grain indices of its axis.
+  const Grid2d grid(/*n0=*/1, /*n1=*/6, 1, 4, /*threads=*/8);
+  EXPECT_EQ(grid.tiles0(), 1);
+  EXPECT_EQ(grid.tiles1(), 1);  // 6 / 4 = 1 tile: splitting would go below the floor
+
+  const Grid2d wide(/*n0=*/1, /*n1=*/64, 1, 4, /*threads=*/8);
+  EXPECT_EQ(wide.tiles1(), 8);
+  for (int64_t i = 0; i < wide.tiles1(); ++i) {
+    const Grid2d::Range r = wide.range1(i);
+    EXPECT_GE(r.hi - r.lo, 4) << "tile " << i;
+  }
+
+  // Empty axes yield an empty grid and the body never runs.
+  const Grid2d empty(/*n0=*/0, /*n1=*/16, 1, 1, /*threads=*/4);
+  EXPECT_EQ(empty.tiles(), 0);
+  int calls = 0;
+  parallel_for_2d(empty, [&](int64_t, int64_t, int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(PoolFixture, Grid2dTileIdsEnumerateAxis1Fastest) {
+  // Consecutive tile ids within one axis-0 row must share that row's
+  // sample range — the property the conv forward relies on to stage
+  // im2col once per row per chunk.
+  const Grid2d grid(/*n0=*/3, /*n1=*/32, 1, 4, /*threads=*/8);
+  ASSERT_GT(grid.tiles1(), 1);
+  for (int64_t t = 0; t + 1 < grid.tiles(); ++t) {
+    if (grid.tile0(t) == grid.tile0(t + 1)) {
+      EXPECT_EQ(grid.tile1(t) + 1, grid.tile1(t + 1));
+      const Grid2d::Range a = grid.range0(grid.tile0(t));
+      const Grid2d::Range b = grid.range0(grid.tile0(t + 1));
+      EXPECT_EQ(a.lo, b.lo);
+      EXPECT_EQ(a.hi, b.hi);
+    }
   }
 }
 
