@@ -13,12 +13,18 @@
 //     --interval S   refresh period in seconds (default 2)
 //     --jsonl PATH   also summarize a telemetry JSONL stream (last value
 //                    per series)
+//     --fleet PREFIX watch an sb_fleet run: expands to PREFIX plus every
+//                    PREFIX.w* worker heartbeat (re-globbed each frame,
+//                    so restarted workers appear) and prints an
+//                    aggregate fleet line
 //     --once         render a single frame and exit (scripts / CI)
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -35,9 +41,29 @@ namespace {
 struct Options {
   std::vector<std::string> status_files;
   std::string jsonl;
+  std::string fleet_prefix;
   double interval = 2.0;
   bool once = false;
 };
+
+/// PREFIX plus every PREFIX.w<N> heartbeat next to it, sorted — the file
+/// set an sb_fleet coordinator's workers write via SB_STATUS_SUFFIX.
+/// Re-evaluated every frame so a restarted worker's file shows up.
+std::vector<std::string> fleet_files(const std::string& prefix) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  if (std::filesystem::exists(prefix, ec)) files.push_back(prefix);
+  const std::filesystem::path p(prefix);
+  const std::string stem = p.filename().string() + ".w";
+  const std::filesystem::path dir = p.has_parent_path() ? p.parent_path() : ".";
+  for (std::filesystem::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.rfind(stem, 0) == 0) files.push_back(it->path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
 
 bool read_file(const std::string& path, std::string& out) {
   std::ifstream is(path, std::ios::binary);
@@ -135,6 +161,44 @@ void render_status(const std::string& path) {
   }
 }
 
+// One-line rollup across a fleet's worker heartbeats: every worker
+// converges to the full grid, so max(done) is the fleet's true progress
+// and min(done) exposes the straggler the others will steal from.
+void render_fleet_summary(const std::vector<std::string>& files) {
+  int workers = 0;
+  double done_min = 0, done_max = 0, total = 0, rss = 0, failures = 0, hits = 0;
+  for (const std::string& path : files) {
+    std::string text;
+    if (!read_file(path, text)) continue;
+    JsonValue v;
+    try {
+      v = json_parse(text);
+    } catch (const std::exception&) {
+      continue;
+    }
+    if (!v.has("progress")) continue;
+    const JsonValue& p = v.at("progress");
+    const double done = p.num_or("done", 0);
+    done_min = workers == 0 ? done : std::min(done_min, done);
+    done_max = std::max(done_max, done);
+    total = std::max(total, p.num_or("total", 0));
+    if (v.has("resources")) rss += v.at("resources").num_or("rss_mb", 0);
+    if (v.has("counts")) {
+      failures = std::max(failures, v.at("counts").num_or("failures", 0));
+      hits = std::max(hits, v.at("counts").num_or("cache_hits", 0));
+    }
+    ++workers;
+  }
+  if (workers == 0) {
+    std::printf("fleet: (no worker heartbeats yet)\n");
+    return;
+  }
+  std::printf("fleet: %d heartbeats  %s %.0f/%.0f rows (straggler %.0f)  "
+              "failures %.0f cache_hits %.0f  rss %.1f MB\n",
+              workers, progress_bar(total > 0 ? done_max / total : 0.0, 24).c_str(), done_max,
+              total, done_min, failures, hits, rss);
+}
+
 // Last value per series from a telemetry JSONL stream — enough to show
 // where the curves currently sit without loading the history.
 void render_jsonl(const std::string& path) {
@@ -182,17 +246,20 @@ int main(int argc, char** argv) {
       if (opt.interval < 0.1) opt.interval = 0.1;
     } else if (a == "--jsonl" && i + 1 < argc) {
       opt.jsonl = argv[++i];
+    } else if (a == "--fleet" && i + 1 < argc) {
+      opt.fleet_prefix = argv[++i];
     } else if (a == "--once") {
       opt.once = true;
     } else if (a == "--help" || a[0] == '-') {
-      std::printf("usage: %s [--interval S] [--jsonl PATH] [--once] STATUS.json ...\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--interval S] [--jsonl PATH] [--fleet PREFIX] [--once] STATUS.json ...\n",
+          argv[0]);
       return a == "--help" ? 0 : 1;
     } else {
       opt.status_files.push_back(a);
     }
   }
-  if (opt.status_files.empty() && opt.jsonl.empty()) {
+  if (opt.status_files.empty() && opt.jsonl.empty() && opt.fleet_prefix.empty()) {
     std::fprintf(stderr, "sb_top: no status or jsonl files given (--help for usage)\n");
     return 1;
   }
@@ -200,6 +267,11 @@ int main(int argc, char** argv) {
   for (;;) {
     if (!opt.once) std::printf("\x1b[2J\x1b[H");  // clear + home
     for (const std::string& path : opt.status_files) render_status(path);
+    if (!opt.fleet_prefix.empty()) {
+      const std::vector<std::string> fleet = fleet_files(opt.fleet_prefix);
+      for (const std::string& path : fleet) render_status(path);
+      render_fleet_summary(fleet);
+    }
     if (!opt.jsonl.empty()) render_jsonl(opt.jsonl);
     std::fflush(stdout);
     if (opt.once) return 0;

@@ -65,6 +65,8 @@ const DatasetBundle& ExperimentRunner::dataset(const std::string& name, uint64_t
   return *datasets_.back().second;
 }
 
+const std::string& ExperimentRunner::cache_dir() const { return store_.cache_dir(); }
+
 ModelPtr ExperimentRunner::pretrained(const ExperimentConfig& config) {
   const DatasetBundle& bundle = dataset(config.dataset, config.data_seed);
   const int64_t width = config.width;
@@ -161,15 +163,48 @@ bool write_cached_result(const std::filesystem::path& path, const ExperimentConf
   return true;
 }
 
+/// Idempotent across processes: two workers detecting the same torn
+/// entry must both end with the entry out of the way and exactly one
+/// quarantine file. POSIX rename atomically replaces an existing
+/// .corrupt; when the rename fails instead (source already moved by the
+/// peer, or a platform that refuses to overwrite), the fallback removes
+/// our copy so the recompute path is clear either way. Warns once per
+/// entry per process — concurrent readers and retry loops hitting the
+/// same entry would otherwise each emit the warning.
 void quarantine_cache_entry(const std::filesystem::path& path) {
   std::filesystem::path corrupt = path;
   corrupt += ".corrupt";
   std::error_code ec;
   std::filesystem::rename(path, corrupt, ec);
-  if (ec) std::filesystem::remove(path, ec);
+  if (ec) {
+    std::error_code rm;
+    std::filesystem::remove(path, rm);
+    if (std::filesystem::exists(path, rm)) {
+      // Neither rename nor remove cleared the entry: every future read
+      // would re-detect the corruption and loop. Loud, not silent.
+      SB_LOG_ERROR("cache", "cannot quarantine corrupt cache entry %s (%s)",
+                   path.string().c_str(), ec.message().c_str());
+      return;
+    }
+  }
   obs::count("cache.result.corrupt");
-  SB_LOG_WARN("cache", "corrupt result cache entry quarantined to %s — recomputing",
-              corrupt.string().c_str());
+  static std::mutex warned_mu;
+  static std::vector<std::string> warned;
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lock(warned_mu);
+    if (std::find(warned.begin(), warned.end(), path.string()) == warned.end()) {
+      warned.push_back(path.string());
+      first = true;
+    }
+  }
+  if (first) {
+    SB_LOG_WARN("cache", "corrupt result cache entry quarantined to %s — recomputing",
+                corrupt.string().c_str());
+  } else {
+    SB_LOG_DEBUG("cache", "corrupt result cache entry %s already quarantined — recomputing",
+                 path.string().c_str());
+  }
 }
 
 bool read_cached_result(const std::filesystem::path& path, const ExperimentConfig& config,
@@ -369,6 +404,17 @@ int sweep_workers(const SweepOptions& options) {
   return static_cast<int>(std::clamp<long>(w, 1, 64));
 }
 
+/// ETA for the log line: sub-zero means "no cache-miss timing yet" —
+/// i.e. every row so far was served from the result cache — and must
+/// read as unknown, not as an absurd 0.0s prediction for the cold work
+/// that may remain.
+std::string format_sweep_eta(double eta_seconds) {
+  if (eta_seconds < 0.0) return "unknown";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fs", eta_seconds);
+  return buf;
+}
+
 /// Runs one grid point with retries; a permanent failure comes back as a
 /// failed row carrying the error string instead of an exception.
 ExperimentResult run_one_config(ExperimentRunner& runner, const ExperimentConfig& config,
@@ -437,6 +483,225 @@ class IncrementalCsv {
   bool failed_ = false;
 };
 
+/// One fleet worker's place in the grid: indices with i % count == id
+/// are its own shard, everything else is steal-able surplus.
+struct ShardSpec {
+  int id = 0;
+  int count = 1;
+};
+
+ShardSpec resolve_shard(const SweepOptions& options) {
+  long id = options.shard_id;
+  long count = options.shard_count;
+  if (count < 0) {
+    count = 1;
+    if (const char* env = std::getenv("SB_FLEET_SHARDS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed >= 1) count = parsed;
+    }
+  }
+  if (id < 0) {
+    id = 0;
+    if (const char* env = std::getenv("SB_FLEET_SHARD")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed >= 0) id = parsed;
+    }
+  }
+  if (count < 1) count = 1;
+  if (id >= count) {
+    SB_LOG_WARN("fleet", "shard id %ld out of range for %ld shards — clamping", id, count);
+    id = count - 1;
+  }
+  return {static_cast<int>(id), static_cast<int>(count)};
+}
+
+/// One process of a multi-process fleet working a shared grid + result
+/// cache. Protocol per grid point: probe the cache; on a miss, claim
+/// <entry>.claim via a non-blocking flock; holders compute (the runner
+/// re-probes the cache after the claim, so a raced claim costs one
+/// probe, never a duplicate experiment); conflicts defer the index.
+/// After the first pass the worker converges: deferred rows either land
+/// in the cache (computed by a peer) or their claim frees (peer died —
+/// the kernel releases flocks of killed processes) and this worker
+/// steals the compute. On a clean convergence every worker holds the
+/// FULL grid in grid order, so any worker's final CSV is byte-identical
+/// to a sequential sweep over the same cache.
+void run_sweep_fleet(ExperimentRunner& runner, const std::vector<ExperimentConfig>& grid,
+                     const ShardSpec& shard, IncrementalCsv& csv, SweepSummary& sum, int retries,
+                     std::vector<ExperimentResult>& results) {
+  SB_LOG_INFO("fleet", "worker shard %d/%d over %zu grid points (cache %s)", shard.id,
+              shard.count, grid.size(), runner.cache_dir().c_str());
+  const auto sweep_start = std::chrono::steady_clock::now();
+  std::vector<ExperimentResult> slots(grid.size());
+  std::vector<char> done(grid.size(), 0);
+  double miss_seconds = 0.0;
+  size_t misses = 0;
+
+  // Own shard first, then everyone else's work (ascending in both
+  // halves): the first half is work no live peer should be holding, the
+  // second half is pure catch-up/stealing.
+  std::vector<size_t> order;
+  order.reserve(grid.size());
+  const auto count = static_cast<size_t>(shard.count);
+  for (size_t i = static_cast<size_t>(shard.id); i < grid.size(); i += count) order.push_back(i);
+  for (size_t i = 0; i < grid.size(); ++i) {
+    if (i % count != static_cast<size_t>(shard.id)) order.push_back(i);
+  }
+
+  const auto entry_path = [&](size_t i) { return result_cache_path(runner.cache_dir(), grid[i]); };
+
+  const auto finish_row = [&](size_t i, ExperimentResult&& r) {
+    if (r.failed) {
+      ++sum.failures;
+    } else if (r.from_cache) {
+      ++sum.cache_hits;
+    }
+    slots[i] = std::move(r);
+    done[i] = 1;
+    ++sum.completed;
+    const ExperimentResult& row = slots[i];
+    // Completion-ordered stream: this worker's crash-visible trail. The
+    // grid-ordered CSV comes from the results vector on return.
+    csv.write_line(experiment_csv_row(row));
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start).count();
+    const double eta = misses > 0 ? miss_seconds / static_cast<double>(misses) *
+                                        static_cast<double>(sum.total - sum.completed) /
+                                        static_cast<double>(shard.count)
+                                  : -1.0;
+    SB_LOG_INFO("fleet", "%zu/%zu %s x%.0f seed=%llu -> %s (%s) [elapsed %.1fs, eta %s]",
+                sum.completed, sum.total, row.config.strategy.c_str(),
+                row.config.target_compression,
+                static_cast<unsigned long long>(row.config.run_seed),
+                row.failed ? "FAILED" : "ok", row.from_cache ? "cache" : "computed", elapsed,
+                format_sweep_eta(eta).c_str());
+    obs::status_set_progress(sum.completed, sum.total, eta);
+    obs::status_set_failures(static_cast<int64_t>(sum.failures),
+                             static_cast<int64_t>(sum.cache_hits));
+  };
+
+  // Attempts one grid point; true when its row is now done (loaded from
+  // the shared cache or computed under our claim), false when a live
+  // peer holds the claim.
+  const auto attempt = [&](size_t i, bool steal_pass) -> bool {
+    if (ExperimentResult cached; read_cached_result(entry_path(i), grid[i], cached)) {
+      obs::count("cache.result.hit");
+      cached.from_cache = true;
+      finish_row(i, std::move(cached));
+      return true;
+    }
+    std::filesystem::path claim_path = entry_path(i);
+    claim_path += ".claim";
+    obs::FileLock claim;
+    if (!claim.try_acquire(claim_path)) {
+      obs::count("fleet.claim_conflicts");
+      return false;
+    }
+    obs::count("fleet.claims");
+    const auto exp_start = std::chrono::steady_clock::now();
+    ExperimentResult r = run_one_config(runner, grid[i], retries);
+    if (!r.from_cache) {
+      if (!r.failed) {
+        miss_seconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - exp_start).count();
+        ++misses;
+      }
+      if (steal_pass) {
+        ++sum.stolen;
+        obs::count("fleet.steals");
+      }
+    }
+    claim.release(/*unlink_file=*/true);
+    finish_row(i, std::move(r));
+    return true;
+  };
+
+  const auto interrupted = [&]() -> bool {
+    if (sum.interrupted) return true;
+    if (obs::fault_point("sweep.interrupt")) request_sweep_interrupt();
+    if (sweep_interrupt_requested()) {
+      sum.interrupted = true;
+      return true;
+    }
+    if (obs::fault_point("sweep.abort")) {
+      throw std::runtime_error("injected sweep abort (SB_FAULT=sweep.abort)");
+    }
+    return false;
+  };
+
+  std::vector<size_t> deferred;
+  for (const size_t i : order) {
+    if (interrupted()) break;
+    if (!attempt(i, /*steal_pass=*/false)) deferred.push_back(i);
+  }
+
+  // Convergence: wait for deferred rows to land in the shared cache,
+  // re-attempting each round with backoff. A claim whose holder was
+  // killed is immediately claimable again, so any one surviving worker
+  // eventually finishes the whole grid.
+  int backoff_ms = 50;
+  while (!deferred.empty() && !interrupted()) {
+    std::vector<size_t> still;
+    still.reserve(deferred.size());
+    for (const size_t i : deferred) {
+      if (interrupted()) break;
+      if (!attempt(i, /*steal_pass=*/true)) still.push_back(i);
+    }
+    if (sum.interrupted) break;
+    if (still.size() == deferred.size()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, 1000);
+    } else {
+      backoff_ms = 50;
+    }
+    deferred.swap(still);
+  }
+
+  // Grid order; gaps (interrupt before convergence) are simply absent.
+  results.reserve(grid.size());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    if (done[i]) results.push_back(std::move(slots[i]));
+  }
+}
+
+/// Shared sweep epilogue: interrupt-path artifact flushing (Chrome trace
+/// + partial manifest next to the CSV) and the final heartbeat state.
+void finish_sweep_artifacts(const SweepOptions& options, SweepSummary& sum,
+                            const std::vector<ExperimentResult>& results) {
+  if (sum.interrupted) {
+    SB_LOG_WARN("sweep", "interrupted after %zu/%zu experiments — flushed state is "
+                "complete; rerun to resume from the result cache",
+                sum.completed, sum.total);
+    // Drain-path flush: a Ctrl-C'ed sweep still leaves its observability
+    // artifacts behind. The atexit trace writer would cover a clean exit,
+    // but callers often keep running (or re-enter run_sweep), so flush
+    // the Chrome trace and a partial manifest here, next to the CSV.
+    if (obs::Profiler::constructed()) {
+      const std::string trace = obs::trace_path();
+      if (!trace.empty() && !obs::Profiler::instance().write_trace(trace)) {
+        SB_LOG_WARN("sweep", "could not flush trace to %s on interrupt", trace.c_str());
+      }
+    }
+    if (!options.csv_path.empty()) {
+      std::string manifest_path = options.csv_path;
+      if (manifest_path.size() > 4 && manifest_path.rfind(".csv") == manifest_path.size() - 4) {
+        manifest_path.erase(manifest_path.size() - 4);
+      }
+      manifest_path += ".manifest.json";
+      try {
+        write_run_manifest(manifest_path, "sweep.interrupted", results);
+      } catch (const std::exception& e) {
+        SB_LOG_WARN("sweep", "could not flush manifest on interrupt: %s", e.what());
+      }
+    }
+  }
+  obs::status_set_phase(sum.interrupted ? "interrupted" : "done");
+  obs::status_set_progress(sum.completed, sum.total, 0.0);
+  obs::status_set_failures(static_cast<int64_t>(sum.failures),
+                           static_cast<int64_t>(sum.cache_hits));
+  obs::write_status_now();
+}
+
 }  // namespace
 
 bool sweep_interrupt_requested() { return g_sweep_interrupt != 0; }
@@ -455,7 +720,16 @@ std::vector<ExperimentResult> run_sweep(ExperimentRunner& runner, const Experime
   sum = SweepSummary{};
   sum.total = strategies.size() * compressions.size() * run_seeds.size();
   const int retries = sweep_retries(options);
-  IncrementalCsv csv(options.csv_path, options.append);
+  const ShardSpec shard = resolve_shard(options);
+  // Fleet workers stream completion-ordered rows to a per-shard file so
+  // two processes never interleave writes in one stream; the canonical
+  // grid-ordered CSV is whatever the caller writes from the returned
+  // (full-grid) results.
+  std::string stream_path = options.csv_path;
+  if (shard.count > 1 && !stream_path.empty()) {
+    stream_path += ".shard" + std::to_string(shard.id);
+  }
+  IncrementalCsv csv(stream_path, options.append);
 
   // Heartbeat: publish the sweep shape immediately so a freshly started
   // run is visible to sb_top before the first experiment finishes. The
@@ -484,6 +758,17 @@ std::vector<ExperimentResult> run_sweep(ExperimentRunner& runner, const Experime
 
   const int workers =
       std::min<int>(sweep_workers(options), std::max<int>(1, static_cast<int>(grid.size())));
+
+  if (shard.count > 1) {
+    // Multi-process fleet: this process is one of shard.count workers
+    // coordinating through the shared result cache. In-process sweep
+    // workers are not layered on top — processes are the workers, each
+    // keeping op-level parallelism for its own experiments.
+    SB_PROFILE_SCOPE("sweep");
+    run_sweep_fleet(runner, grid, shard, csv, sum, retries, results);
+    finish_sweep_artifacts(options, sum, results);
+    return results;
+  }
 
   const auto sweep_start = std::chrono::steady_clock::now();
   // ETA bookkeeping: only cache-miss (actually computed) experiments
@@ -561,10 +846,13 @@ std::vector<ExperimentResult> run_sweep(ExperimentRunner& runner, const Experime
         const double elapsed =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
                 .count();
+        // ETA only exists once a cache-miss timing does; -1 = unknown
+        // (formatted as "unknown", published as unknown to the heartbeat)
+        // instead of the old misleading 0.0 on an all-cache-hit prefix.
         const double eta = misses > 0 ? miss_seconds / static_cast<double>(misses) *
                                             static_cast<double>(sum.total - sum.completed) /
                                             static_cast<double>(workers)
-                                      : 0.0;
+                                      : -1.0;
         char outcome[48];
         if (r.failed) {
           std::snprintf(outcome, sizeof(outcome), "FAILED");
@@ -572,12 +860,12 @@ std::vector<ExperimentResult> run_sweep(ExperimentRunner& runner, const Experime
           std::snprintf(outcome, sizeof(outcome), "top1 %.4f", r.post_top1);
         }
         SB_LOG_INFO("sweep", "%zu/%zu %s %s x%.0f seed=%llu -> %s (c=%.2f) "
-                    "[elapsed %.1fs, eta %.1fs]",
+                    "[elapsed %.1fs, eta %s]",
                     sum.completed, sum.total, r.config.arch.c_str(), r.config.strategy.c_str(),
                     r.config.target_compression,
                     static_cast<unsigned long long>(r.config.run_seed), outcome, r.compression,
-                    elapsed, eta);
-        obs::status_set_progress(sum.completed, sum.total, eta > 0.0 ? eta : -1.0);
+                    elapsed, format_sweep_eta(eta).c_str());
+        obs::status_set_progress(sum.completed, sum.total, eta);
         obs::status_set_failures(static_cast<int64_t>(sum.failures),
                                  static_cast<int64_t>(sum.cache_hits));
       }
@@ -597,38 +885,7 @@ std::vector<ExperimentResult> run_sweep(ExperimentRunner& runner, const Experime
     for (std::thread& th : crew) th.join();
   }
   if (first_error) std::rethrow_exception(first_error);
-  if (sum.interrupted) {
-    SB_LOG_WARN("sweep", "interrupted after %zu/%zu experiments — flushed state is "
-                "complete; rerun to resume from the result cache",
-                sum.completed, sum.total);
-    // Drain-path flush: a Ctrl-C'ed sweep still leaves its observability
-    // artifacts behind. The atexit trace writer would cover a clean exit,
-    // but callers often keep running (or re-enter run_sweep), so flush
-    // the Chrome trace and a partial manifest here, next to the CSV.
-    if (obs::Profiler::constructed()) {
-      const std::string trace = obs::trace_path();
-      if (!trace.empty() && !obs::Profiler::instance().write_trace(trace)) {
-        SB_LOG_WARN("sweep", "could not flush trace to %s on interrupt", trace.c_str());
-      }
-    }
-    if (!options.csv_path.empty()) {
-      std::string manifest_path = options.csv_path;
-      if (manifest_path.size() > 4 && manifest_path.rfind(".csv") == manifest_path.size() - 4) {
-        manifest_path.erase(manifest_path.size() - 4);
-      }
-      manifest_path += ".manifest.json";
-      try {
-        write_run_manifest(manifest_path, "sweep.interrupted", results);
-      } catch (const std::exception& e) {
-        SB_LOG_WARN("sweep", "could not flush manifest on interrupt: %s", e.what());
-      }
-    }
-  }
-  obs::status_set_phase(sum.interrupted ? "interrupted" : "done");
-  obs::status_set_progress(sum.completed, sum.total, 0.0);
-  obs::status_set_failures(static_cast<int64_t>(sum.failures),
-                           static_cast<int64_t>(sum.cache_hits));
-  obs::write_status_now();
+  finish_sweep_artifacts(options, sum, results);
   return results;
 }
 

@@ -115,6 +115,10 @@ class ExperimentRunner {
   /// Pretrained model for a config (cached on disk).
   ModelPtr pretrained(const ExperimentConfig& config);
 
+  /// Root of the shared on-disk caches (results, pretrained models,
+  /// checkpoints) — the directory fleet workers coordinate through.
+  const std::string& cache_dir() const;
+
  private:
   PretrainedStore store_;
   // Keyed by "name/seed"; unique_ptr keeps bundle addresses stable across
@@ -145,6 +149,19 @@ struct SweepOptions {
   /// so each experiment still computes bit-identical results; rows are
   /// emitted in grid order regardless of completion order.
   int parallel = -1;
+  /// Multi-process fleet sharding: this process owns grid indices with
+  /// i % shard_count == shard_id, claims them through flock'd claim
+  /// files in the shared result cache, then steals whatever unclaimed
+  /// work remains and waits for peers' rows to land in the cache — on
+  /// return the results vector covers the FULL grid in grid order, so
+  /// any worker's final CSV is byte-identical to a sequential sweep's.
+  /// -1 reads SB_FLEET_SHARD / SB_FLEET_SHARDS from the environment
+  /// (default: no sharding). With shard_count > 1 the incremental CSV
+  /// streams completion-ordered rows to csv_path + ".shard<id>" and
+  /// in-process sweep workers (`parallel`) are ignored: processes are
+  /// the workers, each keeping its own op-level thread pool.
+  int shard_id = -1;
+  int shard_count = -1;
 };
 
 /// What actually happened during a sweep — benches fold this into their
@@ -154,6 +171,10 @@ struct SweepSummary {
   size_t completed = 0;   // rows produced (including failed rows)
   size_t failures = 0;    // rows that failed after all retries
   size_t cache_hits = 0;  // rows served from the on-disk result cache
+  /// Fleet mode only: grid points this worker computed after first
+  /// deferring them to a peer — the peer released the claim without
+  /// producing a cache entry (it was preempted, or the row failed).
+  size_t stolen = 0;
   bool interrupted = false;  // SIGINT (or injected interrupt) stopped the sweep
   int exit_code() const { return interrupted ? 130 : failures > 0 ? 1 : 0; }
 };

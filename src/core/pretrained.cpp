@@ -5,10 +5,16 @@
 
 #include "nn/checkpoint.hpp"
 #include "nn/init.hpp"
+#include "obs/io.hpp"
 #include "obs/log.hpp"
 #include "obs/profile.hpp"
 
 namespace shrinkbench {
+
+// From core/experiment.hpp; forward-declared to keep this TU's include
+// surface minimal. Lets a worker waiting on a peer's pretrain honor
+// Ctrl-C / injected interrupts instead of sleeping through them.
+bool sweep_interrupt_requested();
 
 std::string default_cache_dir() {
   if (const char* env = std::getenv("SHRINKBENCH_CACHE")) return env;
@@ -54,6 +60,29 @@ ModelPtr PretrainedStore::get(const DatasetBundle& bundle, const std::string& ar
   }
   obs::count("cache.pretrained.miss");
 
+  // Cross-process guard: fleet workers sharing one cache must train a
+  // cold checkpoint exactly once. First process to flock <ckpt>.lock
+  // trains; the rest block here, then find the finished .ckpt on the
+  // double-check. A killed trainer's flock is released by the kernel, so
+  // the next waiter takes over and resumes from the shared pretrain
+  // checkpoint directory. (pretrain_mu_ already serializes threads of
+  // this process.)
+  std::filesystem::path lock_path = path;
+  lock_path += ".lock";
+  obs::FileLock lock;
+  if (!lock.acquire(lock_path, /*poll_ms=*/200, [] { return sweep_interrupt_requested(); })) {
+    throw std::runtime_error("pretrain interrupted while waiting for " + lock_path.string());
+  }
+  if (std::filesystem::exists(path)) {
+    // A peer finished it while we waited for the lock. Unlink the lock
+    // file too: the peer unlinked the one it held, but our try_acquire
+    // may have already recreated it.
+    obs::count("cache.pretrained.wait_hit");
+    lock.release(/*unlink_file=*/true);
+    load_checkpoint(*model, path.string());
+    return model;
+  }
+
   Rng rng(init_seed);
   init_model(*model, rng);
   TrainOptions opts = train_opts;
@@ -81,6 +110,7 @@ ModelPtr PretrainedStore::get(const DatasetBundle& bundle, const std::string& ar
   save_checkpoint(*model, path.string());
   std::error_code ec;
   if (std::filesystem::remove_all(ckpt_dir, ec) > 0 && !ec) obs::count("ckpt.cleaned");
+  lock.release(/*unlink_file=*/true);
   return model;
 }
 

@@ -32,8 +32,10 @@ std::vector<BatchNorm2d*> batchnorms_of(Layer& model) {
 }  // namespace
 
 void save_checkpoint(Layer& model, const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("save_checkpoint: cannot open " + path);
+  // Serialized to a buffer and written atomically: a kill -9 mid-save
+  // must never leave a torn .ckpt that a concurrent fleet worker (or the
+  // next run) would find via exists() and fail to load.
+  std::ostringstream os;
   write_i64(os, kCheckpointVersion);
 
   const auto params = parameters_of(model);
@@ -51,7 +53,13 @@ void save_checkpoint(Layer& model, const std::string& path) {
     write_tensor(os, bn->running_mean());
     write_tensor(os, bn->running_var());
   }
-  if (!os) throw std::runtime_error("save_checkpoint: write failed for " + path);
+  // Persist failures (full disk, unwritable dir) are non-fatal, matching
+  // the result cache: the in-memory model is still good, only the cached
+  // copy is skipped and the next run retrains.
+  if (!os || !obs::atomic_write_file(path, os.str())) {
+    obs::count("ckpt.write_failed");
+    SB_LOG_WARN("ckpt", "could not persist checkpoint %s", path.c_str());
+  }
 }
 
 void load_checkpoint(Layer& model, const std::string& path) {

@@ -1,12 +1,17 @@
 #include "obs/io.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 #endif
 
@@ -120,8 +125,14 @@ bool atomic_write_file(const std::filesystem::path& path, std::string_view conte
 #else
   const int pid = static_cast<int>(::getpid());
 #endif
+  // pid alone is not enough: two threads of one process (or a pid reused
+  // across fleet workers) flushing the same destination would share a
+  // temp path and tear each other mid-write, so a per-process sequence
+  // number makes every in-flight temp file unique.
+  static std::atomic<uint64_t> write_seq{0};
   std::filesystem::path tmp = path;
-  tmp += ".tmp." + std::to_string(pid);
+  tmp += ".tmp." + std::to_string(pid) + "." +
+         std::to_string(write_seq.fetch_add(1, std::memory_order_relaxed));
 
   std::FILE* f = std::fopen(tmp.string().c_str(), "wb");
   if (!f) {
@@ -143,6 +154,86 @@ bool atomic_write_file(const std::filesystem::path& path, std::string_view conte
   std::filesystem::rename(tmp, path, ec);
   if (ec) return write_failed(tmp, "rename");
   return true;
+}
+
+FileLock::FileLock(FileLock&& other) noexcept : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+  other.path_.clear();
+}
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+  if (this != &other) {
+    release();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+bool FileLock::try_acquire(const std::filesystem::path& path) {
+  if (held()) release();
+#if defined(_WIN32)
+  // No flock on Windows; degrade to always-succeeds (single-process
+  // semantics — the fleet is a POSIX feature).
+  path_ = path;
+  fd_ = 0;
+  return true;
+#else
+  std::error_code ec;
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path(), ec);
+  const int fd = ::open(path.string().c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    count("io.lock_open_failed");
+    SB_LOG_WARN("io", "cannot open lock file %s", path.string().c_str());
+    return false;
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd);
+    return false;
+  }
+  // Record the owner for post-mortem debugging; the lock itself lives in
+  // the kernel, so a torn or stale pid line is never load-bearing.
+  if (::ftruncate(fd, 0) == 0) {
+    char owner[32];
+    const int len = std::snprintf(owner, sizeof(owner), "%d\n", static_cast<int>(::getpid()));
+    if (len > 0) {
+      const ssize_t written = ::write(fd, owner, static_cast<size_t>(len));
+      (void)written;
+    }
+  }
+  fd_ = fd;
+  path_ = path;
+  return true;
+#endif
+}
+
+bool FileLock::acquire(const std::filesystem::path& path, int poll_ms,
+                       const std::function<bool()>& cancelled) {
+  if (poll_ms < 1) poll_ms = 1;
+  while (!try_acquire(path)) {
+    if (cancelled && cancelled()) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+  }
+  return true;
+}
+
+void FileLock::release(bool unlink_file) {
+  if (!held()) return;
+#if !defined(_WIN32)
+  if (unlink_file) {
+    // Unlink while still holding the lock: a peer polling try_acquire
+    // either recreates a fresh file (and must re-check its resource) or
+    // locks the orphaned inode — both are covered by the claim protocol.
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  ::flock(fd_, LOCK_UN);
+  ::close(fd_);
+#endif
+  fd_ = -1;
+  path_.clear();
 }
 
 bool atomic_write_file(const std::filesystem::path& path,

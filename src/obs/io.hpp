@@ -1,11 +1,20 @@
-// Durable file I/O + deterministic fault injection.
+// Durable file I/O, cross-process locking, + deterministic fault
+// injection.
 //
 // Every persistent artifact in the system — result-cache entries, CSVs,
 // run manifests, Chrome traces — goes through atomic_write_file: the
-// content is written to `<path>.tmp.<pid>`, flushed and fsync'd, the
-// stream state is checked, and only then is the temp file renamed over
-// the destination. A crash, kill -9, or full disk at any point leaves
-// either the old file or no file — never a torn one.
+// content is written to `<path>.tmp.<pid>.<seq>`, flushed and fsync'd,
+// the stream state is checked, and only then is the temp file renamed
+// over the destination. A crash, kill -9, or full disk at any point
+// leaves either the old file or no file — never a torn one. The pid +
+// per-process sequence suffix keeps concurrent writers (threads or
+// fleet worker processes) of the same destination from clobbering each
+// other's temp file mid-flush.
+//
+// FileLock is the cross-process claim primitive behind the sharded
+// sweep fleet: an exclusive flock(2) on an O_CREAT'ed lock file. The
+// kernel drops the lock when the holder dies (including kill -9), so a
+// preempted fleet worker never wedges the grid behind a stale claim.
 //
 // Fault injection (tests only):
 //
@@ -44,6 +53,52 @@ uint64_t fnv1a64(std::string_view data);
 
 /// Lowercase 16-digit hex of fnv1a64(data).
 std::string checksum_hex(std::string_view data);
+
+// ---- cross-process locking ----
+
+/// Advisory cross-process lock built on flock(2). Acquiring creates the
+/// lock file if needed and takes LOCK_EX on it; the fd (and therefore
+/// the lock) follows the process, so a kill -9 releases it
+/// automatically — the property the fleet's work-stealing relies on to
+/// detect dead claimants without pid liveness probes.
+///
+/// Claim protocol: because release() may unlink the file while a racing
+/// peer still has the old inode open, two processes can transiently
+/// both hold "the" lock (on different inodes). Holders must therefore
+/// re-check the guarded resource (cache entry, checkpoint) after
+/// acquiring and before computing — claim -> re-check -> compute. With
+/// that discipline the race costs one cache probe, never a duplicate
+/// compute.
+class FileLock {
+ public:
+  FileLock() = default;
+  ~FileLock() { release(); }
+  FileLock(FileLock&& other) noexcept;
+  FileLock& operator=(FileLock&& other) noexcept;
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+  /// Non-blocking acquire: creates `path` (and parents) if needed and
+  /// tries LOCK_EX | LOCK_NB. On success the file records "<pid>" for
+  /// debugging. False when another holder (process or fd) has it.
+  bool try_acquire(const std::filesystem::path& path);
+
+  /// Polling acquire: retries try_acquire every `poll_ms` until it
+  /// succeeds or `cancelled` (optional) returns true. Returns held().
+  bool acquire(const std::filesystem::path& path, int poll_ms = 100,
+               const std::function<bool()>& cancelled = nullptr);
+
+  /// Drops the lock. With `unlink_file` the lock file is removed first
+  /// (while still held), so the common path leaves no litter behind.
+  void release(bool unlink_file = false);
+
+  bool held() const { return fd_ >= 0; }
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::filesystem::path path_;
+};
 
 // ---- fault injection ----
 

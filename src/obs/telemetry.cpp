@@ -61,8 +61,14 @@ void resolve_from_env() {
   // implying SB_PROF.
   if (const char* status = std::getenv("SB_STATUS_FILE"); status && *status) {
     enabled = true;
+    std::string path = status;
+    // Fleet workers share one SB_STATUS_FILE from their coordinator's
+    // environment; the per-worker SB_STATUS_SUFFIX (e.g. ".w3") keeps
+    // their heartbeats from clobbering each other while staying globbable
+    // for sb_top --fleet.
+    if (const char* suffix = std::getenv("SB_STATUS_SUFFIX"); suffix && *suffix) path += suffix;
     std::lock_guard<std::mutex> lock(paths_mutex());
-    if (status_path_storage().empty()) status_path_storage() = status;
+    if (status_path_storage().empty()) status_path_storage() = path;
   }
   if (const char* jsonl = std::getenv("SB_TELEMETRY_JSONL"); jsonl && *jsonl) {
     enabled = true;

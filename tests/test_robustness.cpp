@@ -7,12 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <limits>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -22,6 +24,7 @@
 #include "nn/init.hpp"
 #include "nn/loss.hpp"
 #include "obs/io.hpp"
+#include "obs/log.hpp"
 #include "obs/profile.hpp"
 #include "tensor/gemm.hpp"
 
@@ -124,6 +127,39 @@ TEST(AtomicWrite, ShortWriteLeavesNoPartialFile) {
   fs::remove_all(dir);
 }
 
+// Regression: the temp path used to be <path>.tmp.<pid>, so two threads
+// flushing the same destination shared one temp file and tore each other
+// mid-write (fclose EBADF races, partial renames). The per-process
+// sequence suffix makes every in-flight temp unique.
+TEST(AtomicWrite, ConcurrentWritersToOneDestinationNeverTear) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "sb_atomic_race";
+  fs::remove_all(dir);
+  const fs::path file = dir / "out.txt";
+  constexpr int kThreads = 8;
+  constexpr int kWrites = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::string> payloads;
+  for (int t = 0; t < kThreads; ++t) {
+    payloads.push_back(std::string(4096, static_cast<char>('a' + t)) + "\n");
+  }
+  std::vector<std::thread> crew;
+  for (int t = 0; t < kThreads; ++t) {
+    crew.emplace_back([&, t] {
+      for (int w = 0; w < kWrites; ++w) {
+        if (!obs::atomic_write_file(file, payloads[static_cast<size_t>(t)])) ++failures;
+      }
+    });
+  }
+  for (std::thread& th : crew) th.join();
+  EXPECT_EQ(failures.load(), 0);  // no writer ever saw a torn temp file
+  // Last rename wins, but whatever won must be one writer's payload in
+  // full — never an interleaving or a truncation.
+  const std::string final_bytes = slurp(file);
+  EXPECT_NE(std::find(payloads.begin(), payloads.end(), final_bytes), payloads.end());
+  EXPECT_EQ(count_files_with(dir, ".tmp."), 0u);  // every temp renamed or removed
+  fs::remove_all(dir);
+}
+
 TEST(AtomicWrite, FaultSpecCountsPerSite) {
   obs::set_fault_spec("site.a:2,site.b:*");
   EXPECT_FALSE(obs::fault_point("site.a"));  // call 1
@@ -184,6 +220,45 @@ TEST_F(RobustnessFixture, CorruptCacheEntryIsQuarantinedAndRecomputed) {
   EXPECT_TRUE(r3.from_cache);
 }
 
+// Regression: quarantining a corrupt entry when <entry>.corrupt already
+// existed (same entry corrupted twice across runs) used to race the
+// rename and could leave the corrupt entry in place, re-warning on every
+// read. The quarantine must replace the old capture and stay idempotent.
+TEST_F(RobustnessFixture, QuarantineReplacesExistingCorruptCapture) {
+  const ExperimentConfig cfg = tiny_config();
+  const ExperimentResult r1 = runner->run(cfg);
+  const fs::path entry = result_entry();
+  ASSERT_FALSE(entry.empty());
+
+  // A stale capture from a previous quarantine of the same entry.
+  fs::path stale = entry;
+  stale += ".corrupt";
+  {
+    std::ofstream os(stale, std::ios::binary);
+    os << "older corrupt capture";
+  }
+
+  std::string bytes = slurp(entry);
+  const size_t line2 = bytes.find('\n') + 1;
+  ASSERT_LT(line2 + 4, bytes.size());
+  bytes[line2] = bytes[line2] == '9' ? '8' : '9';
+  {
+    std::ofstream os(entry, std::ios::binary | std::ios::trunc);
+    os << bytes;
+  }
+
+  ExperimentRunner fresh(cache_dir);
+  const ExperimentResult r2 = fresh.run(cfg);
+  EXPECT_FALSE(r2.from_cache);
+  EXPECT_DOUBLE_EQ(r1.post_top1, r2.post_top1);
+  // Exactly one capture (the new one replaced the stale file), and the
+  // rewritten entry is live again.
+  EXPECT_EQ(count_files_with(fs::path(cache_dir) / "results", ".corrupt"), 1u);
+  EXPECT_NE(slurp(stale), "older corrupt capture");
+  const ExperimentResult r3 = fresh.run(cfg);
+  EXPECT_TRUE(r3.from_cache);
+}
+
 TEST_F(RobustnessFixture, CorruptInjectionAtWriteTimeIsDetectedOnRead) {
   const ExperimentConfig cfg = tiny_config();
   obs::set_fault_spec("cache.corrupt:1");  // bit-rot the entry as it is written
@@ -218,6 +293,29 @@ TEST_F(RobustnessFixture, PreChecksumEntryIsSilentStaleMiss) {
 }
 
 // ---- failure isolation in run_sweep ----
+
+// Regression: a sweep whose rows all hit the result cache has no timing
+// sample, and the ETA used to extrapolate from garbage (0.0s, or the
+// last run's numbers). With no miss timing the sweep must say so.
+TEST_F(RobustnessFixture, AllCacheHitSweepReportsUnknownEta) {
+  ExperimentConfig base = tiny_config();
+  SweepOptions options;
+  options.retries = 0;
+  SweepSummary sum;
+  run_sweep(*runner, base, {base.strategy}, {2.0}, {1, 2}, options, &sum);  // warm the cache
+  ASSERT_EQ(sum.failures, 0u);
+
+  fs::create_directories(out_dir);
+  const std::string log_path = out_dir + "/sweep.log";
+  obs::set_log_file(log_path);
+  SweepSummary warm;
+  run_sweep(*runner, base, {base.strategy}, {2.0}, {1, 2}, options, &warm);
+  obs::set_log_file("");
+  EXPECT_EQ(warm.cache_hits, 2u);
+  const std::string log = slurp(log_path);
+  EXPECT_NE(log.find("eta unknown"), std::string::npos);  // every row: no estimate
+  EXPECT_EQ(log.find("eta 0.0s"), std::string::npos);     // the old lie
+}
 
 TEST_F(RobustnessFixture, ThrowingExperimentBecomesFailedRowAndSweepContinues) {
   ExperimentConfig base = tiny_config();
