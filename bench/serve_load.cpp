@@ -10,18 +10,34 @@
 // InferenceServer, and reports measured throughput speedup next to the
 // theoretical FLOP ratio in one CSV row.
 //
+// A second, open-loop section measures overload behavior: after the
+// closed-loop grid establishes service capacity, an open-loop arrival
+// process drives the server at 2x that capacity under each admission
+// policy. Latency is measured from each request's *scheduled* arrival
+// time (the coordinated-omission-honest convention), so Block — whose
+// only defense is stalling the generator — shows queueing delay growing
+// without bound, while Reject and DropOldest (armed with a deadline)
+// keep the p99 of successes bounded near the deadline and convert the
+// excess load into counted shed/rejected/expired requests.
+//
 // Outputs (under --out, default bench_out):
 //   serve_load.csv            one row per (structure, keep, mode, clients)
+//   serve_load_overload.csv   one row per overload policy at 2x capacity
 //   serve_load.manifest.json  run manifest with the serve.latency_us /
-//                             serve.batch_size histogram quantiles
+//                             serve.batch_size histogram quantiles and
+//                             serve_load.overload.* gauges per policy
 //
 // Usage: serve_load [--full] [--out DIR] [--arch NAME] [--width N]
 //   --full lengthens each measurement cell (2 s vs 0.5 s).
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <fstream>
+#include <future>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -142,6 +158,109 @@ CellResult run_cell(const serve::Executor& exec, int clients, double seconds) {
   return r;
 }
 
+struct OverloadResult {
+  double offered_rps = 0;  // actual submit-attempt rate (Block throttles it)
+  double goodput_rps = 0;  // successful completions per wall second
+  int64_t ok = 0, shed = 0, expired = 0, rejected = 0, errored = 0;
+  int64_t lost = 0;  // submitted - completed - failed (must be 0)
+  double p50_us = 0, p99_us = 0;
+};
+
+// Open-loop overload cell: arrivals are scheduled at a fixed target rate
+// and latency is measured from the *scheduled* arrival, not the submit
+// call — so when Block stalls the generator, the stall honestly lands in
+// the latency distribution instead of silently thinning the offered load.
+// A collector thread drains futures in FIFO order (fulfillment order for
+// a single-worker server), classifying each outcome.
+OverloadResult run_overload_cell(const serve::Executor& exec, serve::OverloadPolicy policy,
+                                 int64_t deadline_us, double target_rps, double seconds) {
+  ServerOptions sopts;
+  sopts.workers = 1;
+  sopts.max_batch = 8;
+  sopts.max_wait_us = 1000;
+  sopts.queue_capacity = 64;
+  sopts.overload_policy = policy;
+  sopts.default_deadline_us = deadline_us;
+  InferenceServer server(exec, sopts);
+
+  Rng rng(23);
+  Tensor proto(exec.sample_shape());
+  rng.fill_normal(proto, 0, 1);
+
+  struct Pending {
+    std::future<Tensor> fut;
+    std::chrono::steady_clock::time_point scheduled;
+  };
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Pending> pending;
+  bool gen_done = false;
+
+  OverloadResult r;
+  obs::QuantileHistogram hist;  // collector-thread-only until join
+  std::thread collector([&] {
+    for (;;) {
+      Pending p;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return !pending.empty() || gen_done; });
+        if (pending.empty()) return;
+        p = std::move(pending.front());
+        pending.pop_front();
+      }
+      try {
+        p.fut.get();
+        hist.observe(std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                               p.scheduled)
+                         .count());
+        ++r.ok;
+      } catch (const serve::DeadlineExceeded&) {
+        ++r.expired;
+      } catch (const serve::Overloaded&) {
+        ++r.shed;
+      } catch (const std::exception&) {
+        ++r.errored;
+      }
+    }
+  });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto interval = std::chrono::duration<double>(1.0 / target_rps);
+  int64_t arrivals = 0;
+  for (;; ++arrivals) {
+    const auto scheduled =
+        t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(interval * arrivals);
+    if (std::chrono::duration<double>(scheduled - t0).count() >= seconds) break;
+    std::this_thread::sleep_until(scheduled);  // no-op once the generator is behind
+    try {
+      Pending p{server.submit(proto.clone()), scheduled};
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        pending.push_back(std::move(p));
+      }
+      cv.notify_one();
+    } catch (const serve::Overloaded&) {
+      ++r.rejected;  // Reject policy refuses at the door; no future to track
+    }
+  }
+  server.shutdown();  // drain: every accepted future becomes ready
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    gen_done = true;
+  }
+  cv.notify_one();
+  collector.join();
+
+  const double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  r.offered_rps = wall > 0 ? static_cast<double>(arrivals) / wall : 0;
+  r.goodput_rps = wall > 0 ? static_cast<double>(r.ok) / wall : 0;
+  r.p50_us = hist.quantile(0.5);
+  r.p99_us = hist.quantile(0.99);
+  const ServerStats st = server.stats();
+  r.lost = st.submitted - st.completed - st.failed;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -204,9 +323,64 @@ int main(int argc, char** argv) {
   }
   csv.close();
 
+  // Open-loop overload section: establish capacity closed-loop, then
+  // offer 2x that under each admission policy. Block runs without a
+  // deadline (the unbounded baseline); Reject and DropOldest get one.
+  obs::status_set_phase("serve-overload");
+  ModelPtr ov_model = build_pruned(arch, width, sample, Structure::Unstructured, 0.25);
+  const serve::Executor ov_exec = serve::compile(*ov_model, sample, ExecMode::Csr);
+  const CellResult cap = run_cell(ov_exec, 8, cell_s);
+  const double target_rps = 2.0 * std::max(cap.throughput, 1.0);
+  const int64_t deadline_us =
+      std::max<int64_t>(2000, static_cast<int64_t>(std::lround(4.0 * cap.p50_us)));
+  std::printf("\noverload: capacity %.1f req/s (closed-loop p50 %.0fus) -> offering %.1f req/s, "
+              "deadline %lldus\n",
+              cap.throughput, cap.p50_us, target_rps, static_cast<long long>(deadline_us));
+
+  const std::string ov_csv_path = args.out_dir + "/serve_load_overload.csv";
+  std::ofstream ov_csv(ov_csv_path);
+  ov_csv << "arch,mode,policy,deadline_us,target_rps,offered_rps,goodput_rps,ok,shed,expired,"
+            "rejected,errored,lost,p50_us,p99_us\n";
+  std::printf("%-12s %9s %9s %7s %7s %7s %9s %9s\n", "policy", "offered", "goodput", "shed",
+              "expired", "reject", "p50us", "p99us");
+  struct PolicyCell {
+    serve::OverloadPolicy policy;
+    int64_t deadline_us;
+  };
+  const std::vector<PolicyCell> policy_cells = {
+      {serve::OverloadPolicy::Block, 0},  // baseline: backpressure only
+      {serve::OverloadPolicy::Reject, deadline_us},
+      {serve::OverloadPolicy::DropOldest, deadline_us},
+  };
+  for (const PolicyCell& cell : policy_cells) {
+    const std::string policy = serve::to_string(cell.policy);
+    const OverloadResult r =
+        run_overload_cell(ov_exec, cell.policy, cell.deadline_us, target_rps, cell_s);
+    ov_csv << arch << ",csr," << policy << ',' << cell.deadline_us << ',' << target_rps << ','
+           << r.offered_rps << ',' << r.goodput_rps << ',' << r.ok << ',' << r.shed << ','
+           << r.expired << ',' << r.rejected << ',' << r.errored << ',' << r.lost << ','
+           << r.p50_us << ',' << r.p99_us << '\n';
+    std::printf("%-12s %9.1f %9.1f %7lld %7lld %7lld %9.0f %9.0f%s\n", policy.c_str(),
+                r.offered_rps, r.goodput_rps, static_cast<long long>(r.shed),
+                static_cast<long long>(r.expired), static_cast<long long>(r.rejected), r.p50_us,
+                r.p99_us, r.lost != 0 ? "  LOST FUTURES" : "");
+    // Gauges land in the manifest's metrics snapshot — the acceptance
+    // numbers travel with the run.
+    const std::string prefix = "serve_load.overload." + policy;
+    obs::set_gauge((prefix + ".p99_us").c_str(), r.p99_us);
+    obs::set_gauge((prefix + ".goodput_rps").c_str(), r.goodput_rps);
+    obs::set_gauge((prefix + ".shed_total").c_str(),
+                   static_cast<double>(r.shed + r.expired + r.rejected));
+    obs::set_gauge((prefix + ".lost").c_str(), static_cast<double>(r.lost));
+  }
+  obs::set_gauge("serve_load.overload.deadline_us", static_cast<double>(deadline_us));
+  obs::set_gauge("serve_load.overload.target_rps", target_rps);
+  ov_csv.close();
+
   write_run_manifest(args.out_dir + "/serve_load.manifest.json", "serve_load", {});
   obs::status_set_phase("done");
   obs::write_status_now();
-  std::printf("wrote %s and serve_load.manifest.json\n", csv_path.c_str());
+  std::printf("wrote %s, serve_load_overload.csv, and serve_load.manifest.json\n",
+              csv_path.c_str());
   return 0;
 }

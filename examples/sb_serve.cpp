@@ -9,6 +9,16 @@
 // throughput while running and a latency summary at the end, and writes
 // sb_serve.manifest.json (with the serve.* histogram quantiles) to --out.
 //
+// The overload/degradation surface is exposed too: --policy picks the
+// full-queue admission policy, --deadline-us arms per-request deadlines,
+// --fallback compiles a second executor the circuit breaker routes to
+// when the primary faults (pair with SB_FAULT=serve.exec_throw:N for a
+// chaos smoke), and --stall-timeout-ms arms the watchdog. The load
+// generator survives per-request failures — Overloaded / DeadlineExceeded
+// / executor errors are counted and the client retries — and the exit
+// status enforces the exactly-once invariant: submitted must equal
+// completed + failed, else "lost futures" and exit 1.
+//
 // Ctrl-C mirrors run_sweep's SIGINT semantics: admissions stop, in-flight
 // requests drain to completion, stats and the manifest are still written,
 // and the process exits 130.
@@ -19,6 +29,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,6 +64,18 @@ void usage(const char* argv0) {
       "  --workers N      server worker threads (default 1)\n"
       "  --max-batch N    dynamic batcher flush size (default 8)\n"
       "  --max-wait-us N  dynamic batcher flush age (default 2000)\n"
+      "  --queue-capacity N  bounded request queue size (default 256)\n"
+      "  --policy NAME    full-queue policy: block | reject | drop-oldest\n"
+      "                   (default: SB_SERVE_OVERLOAD, then block)\n"
+      "  --deadline-us N  default per-request deadline, 0 = none\n"
+      "                   (default: SB_SERVE_DEADLINE_US, then 0)\n"
+      "  --fallback MODE  compile a degraded-mode executor (dense | csr |\n"
+      "                   shrunk) the circuit breaker routes to on faults\n"
+      "  --breaker-threshold N  consecutive failures that trip the breaker\n"
+      "                   (default 3, 0 disables)\n"
+      "  --stall-timeout-ms N  watchdog threshold for one forward() call\n"
+      "                   (default 0 = watchdog off)\n"
+      "  --check-finite   treat non-finite outputs as executor failures\n"
       "  --clients N      closed-loop load-gen clients (default 4)\n"
       "  --seconds S      run duration (default 5)\n"
       "  --out DIR        manifest output dir (default bench_out)\n"
@@ -84,7 +107,7 @@ ModelPtr build_pruned(const std::string& arch, int64_t width, const Shape& sampl
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string arch = "cifar-vgg", out_dir = "bench_out";
+  std::string arch = "cifar-vgg", out_dir = "bench_out", fallback_mode;
   int64_t width = 8;
   ExecMode mode = ExecMode::Csr;
   double keep = 0.25, seconds = 5.0;
@@ -114,6 +137,20 @@ int main(int argc, char** argv) {
       sopts.max_batch = std::atoll(next().c_str());
     } else if (a == "--max-wait-us") {
       sopts.max_wait_us = std::atoll(next().c_str());
+    } else if (a == "--queue-capacity") {
+      sopts.queue_capacity = static_cast<size_t>(std::atoll(next().c_str()));
+    } else if (a == "--policy") {
+      sopts.overload_policy = serve::overload_policy_from_name(next());
+    } else if (a == "--deadline-us") {
+      sopts.default_deadline_us = std::atoll(next().c_str());
+    } else if (a == "--fallback") {
+      fallback_mode = next();
+    } else if (a == "--breaker-threshold") {
+      sopts.breaker_threshold = std::atoi(next().c_str());
+    } else if (a == "--stall-timeout-ms") {
+      sopts.stall_timeout_ms = std::atoll(next().c_str());
+    } else if (a == "--check-finite") {
+      sopts.check_finite = true;
     } else if (a == "--clients") {
       clients = std::atoi(next().c_str());
     } else if (a == "--seconds") {
@@ -149,7 +186,20 @@ int main(int argc, char** argv) {
               static_cast<long long>(exec.flops_dense()),
               static_cast<long long>(exec.flops_effective()));
 
+  // The fallback executor (if any) must outlive the server.
+  std::optional<serve::Executor> fallback;
+  if (!fallback_mode.empty()) {
+    fallback.emplace(serve::compile(*model, sample, serve::exec_mode_from_name(fallback_mode)));
+    sopts.fallback = &*fallback;
+    std::printf("fallback: %s executor armed (breaker threshold %d)\n", fallback_mode.c_str(),
+                sopts.breaker_threshold);
+  }
+
   InferenceServer server(exec, sopts);
+  std::printf("policy %s, deadline %lldus, watchdog %lldms\n",
+              serve::to_string(server.overload_policy()).c_str(),
+              static_cast<long long>(server.default_deadline_us()),
+              static_cast<long long>(sopts.stall_timeout_ms));
   Rng rng(23);
   Tensor proto(sample);
   rng.fill_normal(proto, 0, 1);
@@ -158,16 +208,28 @@ int main(int argc, char** argv) {
   std::mutex hist_mu;
   std::atomic<bool> stop{false};
   std::atomic<int64_t> done{0};
+  std::atomic<int64_t> overloaded{0}, expired{0}, errored{0};
   std::vector<std::thread> load;
   load.reserve(static_cast<size_t>(clients));
   for (int c = 0; c < clients; ++c) {
     load.emplace_back([&] {
+      // Per-request failures are part of overload operation, not a reason
+      // to stop offering load: count them and retry. Only a shutdown
+      // rejection (accepting() went false) ends the client.
       while (!stop.load(std::memory_order_relaxed)) {
         const auto s0 = std::chrono::steady_clock::now();
         try {
           server.submit(proto.clone()).get();
-        } catch (...) {
-          break;  // server began shutdown under us
+        } catch (const serve::Overloaded&) {
+          overloaded.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        } catch (const serve::DeadlineExceeded&) {
+          expired.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        } catch (const std::exception&) {
+          if (!server.accepting()) break;  // server began shutdown under us
+          errored.fetch_add(1, std::memory_order_relaxed);
+          continue;
         }
         const double us =
             std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - s0)
@@ -217,6 +279,25 @@ int main(int argc, char** argv) {
               static_cast<long long>(st.failed), st.max_queue_depth);
   std::printf("latency p50 %.0fus  p90 %.0fus  p99 %.0fus (%lld samples)\n", hist.quantile(0.5),
               hist.quantile(0.9), hist.quantile(0.99), static_cast<long long>(hist.count()));
+  std::printf("overload: shed %lld  rejected_overload %lld  deadline_exceeded %lld  "
+              "(client-side: overloaded %lld expired %lld errored %lld)\n",
+              static_cast<long long>(st.shed), static_cast<long long>(st.rejected_overload),
+              static_cast<long long>(st.deadline_exceeded),
+              static_cast<long long>(overloaded.load()), static_cast<long long>(expired.load()),
+              static_cast<long long>(errored.load()));
+  std::printf("breaker: state %s  trips %lld  exec_failures %lld  degraded_batches %lld  "
+              "stalls %lld\n",
+              st.breaker_state == serve::BreakerState::Open       ? "OPEN"
+              : st.breaker_state == serve::BreakerState::HalfOpen ? "half-open"
+                                                                  : "closed",
+              static_cast<long long>(st.breaker_trips), static_cast<long long>(st.exec_failures),
+              static_cast<long long>(st.degraded_batches), static_cast<long long>(st.stalls));
+  // Exactly-once invariant: every accepted request's future was fulfilled
+  // with a value or an exception. A nonzero delta means a lost future.
+  const int64_t lost = st.submitted - st.completed - st.failed;
+  std::printf("lost_futures %lld (submitted %lld = completed %lld + failed %lld)\n",
+              static_cast<long long>(lost), static_cast<long long>(st.submitted),
+              static_cast<long long>(st.completed), static_cast<long long>(st.failed));
 
   const std::string manifest = out_dir + "/sb_serve.manifest.json";
   write_run_manifest(manifest, interrupted ? "sb_serve.interrupted" : "sb_serve", {});
@@ -228,5 +309,10 @@ int main(int argc, char** argv) {
   }
   obs::status_set_phase(interrupted ? "interrupted" : "done");
   obs::write_status_now();
+  if (lost != 0) {
+    std::fprintf(stderr, "sb_serve: %lld futures lost (exactly-once violated)\n",
+                 static_cast<long long>(lost));
+    return 1;
+  }
   return interrupted ? 130 : 0;
 }

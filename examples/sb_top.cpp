@@ -141,6 +141,21 @@ void render_status(const std::string& path) {
                 c.num_or("anomalies", 0), c.num_or("retries", 0), c.num_or("failures", 0),
                 c.num_or("cache_hits", 0));
   }
+  if (v.has("degraded") || v.str_or("degraded_reason", "") != "") {
+    std::printf("  DEGRADED: %s\n", v.str_or("degraded_reason", "?").c_str());
+  }
+  if (v.has("serve")) {
+    const JsonValue& s = v.at("serve");
+    const int breaker = static_cast<int>(s.num_or("breaker_state", 0));
+    const char* breaker_name =
+        breaker == 1 ? "OPEN" : breaker == 2 ? "half-open" : "closed";
+    std::printf("  serve queue %-5.0f shed %-5.0f deadline_exceeded %-5.0f "
+                "rejected %-5.0f\n",
+                s.num_or("queue_depth", 0), s.num_or("shed", 0),
+                s.num_or("deadline_exceeded", 0), s.num_or("rejected_overload", 0));
+    std::printf("        breaker %-9s degraded_batches %-5.0f stalls %.0f\n", breaker_name,
+                s.num_or("degraded_batches", 0), s.num_or("stalls", 0));
+  }
   if (v.has("resources")) {
     const JsonValue& r = v.at("resources");
     std::printf("  rss %.1f MB (peak %.1f)  cpu %.1fs user / %.1fs sys  threads %.0f\n",

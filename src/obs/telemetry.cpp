@@ -182,6 +182,9 @@ struct StatusBoard {
   int epoch = -1;
   double train_loss = 0.0, val_top1 = 0.0;
   int64_t anomalies = 0, retries = 0, failures = 0, cache_hits = 0;
+  ServeStatus serve;
+  bool serve_set = false;
+  std::string degraded_reason;  // non-empty = heartbeat reports degraded
 };
 
 struct Telemetry::Impl {
@@ -388,6 +391,18 @@ std::string Telemetry::status_json() {
   }
   os << ",\"counts\":{\"anomalies\":" << board.anomalies << ",\"retries\":" << board.retries
      << ",\"failures\":" << board.failures << ",\"cache_hits\":" << board.cache_hits << "}";
+  if (!board.degraded_reason.empty()) {
+    os << ",\"degraded\":true,\"degraded_reason\":" << json_str(board.degraded_reason);
+  }
+  if (board.serve_set) {
+    os << ",\"serve\":{\"queue_depth\":" << board.serve.queue_depth
+       << ",\"shed\":" << board.serve.shed
+       << ",\"deadline_exceeded\":" << board.serve.deadline_exceeded
+       << ",\"rejected_overload\":" << board.serve.rejected_overload
+       << ",\"degraded_batches\":" << board.serve.degraded_batches
+       << ",\"stalls\":" << board.serve.stalls
+       << ",\"breaker_state\":" << board.serve.breaker_state << "}";
+  }
   os << ",\"resources\":{\"rss_mb\":" << json_num(res.rss_mb)
      << ",\"peak_rss_mb\":" << json_num(res.peak_rss_mb)
      << ",\"cpu_user_s\":" << json_num(res.user_cpu_seconds)
@@ -523,6 +538,17 @@ void status_add_anomalies(int64_t n) {
 
 void status_add_retries(int64_t n) {
   with_board([&](StatusBoard& b) { b.retries += n; });
+}
+
+void status_set_serve(const ServeStatus& serve) {
+  with_board([&](StatusBoard& b) {
+    b.serve = serve;
+    b.serve_set = true;
+  });
+}
+
+void status_set_degraded(const std::string& reason) {
+  with_board([&](StatusBoard& b) { b.degraded_reason = reason; });
 }
 
 void write_status_now() {

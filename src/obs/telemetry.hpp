@@ -214,6 +214,24 @@ void status_set_failures(int64_t failures, int64_t cache_hits);
 void status_add_anomalies(int64_t n);
 void status_add_retries(int64_t n);
 
+/// Serving-side health block published by serve::InferenceServer; shows
+/// up as a "serve" object in the heartbeat once set (sb_top renders it).
+struct ServeStatus {
+  int64_t queue_depth = 0;
+  int64_t shed = 0;               // DropOldest victims so far
+  int64_t deadline_exceeded = 0;  // in-queue expiries so far
+  int64_t rejected_overload = 0;  // Reject-policy refusals so far
+  int64_t degraded_batches = 0;   // batches served by the fallback
+  int64_t stalls = 0;             // watchdog-detected stuck batches
+  int breaker_state = 0;          // 0 closed, 1 open, 2 half-open
+};
+void status_set_serve(const ServeStatus& serve);
+
+/// Degraded marker: a non-empty reason surfaces "degraded": true (+ the
+/// reason) at the heartbeat's top level — the watchdog sets it while a
+/// worker is stalled; an empty reason clears it on recovery.
+void status_set_degraded(const std::string& reason);
+
 /// Immediate heartbeat rewrite (sweep start/end, tests); the sampler
 /// otherwise owns the cadence.
 void write_status_now();
